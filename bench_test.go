@@ -1,0 +1,250 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§5) at
+// laptop scale, plus ablations of VMN's design choices. Each benchmark
+// measures one verification run of the corresponding experiment; the
+// cmd/vmnbench tool prints the full series (sweeps and percentiles).
+package vmn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/encode"
+	"github.com/netverify/vmn/internal/explore"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/testnet"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// --- Figure 2: single-invariant time in the datacenter scenarios ---
+
+func benchDCInvariant(b *testing.B, prep func(seed int64) (*core.Verifier, inv.Invariant, bool)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		v, iv, wantSat := prep(int64(i))
+		rs, err := v.VerifyInvariant(iv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs[0].Satisfied != wantSat {
+			b.Fatalf("unexpected verdict: %v", rs[0].Result.Outcome)
+		}
+	}
+}
+
+func BenchmarkFig2RulesViolated(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1})
+		aff := d.DeleteRandomDenyRules(rand.New(rand.NewSource(seed)), 1)
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed})
+		return v, d.IsolationInvariant(aff[0][0], aff[0][1]), false
+	})
+}
+
+func BenchmarkFig2RulesHolds(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1})
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed})
+		return v, d.IsolationInvariant(0, 1), true
+	})
+}
+
+func BenchmarkFig2RedundancyViolated(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1})
+		aff := d.DeleteBackupDenyRules(rand.New(rand.NewSource(seed)), 1)
+		v, _ := core.NewVerifier(d.Net, core.Options{
+			Engine: core.EngineSAT, Seed: seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.FW1)},
+		})
+		return v, d.IsolationInvariant(aff[0][0], aff[0][1]), false
+	})
+}
+
+func BenchmarkFig2RedundancyHolds(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1})
+		v, _ := core.NewVerifier(d.Net, core.Options{
+			Engine: core.EngineSAT, Seed: seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.FW1)},
+		})
+		return v, d.IsolationInvariant(0, 1), true
+	})
+}
+
+func BenchmarkFig2TraversalViolated(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1, OpenGroups: true})
+		d.BypassIDSUnderFailure = true
+		v, _ := core.NewVerifier(d.Net, core.Options{
+			Engine: core.EngineSAT, Seed: seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.IDS1)},
+		})
+		return v, d.TraversalInvariant(0, 1), false
+	})
+}
+
+func BenchmarkFig2TraversalHolds(b *testing.B) {
+	benchDCInvariant(b, func(seed int64) (*core.Verifier, inv.Invariant, bool) {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1, OpenGroups: true})
+		v, _ := core.NewVerifier(d.Net, core.Options{
+			Engine: core.EngineSAT, Seed: seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.IDS1)},
+		})
+		return v, d.TraversalInvariant(0, 1), true
+	})
+}
+
+// --- Figure 3: all invariants vs policy classes ---
+
+func benchFig3(b *testing.B, classes int) {
+	for i := 0; i < b.N; i++ {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: classes, HostsPerGroup: 1})
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i)})
+		var invs []inv.Invariant
+		for g := 0; g < classes; g++ {
+			invs = append(invs, d.IsolationInvariant(g, (g+1)%classes))
+		}
+		if _, err := v.VerifyAll(invs, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Classes4(b *testing.B)  { benchFig3(b, 4) }
+func BenchmarkFig3Classes8(b *testing.B)  { benchFig3(b, 8) }
+func BenchmarkFig3Classes16(b *testing.B) { benchFig3(b, 16) }
+
+// --- Figure 4: per-invariant data isolation vs policy classes ---
+
+func benchFig4(b *testing.B, classes int) {
+	for i := 0; i < b.N; i++ {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: classes, HostsPerGroup: 1, WithCaches: true})
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i)})
+		rs, err := v.VerifyInvariant(d.DataIsolationInvariant(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rs[0].Satisfied {
+			b.Fatal("should hold")
+		}
+	}
+}
+
+func BenchmarkFig4Classes3(b *testing.B) { benchFig4(b, 3) }
+func BenchmarkFig4Classes6(b *testing.B) { benchFig4(b, 6) }
+func BenchmarkFig4Classes9(b *testing.B) { benchFig4(b, 9) }
+
+// --- Figure 5: all data-isolation invariants vs policy classes ---
+
+func benchFig5(b *testing.B, classes int) {
+	for i := 0; i < b.N; i++ {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: classes, HostsPerGroup: 1, WithCaches: true})
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i)})
+		var invs []inv.Invariant
+		for g := 0; g < classes; g++ {
+			invs = append(invs, d.DataIsolationInvariant(g))
+		}
+		if _, err := v.VerifyAll(invs, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Classes3(b *testing.B) { benchFig5(b, 3) }
+func BenchmarkFig5Classes6(b *testing.B) { benchFig5(b, 6) }
+
+// --- Figure 7: enterprise, slice vs whole network ---
+
+func benchFig7(b *testing.B, subnets int, noSlices bool) {
+	for i := 0; i < b.N; i++ {
+		e := bench.NewEnterprise(bench.EnterpriseConfig{Subnets: subnets, HostsPerSubnet: 1})
+		v, _ := core.NewVerifier(e.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i), NoSlices: noSlices})
+		if _, err := v.VerifyInvariant(e.Invariant(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Slice(b *testing.B)   { benchFig7(b, 9, false) }
+func BenchmarkFig7Whole9(b *testing.B)  { benchFig7(b, 9, true) }
+func BenchmarkFig7Whole15(b *testing.B) { benchFig7(b, 15, true) }
+func BenchmarkFig7Whole24(b *testing.B) { benchFig7(b, 24, true) }
+
+// --- Figure 8: multi-tenant, slice vs whole network ---
+
+func benchFig8(b *testing.B, tenants int, noSlices bool) {
+	for i := 0; i < b.N; i++ {
+		m := bench.NewMultiTenant(bench.MTConfig{Tenants: tenants, PubPerTenant: 2, PrivPerTenant: 2})
+		v, _ := core.NewVerifier(m.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i), NoSlices: noSlices})
+		if _, err := v.VerifyInvariant(m.PrivPrivInvariant(0, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Slice(b *testing.B)  { benchFig8(b, 4, false) }
+func BenchmarkFig8Whole4(b *testing.B) { benchFig8(b, 4, true) }
+func BenchmarkFig8Whole8(b *testing.B) { benchFig8(b, 8, true) }
+
+// --- Figure 9b/9c: ISP, slice vs whole network ---
+
+func benchISP(b *testing.B, peerings, subnets int, noSlices bool) {
+	for i := 0; i < b.N; i++ {
+		isp := bench.NewISP(bench.ISPConfig{Peerings: peerings, Subnets: subnets})
+		v, _ := core.NewVerifier(isp.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i), NoSlices: noSlices})
+		if _, err := v.VerifyInvariant(isp.Invariant(1, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9bSlice(b *testing.B)      { benchISP(b, 2, 6, false) }
+func BenchmarkFig9bWhole6(b *testing.B)     { benchISP(b, 2, 6, true) }
+func BenchmarkFig9bWhole12(b *testing.B)    { benchISP(b, 2, 12, true) }
+func BenchmarkFig9cSlice(b *testing.B)      { benchISP(b, 2, 6, false) }
+func BenchmarkFig9cWholePeer2(b *testing.B) { benchISP(b, 2, 6, true) }
+func BenchmarkFig9cWholePeer4(b *testing.B) { benchISP(b, 4, 6, true) }
+
+// --- Ablations (DESIGN.md) ---
+
+// Slicing on vs off on the same instance isolates the §4.1 claim.
+func BenchmarkAblationWithSlicing(b *testing.B)    { benchFig7(b, 15, false) }
+func BenchmarkAblationWithoutSlicing(b *testing.B) { benchFig7(b, 15, true) }
+
+// Symmetry on vs off isolates the §4.2 claim.
+func benchSymmetry(b *testing.B, useSymmetry bool) {
+	for i := 0; i < b.N; i++ {
+		d := bench.NewDatacenter(bench.DCConfig{Groups: 8, HostsPerGroup: 1, PolicyTiers: 2})
+		v, _ := core.NewVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(i)})
+		if _, err := v.VerifyAll(d.AllIsolationInvariants(), useSymmetry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWithSymmetry(b *testing.B)    { benchSymmetry(b, true) }
+func BenchmarkAblationWithoutSymmetry(b *testing.B) { benchSymmetry(b, false) }
+
+// SAT-based vs explicit-state engine on identical slices.
+func BenchmarkAblationEngineSAT(b *testing.B) {
+	f := testnet.NewFirewallPair(mbox.NewLearningFirewall("fw"))
+	for i := 0; i < b.N; i++ {
+		p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+		if _, err := encode.Verify(p, encode.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEngineExplicit(b *testing.B) {
+	f := testnet.NewFirewallPair(mbox.NewLearningFirewall("fw"))
+	for i := 0; i < b.N; i++ {
+		p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+		if _, err := explore.Verify(p, explore.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command vmn verifies reachability invariants on the built-in evaluation
+// networks, printing per-invariant verdicts, slice sizes and — for
+// violations — the offending event schedule.
+//
+// Usage:
+//
+//	vmn -network enterprise -subnets 6
+//	vmn -network datacenter -groups 5 -break-rules 2
+//	vmn -network datacenter -groups 5 -with-caches -break-cache
+//	vmn -network multitenant -tenants 4
+//	vmn -network isp -peerings 3 -subnets 6 -scrubber-bypass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func main() {
+	var (
+		network   = flag.String("network", "enterprise", "enterprise | datacenter | multitenant | isp")
+		subnets   = flag.Int("subnets", 6, "subnets (enterprise, isp)")
+		groups    = flag.Int("groups", 4, "policy groups (datacenter)")
+		tenants   = flag.Int("tenants", 3, "tenants (multitenant)")
+		peerings  = flag.Int("peerings", 2, "peering points (isp)")
+		withCache = flag.Bool("with-caches", false, "add caches and data servers (datacenter)")
+		breakN    = flag.Int("break-rules", 0, "delete N random firewall deny rules (datacenter)")
+		breakCch  = flag.Bool("break-cache", false, "delete protective cache ACLs (datacenter)")
+		bypass    = flag.Bool("scrubber-bypass", false, "scrubbed traffic skips firewalls (isp)")
+		failures  = flag.Bool("failures", false, "also verify under single middlebox failures")
+		noSlices  = flag.Bool("no-slices", false, "verify against the whole network")
+		engine    = flag.String("engine", "auto", "auto | sat | explicit")
+		seed      = flag.Int64("seed", 0, "solver seed")
+	)
+	flag.Parse()
+
+	opts := core.Options{Seed: *seed, NoSlices: *noSlices}
+	switch *engine {
+	case "sat":
+		opts.Engine = core.EngineSAT
+	case "explicit":
+		opts.Engine = core.EngineExplicit
+	case "auto":
+	default:
+		fail("unknown engine %q", *engine)
+	}
+
+	var (
+		net  *core.Network
+		invs []inv.Invariant
+		mbs  []topo.NodeID
+	)
+	switch *network {
+	case "enterprise":
+		e := bench.NewEnterprise(bench.EnterpriseConfig{Subnets: *subnets, HostsPerSubnet: 1})
+		net = e.Net
+		invs = e.AllInvariants()
+		mbs = []topo.NodeID{e.FWNode}
+	case "datacenter":
+		d := bench.NewDatacenter(bench.DCConfig{Groups: *groups, HostsPerGroup: 1, WithCaches: *withCache})
+		if *breakN > 0 {
+			aff := d.DeleteRandomDenyRules(rand.New(rand.NewSource(*seed)), *breakN)
+			fmt.Printf("injected misconfiguration: deleted deny rules for group pairs %v\n\n", aff)
+		}
+		if *breakCch && *withCache {
+			d.DeleteCacheACLs(0, 0)
+			fmt.Println("injected misconfiguration: cache 0 may now serve group 0's private data to anyone")
+		}
+		net = d.Net
+		for a := 0; a < *groups && a < 4; a++ {
+			for b := 0; b < *groups && b < 4; b++ {
+				if a != b {
+					invs = append(invs, d.IsolationInvariant(a, b))
+				}
+			}
+		}
+		if *withCache {
+			for g := 0; g < *groups && g < 4; g++ {
+				invs = append(invs, d.DataIsolationInvariant(g))
+			}
+		}
+		mbs = []topo.NodeID{d.FW1, d.IDS1}
+	case "multitenant":
+		m := bench.NewMultiTenant(bench.MTConfig{Tenants: *tenants, PubPerTenant: 2, PrivPerTenant: 2})
+		net = m.Net
+		for a := 0; a < *tenants && a < 3; a++ {
+			for b := 0; b < *tenants && b < 3; b++ {
+				if a != b {
+					invs = append(invs,
+						m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+				}
+			}
+		}
+		mbs = m.VSwitchFW
+	case "isp":
+		i := bench.NewISP(bench.ISPConfig{Peerings: *peerings, Subnets: *subnets, ScrubberBypassesFW: *bypass})
+		net = i.Net
+		for s := 0; s < *subnets && s < 6; s++ {
+			invs = append(invs, i.Invariant(s, 0))
+		}
+		mbs = i.IDSNodes
+	default:
+		fail("unknown network %q", *network)
+	}
+
+	if *failures {
+		opts.Scenarios = topo.SingleFailures(mbs)
+	}
+
+	v, err := core.NewVerifier(net, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	reports, err := v.VerifyAll(invs, true)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%-34s %-12s %-10s %-9s %-7s %s\n", "invariant", "scenario", "outcome", "satisfied", "engine", "slice")
+	bad := 0
+	for _, r := range reports {
+		scen := "fault-free"
+		if r.Scenario.Count() > 0 {
+			scen = fmt.Sprintf("fail(%v)", r.Scenario.Nodes())
+		}
+		mark := "yes"
+		if !r.Satisfied {
+			mark = "NO"
+			bad++
+		}
+		slice := fmt.Sprintf("%dh+%dmb", r.SliceHosts, r.SliceBoxes)
+		if r.Whole {
+			slice = "whole"
+		}
+		reused := ""
+		if r.Reused {
+			reused = " (by symmetry)"
+		}
+		fmt.Printf("%-34s %-12s %-10s %-9s %-7s %s%s\n",
+			r.Invariant.Name(), scen, r.Result.Outcome, mark, r.Engine, slice, reused)
+		if !r.Satisfied && len(r.Result.Trace) > 0 {
+			fmt.Println("  violating schedule:")
+			for _, e := range r.Result.Trace {
+				fmt.Printf("    %s\n", e)
+			}
+		}
+	}
+	fmt.Printf("\n%d/%d invariant checks satisfied\n", len(reports)-bad, len(reports))
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vmn: "+format+"\n", args...)
+	os.Exit(2)
+}

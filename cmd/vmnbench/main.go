@@ -1,0 +1,66 @@
+// Command vmnbench regenerates the paper's evaluation figures (§5) as
+// text tables: per-row min/p5/median/p95/max over repeated runs, the same
+// statistics the paper's box-and-whisker plots report.
+//
+// Usage:
+//
+//	vmnbench -fig all -runs 5
+//	vmnbench -fig 7 -runs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netverify/vmn/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c or all")
+	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
+	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	sc := *scale
+	if sc < 1 {
+		sc = 1
+	}
+	mul := func(xs ...int) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = x * sc
+		}
+		return out
+	}
+
+	ran := false
+	run := func(name string, f func() bench.Series) {
+		if !all && !want[name] {
+			return
+		}
+		ran = true
+		s := f()
+		s.Print(os.Stdout)
+	}
+
+	run("2", func() bench.Series { return bench.Fig2(5*sc, *runs) })
+	run("3", func() bench.Series { return bench.Fig3(mul(4, 8, 12, 16), *runs) })
+	run("4", func() bench.Series { return bench.Fig4(mul(3, 5, 7, 9), *runs) })
+	run("5", func() bench.Series { return bench.Fig5(mul(3, 5, 7), *runs) })
+	run("7", func() bench.Series { return bench.Fig7(mul(3, 9, 15, 24), *runs) })
+	run("8", func() bench.Series { return bench.Fig8(mul(2, 4, 6, 8), *runs) })
+	run("9b", func() bench.Series { return bench.Fig9b(2, mul(3, 6, 12, 18), *runs) })
+	run("9c", func() bench.Series { return bench.Fig9c(6, mul(1, 2, 4, 6), *runs) })
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c or all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Cachefarm: the paper's §5.2 data-isolation scenario — a content cache
+// shared by two client groups can leak one group's private data to the
+// other if its ACLs are misconfigured, even though a firewall blocks the
+// direct path. VMN finds the three-packet leak schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vmn "github.com/netverify/vmn"
+)
+
+func main() {
+	client1 := vmn.MustParseAddr("10.0.0.1") // same group as the server
+	client2 := vmn.MustParseAddr("10.0.1.1") // other group
+	server := vmn.MustParseAddr("10.2.0.1")  // private data server
+
+	topo := vmn.NewTopology()
+	h1 := topo.AddHost("client1", client1)
+	h2 := topo.AddHost("client2", client2)
+	srv := topo.AddHost("server", server)
+	swClients := topo.AddSwitch("swClients")
+	swServer := topo.AddSwitch("swServer")
+	cacheNode := topo.AddMiddlebox("cache", "cache")
+	fwNode := topo.AddMiddlebox("fw", "firewall")
+	topo.AddLink(h1, swClients)
+	topo.AddLink(h2, swClients)
+	topo.AddLink(cacheNode, swClients)
+	topo.AddLink(swClients, fwNode)
+	topo.AddLink(fwNode, swServer)
+	topo.AddLink(swServer, srv)
+
+	// Requests go client -> cache -> firewall -> server; responses return
+	// through the cache (filling it).
+	srvP := vmn.HostPrefix(server)
+	fib := vmn.FIB{}
+	fib.Add(swClients, vmn.FwdRule{Match: srvP, In: cacheNode, Out: fwNode, Priority: 30})
+	fib.Add(swClients, vmn.FwdRule{Match: srvP, In: -1, Out: cacheNode, Priority: 10})
+	fib.Add(swServer, vmn.FwdRule{Match: srvP, In: -1, Out: srv, Priority: 10})
+	for _, c := range []struct {
+		node vmn.NodeID
+		addr vmn.Addr
+	}{{h1, client1}, {h2, client2}} {
+		p := vmn.HostPrefix(c.addr)
+		fib.Add(swServer, vmn.FwdRule{Match: p, In: -1, Out: fwNode, Priority: 10})
+		fib.Add(swClients, vmn.FwdRule{Match: p, In: fwNode, Out: cacheNode, Priority: 30})
+		fib.Add(swClients, vmn.FwdRule{Match: p, In: cacheNode, Out: c.node, Priority: 25})
+		fib.Add(swClients, vmn.FwdRule{Match: p, In: -1, Out: c.node, Priority: 5})
+	}
+	fib.Add(fwNode, vmn.FwdRule{Match: srvP, In: -1, Out: swServer, Priority: 10})
+	fib.Add(fwNode, vmn.FwdRule{Match: vmn.Prefix{}, In: -1, Out: swClients, Priority: 5})
+
+	// Firewall: client2 may not touch the server (both directions);
+	// everything else allowed.
+	firewall := &vmn.LearningFirewall{
+		InstanceName: "fw",
+		ACL: []vmn.ACLEntry{
+			vmn.DenyEntry(vmn.HostPrefix(client2), srvP),
+			vmn.DenyEntry(srvP, vmn.HostPrefix(client2)),
+		},
+		DefaultAllow: true,
+	}
+	// Cache: correctly configured, it refuses to serve client2 content
+	// originating at the server.
+	cache := vmn.NewContentCache("cache",
+		vmn.DenyEntry(vmn.HostPrefix(client2), srvP))
+
+	net := &vmn.Network{
+		Topo: topo,
+		Boxes: []vmn.MiddleboxInstance{
+			{Node: cacheNode, Model: cache},
+			{Node: fwNode, Model: firewall},
+		},
+		FIBFor: func(vmn.FailureScenario) vmn.FIB { return fib },
+	}
+	v, err := vmn.NewVerifier(net, vmn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	di := vmn.DataIsolation{Dst: h2, Origin: server, Label: "client2 never sees server data"}
+	reports, err := v.VerifyInvariant(di)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache ACL in place:  %v\n", reports[0].Result.Outcome)
+
+	// §5.2 misconfiguration: the cache ACL entry is deleted. The firewall
+	// still blocks the direct path — but the cached copy does not cross
+	// the firewall.
+	cache.ACL = nil
+	reports, err = v.VerifyInvariant(di)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache ACL deleted:   %v\n", reports[0].Result.Outcome)
+	fmt.Println("leak schedule (fetch by insider, cache fill, probe by outsider):")
+	for _, e := range reports[0].Result.Trace {
+		fmt.Printf("  %s\n", e)
+	}
+}

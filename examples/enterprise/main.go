@@ -1,0 +1,107 @@
+// Enterprise: the paper's §5.3.1 scenario — an enterprise network behind a
+// stateful firewall with public, private (flow-isolated) and quarantined
+// (node-isolated) subnets. Verifies all three policies, including under
+// firewall failure, then demonstrates a quarantine breach.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vmn "github.com/netverify/vmn"
+)
+
+func main() {
+	inet := vmn.MustParseAddr("8.8.8.8")
+	pub := vmn.MustParseAddr("10.0.0.1")  // public subnet host
+	priv := vmn.MustParseAddr("10.1.0.1") // private subnet host
+	quar := vmn.MustParseAddr("10.2.0.1") // quarantined subnet host
+
+	topo := vmn.NewTopology()
+	internet := topo.AddExternal("internet", inet)
+	swO := topo.AddSwitch("swO")
+	fwNode := topo.AddMiddlebox("fw", "firewall")
+	swI := topo.AddSwitch("swI")
+	hPub := topo.AddHost("pub", pub)
+	hPriv := topo.AddHost("priv", priv)
+	hQuar := topo.AddHost("quar", quar)
+	topo.AddLink(internet, swO)
+	topo.AddLink(swO, fwNode)
+	topo.AddLink(fwNode, swI)
+	topo.AddLink(hPub, swI)
+	topo.AddLink(hPriv, swI)
+	topo.AddLink(hQuar, swI)
+
+	inside := vmn.Prefix{Addr: vmn.MustParseAddr("10.0.0.0"), Len: 8}
+	fib := vmn.FIB{}
+	fib.Add(swO, vmn.FwdRule{Match: inside, In: internet, Out: fwNode, Priority: 10})
+	fib.Add(swO, vmn.FwdRule{Match: vmn.HostPrefix(inet), In: fwNode, Out: internet, Priority: 10})
+	fib.Add(fwNode, vmn.FwdRule{Match: inside, In: -1, Out: swI, Priority: 10})
+	fib.Add(fwNode, vmn.FwdRule{Match: vmn.Prefix{}, In: -1, Out: swO, Priority: 5})
+	for _, h := range []struct {
+		node vmn.NodeID
+		addr vmn.Addr
+	}{{hPub, pub}, {hPriv, priv}, {hQuar, quar}} {
+		fib.Add(swI, vmn.FwdRule{Match: vmn.HostPrefix(h.addr), In: -1, Out: h.node, Priority: 10})
+	}
+	fib.Add(swI, vmn.FwdRule{Match: vmn.Prefix{}, In: -1, Out: fwNode, Priority: 1})
+
+	// §5.3.1 policy, default deny: public talks both ways, private may
+	// only initiate, quarantined gets nothing.
+	firewall := vmn.NewLearningFirewall("fw",
+		vmn.AllowEntry(vmn.HostPrefix(inet), vmn.HostPrefix(pub)),
+		vmn.AllowEntry(vmn.HostPrefix(pub), vmn.HostPrefix(inet)),
+		vmn.AllowEntry(vmn.HostPrefix(priv), vmn.HostPrefix(inet)),
+	)
+
+	net := &vmn.Network{
+		Topo:   topo,
+		Boxes:  []vmn.MiddleboxInstance{{Node: fwNode, Model: firewall}},
+		FIBFor: func(vmn.FailureScenario) vmn.FIB { return fib },
+	}
+	v, err := vmn.NewVerifier(net, vmn.Options{
+		// Verify fault-free AND under firewall failure (§2.1: invariants
+		// predicated on failures).
+		Scenarios: []vmn.FailureScenario{vmn.NoFailures(), vmn.Failures(fwNode)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	invariants := []vmn.Invariant{
+		vmn.Reachability{Dst: hPub, SrcAddr: inet, Label: "public accepts inbound"},
+		vmn.FlowIsolation{Dst: hPriv, SrcAddr: inet, Label: "private is flow-isolated"},
+		vmn.SimpleIsolation{Dst: hQuar, SrcAddr: inet, Label: "quarantined is node-isolated"},
+		vmn.SimpleIsolation{Dst: internet, SrcAddr: quar, Label: "quarantined cannot exfiltrate"},
+	}
+	reports, err := v.VerifyAll(invariants, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		scen := "fault-free"
+		if r.Scenario.Count() > 0 {
+			scen = "fw-failed "
+		}
+		status := "SATISFIED"
+		if !r.Satisfied {
+			status = "violated "
+		}
+		fmt.Printf("[%s] %-32s %-9s (outcome=%v)\n", scen, r.Invariant.Name(), status, r.Result.Outcome)
+	}
+
+	// Note: "public accepts inbound" is *expected* to fail under firewall
+	// failure — a fail-closed firewall cuts public reachability. That is
+	// exactly the kind of fact VMN's failure scenarios surface.
+	fmt.Println()
+	fmt.Println("injecting quarantine breach (stray allow rule)...")
+	firewall.ACL = append(firewall.ACL, vmn.AllowEntry(vmn.HostPrefix(inet), vmn.HostPrefix(quar)))
+	reports, err = v.VerifyInvariant(invariants[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quarantine invariant now: %v\n", reports[0].Result.Outcome)
+	for _, e := range reports[0].Result.Trace {
+		fmt.Printf("  %s\n", e)
+	}
+}

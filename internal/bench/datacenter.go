@@ -1,0 +1,498 @@
+// Package bench builds the paper's evaluation networks (§5) at laptop
+// scale and runs the per-figure experiments: the Fig 1 datacenter with
+// redundant firewalls/IDPSes and caches (§5.1, §5.2), the Fig 6 enterprise
+// (§5.3.1), the EC2-style multi-tenant datacenter (§5.3.2) and the
+// SWITCHlan-style ISP with IDS+scrubber pipelines (§5.3.3). Each builder
+// returns a core.Network plus the invariants and misconfiguration
+// injectors the corresponding experiment needs.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// DCConfig sizes the Fig 1 datacenter.
+type DCConfig struct {
+	Groups        int // policy groups (2..200)
+	HostsPerGroup int // client hosts per group (≥ 1)
+	// PolicyTiers partitions groups into policy equivalence classes
+	// (§4.1): groups g with equal g % PolicyTiers are declared equivalent
+	// and are genuinely symmetric (identical pairwise policy). This is the
+	// "policy complexity" axis of Figs. 2–5. 0 means every group is its
+	// own class.
+	PolicyTiers int
+	// WithCaches adds the §5.2 layer: per-group data servers (private +
+	// public) in server racks, a content cache per client rack, and one
+	// "guest" client per group co-located in the neighbouring group's rack
+	// (rack sharing is what makes caches able to leak across groups).
+	WithCaches bool
+	// OpenGroups drops the inter-group deny rules (used by the §5.1
+	// Traversal scenario, which is about permitted traffic crossing the
+	// IDPS, not about isolation).
+	OpenGroups bool
+}
+
+// tierOf returns the policy tier label of group g.
+func (c DCConfig) tierOf(g int) string {
+	if c.PolicyTiers <= 0 || c.PolicyTiers >= c.Groups {
+		return fmt.Sprintf("tier-%d", g)
+	}
+	return fmt.Sprintf("tier-%d", g%c.PolicyTiers)
+}
+
+// Datacenter is a generated Fig 1 network.
+type Datacenter struct {
+	Net *core.Network
+	Cfg DCConfig
+
+	Agg        topo.NodeID     // aggregation switch carrying the middlebox pipeline
+	FW1, FW2   topo.NodeID     // redundant stateful firewalls
+	IDS1, IDS2 topo.NodeID     // redundant IDPSes
+	ToR        []topo.NodeID   // client racks, one per group
+	ToRServer  []topo.NodeID   // server racks (WithCaches)
+	Hosts      [][]topo.NodeID // [group][i] client hosts (rack g)
+	Guests     []topo.NodeID   // guest client of group g, living in rack (g-1+G)%G
+	Private    []topo.NodeID   // per-group private data server
+	Public     []topo.NodeID   // per-group public data server
+	Caches     []topo.NodeID   // per-client-rack cache
+
+	FWPrimary  *mbox.LearningFirewall
+	FWBackup   *mbox.LearningFirewall
+	CacheBoxes []*mbox.ContentCache
+
+	// BypassIDSUnderFailure reproduces the §5.1 "Misconfigured Redundant
+	// Routing" injection: when IDS1 is down, route around IDS2.
+	BypassIDSUnderFailure bool
+}
+
+// Address plan (group g): clients 10.g.0.x (rack g), private server
+// 10.g.1.1, public server 10.g.2.1 (server rack g), guest client 10.g.3.1
+// (rack (g-1+G)%G).
+
+// ClientPrefix returns group g's client /24.
+func ClientPrefix(g int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(g)<<16, Len: 24}
+}
+
+// GuestPrefix returns group g's guest /24.
+func GuestPrefix(g int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(g)<<16 | 3<<8, Len: 24}
+}
+
+// PrivPrefix returns group g's private-server /24.
+func PrivPrefix(g int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(g)<<16 | 1<<8, Len: 24}
+}
+
+// PubPrefix returns group g's public-server /24.
+func PubPrefix(g int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(g)<<16 | 2<<8, Len: 24}
+}
+
+// HostAddr returns client i of group g.
+func HostAddr(g, i int) pkt.Addr { return ClientPrefix(g).Addr | pkt.Addr(i+1) }
+
+// GuestAddr returns group g's guest client address.
+func GuestAddr(g int) pkt.Addr { return GuestPrefix(g).Addr | 1 }
+
+// PrivateAddr returns group g's private data server address.
+func PrivateAddr(g int) pkt.Addr { return PrivPrefix(g).Addr | 1 }
+
+// PublicAddr returns group g's public data server address.
+func PublicAddr(g int) pkt.Addr { return PubPrefix(g).Addr | 1 }
+
+// NewDatacenter builds the Fig 1 topology: per-group client racks hanging
+// off one aggregation switch that steers inter-rack traffic through a
+// firewall then an IDPS (each redundant).
+func NewDatacenter(cfg DCConfig) *Datacenter {
+	if cfg.Groups < 2 || cfg.Groups > 200 {
+		panic(fmt.Sprintf("bench: groups must be in [2,200], got %d", cfg.Groups))
+	}
+	if cfg.HostsPerGroup < 1 {
+		cfg.HostsPerGroup = 1
+	}
+	d := &Datacenter{Cfg: cfg}
+	t := topo.New()
+	d.Agg = t.AddSwitch("agg")
+	d.FW1 = t.AddMiddlebox("fw1", "firewall")
+	d.FW2 = t.AddMiddlebox("fw2", "firewall")
+	d.IDS1 = t.AddMiddlebox("ids1", "idps")
+	d.IDS2 = t.AddMiddlebox("ids2", "idps")
+	t.AddLink(d.FW1, d.Agg)
+	t.AddLink(d.FW2, d.Agg)
+	t.AddLink(d.IDS1, d.Agg)
+	t.AddLink(d.IDS2, d.Agg)
+
+	policy := map[topo.NodeID]string{}
+	G := cfg.Groups
+	for g := 0; g < G; g++ {
+		tor := t.AddSwitch(fmt.Sprintf("tor%d", g))
+		t.AddLink(tor, d.Agg)
+		d.ToR = append(d.ToR, tor)
+		var hosts []topo.NodeID
+		for i := 0; i < cfg.HostsPerGroup; i++ {
+			h := t.AddHost(fmt.Sprintf("h%d-%d", g, i), HostAddr(g, i))
+			t.AddLink(h, tor)
+			policy[h] = cfg.tierOf(g)
+			hosts = append(hosts, h)
+		}
+		d.Hosts = append(d.Hosts, hosts)
+	}
+	if cfg.WithCaches {
+		for g := 0; g < G; g++ {
+			// Guest of group g lives in rack (g-1+G)%G.
+			guest := t.AddHost(fmt.Sprintf("guest%d", g), GuestAddr(g))
+			t.AddLink(guest, d.ToR[(g-1+G)%G])
+			policy[guest] = "guest-" + cfg.tierOf(g)
+			d.Guests = append(d.Guests, guest)
+
+			torS := t.AddSwitch(fmt.Sprintf("torS%d", g))
+			t.AddLink(torS, d.Agg)
+			d.ToRServer = append(d.ToRServer, torS)
+			priv := t.AddHost(fmt.Sprintf("priv%d", g), PrivateAddr(g))
+			pub := t.AddHost(fmt.Sprintf("pub%d", g), PublicAddr(g))
+			t.AddLink(priv, torS)
+			t.AddLink(pub, torS)
+			policy[priv] = "priv-" + cfg.tierOf(g)
+			policy[pub] = "pub-" + cfg.tierOf(g)
+			d.Private = append(d.Private, priv)
+			d.Public = append(d.Public, pub)
+
+			c := t.AddMiddlebox(fmt.Sprintf("cache%d", g), "cache")
+			t.AddLink(c, d.ToR[g])
+			d.Caches = append(d.Caches, c)
+		}
+	}
+
+	// Firewall configuration (§5.1's correct state): deny inter-group
+	// client traffic in both directions, and protect private servers from
+	// other groups. Default allow.
+	acl := d.correctACL()
+	d.FWPrimary = &mbox.LearningFirewall{InstanceName: "fw1", ACL: append([]mbox.ACLEntry(nil), acl...), DefaultAllow: true}
+	d.FWBackup = &mbox.LearningFirewall{InstanceName: "fw2", ACL: append([]mbox.ACLEntry(nil), acl...), DefaultAllow: true}
+
+	reg := pkt.NewRegistry()
+	reg.Register(mbox.ClassMalicious)
+	reg.Register(mbox.ClassAttack)
+
+	boxes := []mbox.Instance{
+		{Node: d.FW1, Model: d.FWPrimary},
+		{Node: d.FW2, Model: d.FWBackup},
+		{Node: d.IDS1, Model: mbox.NewIDPS("ids1", reg, pkt.AddrNone)},
+		{Node: d.IDS2, Model: mbox.NewIDPS("ids2", reg, pkt.AddrNone)},
+	}
+	if cfg.WithCaches {
+		for g := 0; g < G; g++ {
+			cbox := &mbox.ContentCache{
+				InstanceName: fmt.Sprintf("cache%d", g),
+				ACL:          d.correctCacheACL(),
+				DefaultServe: true,
+			}
+			d.CacheBoxes = append(d.CacheBoxes, cbox)
+			boxes = append(boxes, mbox.Instance{Node: d.Caches[g], Model: cbox})
+		}
+	}
+
+	d.Net = &core.Network{
+		Topo:        t,
+		Boxes:       boxes,
+		Registry:    reg,
+		PolicyClass: policy,
+		FIBFor:      d.fibFor,
+	}
+	return d
+}
+
+// clientPrefixes returns the prefixes of group g's clients (home, plus the
+// guest /24 when guests exist).
+func (d *Datacenter) clientPrefixes(g int) []pkt.Prefix {
+	if d.Cfg.WithCaches {
+		return []pkt.Prefix{ClientPrefix(g), GuestPrefix(g)}
+	}
+	return []pkt.Prefix{ClientPrefix(g)}
+}
+
+func (d *Datacenter) correctACL() []mbox.ACLEntry {
+	var acl []mbox.ACLEntry
+	G := d.Cfg.Groups
+	if !d.Cfg.OpenGroups {
+		for a := 0; a < G; a++ {
+			for b := 0; b < G; b++ {
+				if a == b {
+					continue
+				}
+				for _, pa := range d.clientPrefixes(a) {
+					for _, pb := range d.clientPrefixes(b) {
+						acl = append(acl, mbox.DenyEntry(pa, pb))
+					}
+				}
+			}
+		}
+	}
+	if d.Cfg.WithCaches {
+		for g := 0; g < G; g++ {
+			for a := 0; a < G; a++ {
+				if a == g {
+					continue
+				}
+				for _, pa := range d.clientPrefixes(a) {
+					acl = append(acl,
+						mbox.DenyEntry(pa, PrivPrefix(g)),
+						mbox.DenyEntry(PrivPrefix(g), pa))
+				}
+			}
+		}
+	}
+	return acl
+}
+
+func (d *Datacenter) correctCacheACL() []mbox.ACLEntry {
+	var acl []mbox.ACLEntry
+	G := d.Cfg.Groups
+	for t := 0; t < G; t++ {
+		for a := 0; a < G; a++ {
+			if a == t {
+				continue
+			}
+			for _, pa := range d.clientPrefixes(a) {
+				acl = append(acl, mbox.DenyEntry(pa, PrivPrefix(t)))
+			}
+		}
+	}
+	return acl
+}
+
+// isolateGroupClass moves group g's hosts into a fresh singleton policy
+// class — the paper's observation that misconfiguration breaks symmetry
+// ("hosts affected by misconfigured firewall rules fall in their own
+// policy equivalence class").
+func (d *Datacenter) isolateGroupClass(g int) {
+	label := fmt.Sprintf("broken-%d", g)
+	for _, h := range d.Hosts[g] {
+		d.Net.PolicyClass[h] = label
+	}
+	if d.Cfg.WithCaches {
+		d.Net.PolicyClass[d.Guests[g]] = "guest-" + label
+	}
+}
+
+// fibFor builds the forwarding state for a failure scenario: inter-rack
+// traffic crosses fw then ids (primaries unless failed; §3.5's per-failure
+// tables route via the redundant instance).
+func (d *Datacenter) fibFor(sc topo.FailureScenario) tf.FIB {
+	fw := d.FW1
+	if sc.Failed(d.FW1) {
+		fw = d.FW2
+	}
+	ids := d.IDS1
+	idsFailed := sc.Failed(d.IDS1)
+	if idsFailed {
+		ids = d.IDS2
+	}
+	bypassIDS := idsFailed && d.BypassIDSUnderFailure
+
+	fib := tf.FIB{}
+	t := d.Net.Topo
+	G := d.Cfg.Groups
+
+	// Client racks.
+	for r := 0; r < G; r++ {
+		tor := d.ToR[r]
+		local := func(id topo.NodeID) {
+			n := t.Node(id)
+			p := pkt.HostPrefix(n.Addr)
+			if d.Cfg.WithCaches {
+				fib.Add(tor, tf.Rule{Match: p, In: d.Caches[r], Out: id, Priority: 40})
+				fib.Add(tor, tf.Rule{Match: p, In: topo.NodeNone, Out: d.Caches[r], Priority: 30})
+			} else {
+				fib.Add(tor, tf.Rule{Match: p, In: topo.NodeNone, Out: id, Priority: 30})
+			}
+		}
+		for _, h := range d.Hosts[r] {
+			local(h)
+		}
+		if d.Cfg.WithCaches {
+			local(d.Guests[(r+1)%G])
+			// Outbound: everything else through the cache, then up.
+			fib.Add(tor, tf.Rule{Match: pkt.Prefix{}, In: d.Caches[r], Out: d.Agg, Priority: 2})
+			fib.Add(tor, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: d.Caches[r], Priority: 1})
+		} else {
+			fib.Add(tor, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: d.Agg, Priority: 1})
+		}
+	}
+	// Server racks.
+	if d.Cfg.WithCaches {
+		for g := 0; g < G; g++ {
+			torS := d.ToRServer[g]
+			fib.Add(torS, tf.Rule{Match: pkt.HostPrefix(PrivateAddr(g)), In: topo.NodeNone, Out: d.Private[g], Priority: 30})
+			fib.Add(torS, tf.Rule{Match: pkt.HostPrefix(PublicAddr(g)), In: topo.NodeNone, Out: d.Public[g], Priority: 30})
+			fib.Add(torS, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: d.Agg, Priority: 1})
+		}
+	}
+	// Aggregation steering: per destination rack prefix, wildcard ingress
+	// goes to the firewall, firewall egress to the IDS, IDS egress to the
+	// destination rack.
+	steer := func(pfx pkt.Prefix, rack topo.NodeID) {
+		if bypassIDS {
+			fib.Add(d.Agg, tf.Rule{Match: pfx, In: fw, Out: rack, Priority: 50})
+		} else {
+			fib.Add(d.Agg, tf.Rule{Match: pfx, In: fw, Out: ids, Priority: 50})
+			fib.Add(d.Agg, tf.Rule{Match: pfx, In: ids, Out: rack, Priority: 50})
+		}
+		// Packets surfacing from the partner instances still route onward.
+		fib.Add(d.Agg, tf.Rule{Match: pfx, In: d.FW2, Out: ids, Priority: 45})
+		fib.Add(d.Agg, tf.Rule{Match: pfx, In: d.IDS2, Out: rack, Priority: 45})
+		fib.Add(d.Agg, tf.Rule{Match: pfx, In: topo.NodeNone, Out: fw, Priority: 10})
+	}
+	for g := 0; g < G; g++ {
+		steer(ClientPrefix(g), d.ToR[g])
+		if d.Cfg.WithCaches {
+			steer(GuestPrefix(g), d.ToR[(g-1+G)%G])
+			steer(PrivPrefix(g), d.ToRServer[g])
+			steer(PubPrefix(g), d.ToRServer[g])
+		}
+	}
+	return fib
+}
+
+// DeleteRandomDenyRules removes n random inter-group client deny entries
+// from both firewalls (the §5.1 "Incorrect Firewall Rules" injection) and
+// returns the affected (srcGroup, dstGroup) pairs.
+func (d *Datacenter) DeleteRandomDenyRules(rng *rand.Rand, n int) [][2]int {
+	var affected [][2]int
+	for k := 0; k < n; k++ {
+		// Candidate indexes: client↔client deny entries.
+		var cand []int
+		for i, e := range d.FWPrimary.ACL {
+			if isClientPrefix(e.Src) && isClientPrefix(e.Dst) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			break
+		}
+		idx := cand[rng.Intn(len(cand))]
+		e := d.FWPrimary.ACL[idx]
+		a, b := groupOfPrefix(e.Src), groupOfPrefix(e.Dst)
+		affected = append(affected, [2]int{a, b})
+		d.FWPrimary.ACL = append(d.FWPrimary.ACL[:idx], d.FWPrimary.ACL[idx+1:]...)
+		d.FWBackup.ACL = deleteMatching(d.FWBackup.ACL, e)
+		d.isolateGroupClass(a)
+		d.isolateGroupClass(b)
+	}
+	return affected
+}
+
+// DeleteBackupDenyRules removes n random client deny entries from the
+// backup firewall only (the §5.1 "Misconfigured Redundant Firewalls"
+// injection): the violation shows only when the primary fails.
+func (d *Datacenter) DeleteBackupDenyRules(rng *rand.Rand, n int) [][2]int {
+	var affected [][2]int
+	for k := 0; k < n; k++ {
+		var cand []int
+		for i, e := range d.FWBackup.ACL {
+			if isClientPrefix(e.Src) && isClientPrefix(e.Dst) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			break
+		}
+		idx := cand[rng.Intn(len(cand))]
+		e := d.FWBackup.ACL[idx]
+		a, b := groupOfPrefix(e.Src), groupOfPrefix(e.Dst)
+		affected = append(affected, [2]int{a, b})
+		d.FWBackup.ACL = append(d.FWBackup.ACL[:idx], d.FWBackup.ACL[idx+1:]...)
+		d.isolateGroupClass(a)
+		d.isolateGroupClass(b)
+	}
+	return affected
+}
+
+// DeleteCacheACLs removes rack r's cache entries protecting group target's
+// private content (the §5.2 injection).
+func (d *Datacenter) DeleteCacheACLs(r, target int) {
+	c := d.CacheBoxes[r]
+	var kept []mbox.ACLEntry
+	for _, e := range c.ACL {
+		if e.Dst.Matches(PrivateAddr(target)) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.ACL = kept
+}
+
+func deleteMatching(acl []mbox.ACLEntry, e mbox.ACLEntry) []mbox.ACLEntry {
+	out := acl[:0]
+	for _, x := range acl {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func groupOfPrefix(p pkt.Prefix) int { return int(p.Addr >> 16 & 0xff) }
+
+func isClientPrefix(p pkt.Prefix) bool {
+	kind := p.Addr >> 8 & 0xff
+	return kind == 0 || kind == 3
+}
+
+// IsolationInvariant is the §5.1 invariant between two groups: a
+// representative host of dstGroup must never hear from srcGroup.
+func (d *Datacenter) IsolationInvariant(srcGroup, dstGroup int) inv.Invariant {
+	return inv.SimpleIsolation{
+		Dst:     d.Hosts[dstGroup][0],
+		SrcAddr: HostAddr(srcGroup, 0),
+		Label:   fmt.Sprintf("iso g%d->g%d", srcGroup, dstGroup),
+	}
+}
+
+// TraversalInvariant is the §5.1 routing invariant: traffic from srcGroup
+// to dstGroup must cross one of the IDPS instances.
+func (d *Datacenter) TraversalInvariant(srcGroup, dstGroup int) inv.Invariant {
+	return inv.Traversal{
+		Dst:       d.Hosts[dstGroup][0],
+		SrcPrefix: ClientPrefix(srcGroup),
+		SrcAddr:   HostAddr(srcGroup, 0),
+		Vias:      []topo.NodeID{d.IDS1, d.IDS2},
+		Label:     fmt.Sprintf("trav g%d->g%d", srcGroup, dstGroup),
+	}
+}
+
+// DataIsolationInvariant is the §5.2 invariant: the guest client co-racked
+// with group target's clients must never receive data originating at
+// target's private server (the cache in their shared rack is the only
+// channel that could leak it).
+func (d *Datacenter) DataIsolationInvariant(target int) inv.Invariant {
+	G := d.Cfg.Groups
+	return inv.DataIsolation{
+		Dst:    d.Guests[(target+1)%G],
+		Origin: PrivateAddr(target),
+		Label:  fmt.Sprintf("data guest%d!origin=priv%d", (target+1)%G, target),
+	}
+}
+
+// AllIsolationInvariants enumerates one isolation invariant per ordered
+// group pair (the "all invariants" sweep of Fig 3).
+func (d *Datacenter) AllIsolationInvariants() []inv.Invariant {
+	var out []inv.Invariant
+	for a := 0; a < d.Cfg.Groups; a++ {
+		for b := 0; b < d.Cfg.Groups; b++ {
+			if a != b {
+				out = append(out, d.IsolationInvariant(a, b))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func TestDatacenterCorrectConfigHolds(t *testing.T) {
+	d := NewDatacenter(DCConfig{Groups: 3, HostsPerGroup: 2})
+	v, err := core.NewVerifier(d.Net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := v.VerifyInvariant(d.IsolationInvariant(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if !r.Satisfied {
+		t.Fatalf("correctly configured datacenter should satisfy isolation: %+v trace=%v", r, r.Result.Trace)
+	}
+	if r.Whole {
+		t.Fatal("slicing should apply")
+	}
+	if r.SliceHosts > 4 || r.SliceBoxes > 3 {
+		t.Fatalf("slice unexpectedly large: hosts=%d boxes=%d", r.SliceHosts, r.SliceBoxes)
+	}
+}
+
+func TestDatacenterRulesScenario(t *testing.T) {
+	d := NewDatacenter(DCConfig{Groups: 3, HostsPerGroup: 2})
+	rng := rand.New(rand.NewSource(42))
+	affected := d.DeleteRandomDenyRules(rng, 1)
+	if len(affected) != 1 {
+		t.Fatalf("expected one deleted rule, got %v", affected)
+	}
+	a, b := affected[0][0], affected[0][1]
+	v, _ := core.NewVerifier(d.Net, core.Options{})
+	// The invariant for the affected pair must now be violated.
+	rs, err := v.VerifyInvariant(d.IsolationInvariant(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatalf("deleted deny rule must violate isolation g%d->g%d", a, b)
+	}
+	// An unaffected pair still holds.
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			if x == y || (x == a && y == b) {
+				continue
+			}
+			// Skip pairs that share a group with the deleted rule in the
+			// reverse direction (reply traffic may leak).
+			if (x == b && y == a) || x == a || y == b {
+				continue
+			}
+			rs, err := v.VerifyInvariant(d.IsolationInvariant(x, y))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rs[0].Satisfied {
+				t.Fatalf("pair g%d->g%d should be unaffected (deleted g%d->g%d): %v",
+					x, y, a, b, rs[0].Result.Trace)
+			}
+		}
+	}
+}
+
+func TestDatacenterRedundancyScenario(t *testing.T) {
+	d := NewDatacenter(DCConfig{Groups: 3, HostsPerGroup: 1})
+	rng := rand.New(rand.NewSource(7))
+	affected := d.DeleteBackupDenyRules(rng, 1)
+	a, b := affected[0][0], affected[0][1]
+
+	// Healthy network: primary enforces, invariant holds.
+	v, _ := core.NewVerifier(d.Net, core.Options{})
+	rs, err := v.VerifyInvariant(d.IsolationInvariant(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatal("healthy network must hold (backup not in use)")
+	}
+
+	// Under primary-firewall failure the misconfigured backup leaks.
+	vf, _ := core.NewVerifier(d.Net, core.Options{
+		Scenarios: []topo.FailureScenario{topo.Failures(d.FW1)},
+	})
+	rs, err = vf.VerifyInvariant(d.IsolationInvariant(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatal("misconfigured backup must violate under failure")
+	}
+}
+
+func TestDatacenterTraversalScenario(t *testing.T) {
+	// Traversal is about permitted traffic: open the inter-group policy.
+	d := NewDatacenter(DCConfig{Groups: 3, HostsPerGroup: 1, OpenGroups: true})
+	inv01 := d.TraversalInvariant(0, 1)
+
+	// Healthy: holds in both scenarios.
+	v, _ := core.NewVerifier(d.Net, core.Options{
+		Scenarios: []topo.FailureScenario{topo.NoFailures(), topo.Failures(d.IDS1)},
+	})
+	rs, err := v.VerifyInvariant(inv01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Satisfied {
+			t.Fatalf("correct routing should keep traversal: %+v", r.Result.Outcome)
+		}
+	}
+
+	// Misconfigured rerouting bypasses the backup IDS when IDS1 is down.
+	d.BypassIDSUnderFailure = true
+	rs, err = v.VerifyInvariant(inv01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatal("fault-free scenario must still hold")
+	}
+	if rs[1].Satisfied {
+		t.Fatal("bypassing the IDS under failure must violate traversal")
+	}
+}
+
+func TestDatacenterCacheScenario(t *testing.T) {
+	d := NewDatacenter(DCConfig{Groups: 3, HostsPerGroup: 1, WithCaches: true})
+	target := 1
+	di := d.DataIsolationInvariant(target)
+
+	v, _ := core.NewVerifier(d.Net, core.Options{})
+	rs, err := v.VerifyInvariant(di)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatalf("correct cache ACLs must hold: %v", rs[0].Result.Trace)
+	}
+	if rs[0].SliceHosts <= 2 {
+		t.Fatalf("origin-agnostic slice should include policy-class representatives, got %d hosts", rs[0].SliceHosts)
+	}
+
+	// Delete the protective cache ACL in the shared rack: leak.
+	d.DeleteCacheACLs(target, target)
+	rs, err = v.VerifyInvariant(di)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatal("deleted cache ACL must leak private data")
+	}
+}
+
+func TestDatacenterSymmetryGrouping(t *testing.T) {
+	// Two policy tiers over four groups: invariants between equal tier
+	// pairs are symmetric and collapse.
+	d := NewDatacenter(DCConfig{Groups: 4, HostsPerGroup: 1, PolicyTiers: 2})
+	v, _ := core.NewVerifier(d.Net, core.Options{})
+	invs := d.AllIsolationInvariants() // 12 invariants over 4 groups
+	reports, err := v.VerifyAll(invs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for _, r := range reports {
+		if !r.Satisfied {
+			t.Fatalf("all invariants should hold: %s", r.Invariant.Name())
+		}
+		if r.Reused {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("symmetric groups should reuse verdicts")
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// SubnetKind is the §5.3.1 subnet taxonomy.
+type SubnetKind int
+
+// Subnet kinds, assigned round-robin (one third each, as in the paper).
+const (
+	PublicSubnet SubnetKind = iota
+	PrivateSubnet
+	QuarantinedSubnet
+)
+
+// KindOf returns subnet s's kind.
+func KindOf(s int) SubnetKind { return SubnetKind(s % 3) }
+
+// String names the kind.
+func (k SubnetKind) String() string {
+	switch k {
+	case PublicSubnet:
+		return "public"
+	case PrivateSubnet:
+		return "private"
+	default:
+		return "quarantined"
+	}
+}
+
+// EnterpriseConfig sizes the Fig 6 enterprise network.
+type EnterpriseConfig struct {
+	Subnets        int // total subnets; kinds assigned round-robin
+	HostsPerSubnet int // ≥ 1
+}
+
+// Enterprise is the Fig 6 network: Internet -> firewall -> gateway ->
+// subnets, with the stateful firewall enforcing the per-kind policies.
+type Enterprise struct {
+	Net *core.Network
+	Cfg EnterpriseConfig
+
+	Internet topo.NodeID
+	FWNode   topo.NodeID
+	GWNode   topo.NodeID
+	Hosts    [][]topo.NodeID // [subnet][i]
+	Firewall *mbox.LearningFirewall
+
+	inetAddr pkt.Addr
+}
+
+// SubnetPrefix returns subnet s's /16.
+func SubnetPrefix(s int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(s)<<16, Len: 16}
+}
+
+// SubnetHostAddr returns host i of subnet s.
+func SubnetHostAddr(s, i int) pkt.Addr { return SubnetPrefix(s).Addr | pkt.Addr(i+1) }
+
+// InternetAddr is the representative outside address.
+var InternetAddr = pkt.MustParseAddr("8.8.8.8")
+
+// NewEnterprise builds the Fig 6 network.
+func NewEnterprise(cfg EnterpriseConfig) *Enterprise {
+	if cfg.Subnets < 1 {
+		cfg.Subnets = 3
+	}
+	if cfg.HostsPerSubnet < 1 {
+		cfg.HostsPerSubnet = 1
+	}
+	e := &Enterprise{Cfg: cfg, inetAddr: InternetAddr}
+	t := topo.New()
+	e.Internet = t.AddExternal("internet", e.inetAddr)
+	swO := t.AddSwitch("swO")
+	e.FWNode = t.AddMiddlebox("fw", "firewall")
+	swM := t.AddSwitch("swM")
+	e.GWNode = t.AddMiddlebox("gw", "gateway")
+	swC := t.AddSwitch("swC")
+	t.AddLink(e.Internet, swO)
+	t.AddLink(swO, e.FWNode)
+	t.AddLink(e.FWNode, swM)
+	t.AddLink(swM, e.GWNode)
+	t.AddLink(e.GWNode, swC)
+
+	policy := map[topo.NodeID]string{e.Internet: "internet"}
+	var acl []mbox.ACLEntry
+	for s := 0; s < cfg.Subnets; s++ {
+		var hosts []topo.NodeID
+		for i := 0; i < cfg.HostsPerSubnet; i++ {
+			h := t.AddHost(fmt.Sprintf("h%d-%d", s, i), SubnetHostAddr(s, i))
+			t.AddLink(h, swC)
+			policy[h] = KindOf(s).String()
+			hosts = append(hosts, h)
+		}
+		e.Hosts = append(e.Hosts, hosts)
+		// §5.3.1 firewall policy, default deny:
+		switch KindOf(s) {
+		case PublicSubnet:
+			acl = append(acl,
+				mbox.AllowEntry(pkt.HostPrefix(e.inetAddr), SubnetPrefix(s)),
+				mbox.AllowEntry(SubnetPrefix(s), pkt.HostPrefix(e.inetAddr)))
+		case PrivateSubnet:
+			acl = append(acl,
+				mbox.AllowEntry(SubnetPrefix(s), pkt.HostPrefix(e.inetAddr)))
+		case QuarantinedSubnet:
+			// no entries: node-isolated
+		}
+	}
+	e.Firewall = &mbox.LearningFirewall{InstanceName: "fw", ACL: acl, DefaultAllow: false}
+
+	inside := pkt.Prefix{Addr: pkt.Addr(10) << 24, Len: 8}
+	fib := tf.FIB{}
+	fib.Add(swO, tf.Rule{Match: inside, In: e.Internet, Out: e.FWNode, Priority: 10})
+	fib.Add(swO, tf.Rule{Match: pkt.HostPrefix(e.inetAddr), In: e.FWNode, Out: e.Internet, Priority: 10})
+	fib.Add(e.FWNode, tf.Rule{Match: inside, In: topo.NodeNone, Out: swM, Priority: 10})
+	fib.Add(e.FWNode, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: swO, Priority: 5})
+	fib.Add(swM, tf.Rule{Match: inside, In: e.FWNode, Out: e.GWNode, Priority: 10})
+	fib.Add(swM, tf.Rule{Match: pkt.Prefix{}, In: e.GWNode, Out: e.FWNode, Priority: 5})
+	fib.Add(e.GWNode, tf.Rule{Match: inside, In: topo.NodeNone, Out: swC, Priority: 10})
+	fib.Add(e.GWNode, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: swM, Priority: 5})
+	for s := 0; s < cfg.Subnets; s++ {
+		for i, h := range e.Hosts[s] {
+			fib.Add(swC, tf.Rule{Match: pkt.HostPrefix(SubnetHostAddr(s, i)), In: topo.NodeNone, Out: h, Priority: 10})
+		}
+	}
+	fib.Add(swC, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: e.GWNode, Priority: 1})
+
+	e.Net = &core.Network{
+		Topo:        t,
+		Boxes:       []mbox.Instance{{Node: e.FWNode, Model: e.Firewall}, {Node: e.GWNode, Model: mbox.NewPassthrough("gw", "gateway")}},
+		Registry:    pkt.NewRegistry(),
+		PolicyClass: policy,
+		FIBFor:      func(topo.FailureScenario) tf.FIB { return fib },
+	}
+	return e
+}
+
+// Invariant returns the representative §5.3.1 invariant for subnet s:
+// public subnets must be reachable from outside, private subnets must be
+// flow-isolated, quarantined subnets must be node-isolated.
+func (e *Enterprise) Invariant(s int) inv.Invariant {
+	h := e.Hosts[s][0]
+	switch KindOf(s) {
+	case PublicSubnet:
+		return inv.Reachability{Dst: h, SrcAddr: e.inetAddr, Label: fmt.Sprintf("public-%d", s)}
+	case PrivateSubnet:
+		return inv.FlowIsolation{Dst: h, SrcAddr: e.inetAddr, Label: fmt.Sprintf("private-%d", s)}
+	default:
+		return inv.SimpleIsolation{Dst: h, SrcAddr: e.inetAddr, Label: fmt.Sprintf("quarantined-%d", s)}
+	}
+}
+
+// AllInvariants returns one invariant per subnet.
+func (e *Enterprise) AllInvariants() []inv.Invariant {
+	var out []inv.Invariant
+	for s := 0; s < e.Cfg.Subnets; s++ {
+		out = append(out, e.Invariant(s))
+	}
+	return out
+}

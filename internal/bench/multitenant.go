@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// MTConfig sizes the §5.3.2 multi-tenant datacenter.
+type MTConfig struct {
+	Tenants       int // ≥ 2
+	PubPerTenant  int // public VMs per tenant (≥ 1; paper uses 5)
+	PrivPerTenant int // private VMs per tenant (≥ 1; paper uses 5)
+}
+
+// MultiTenant is the EC2-security-group datacenter: each tenant's VMs sit
+// behind a virtual-switch stateful firewall enforcing the two-security-
+// group policy of §5.3.2.
+type MultiTenant struct {
+	Net *core.Network
+	Cfg MTConfig
+
+	VSwitchFW []topo.NodeID   // per-tenant vswitch firewall
+	PubVMs    [][]topo.NodeID // [tenant][i]
+	PrivVMs   [][]topo.NodeID
+	Firewalls []*mbox.LearningFirewall
+}
+
+// TenantPrefix is tenant t's /16.
+func TenantPrefix(t int) pkt.Prefix {
+	return pkt.Prefix{Addr: pkt.Addr(10)<<24 | pkt.Addr(t)<<16, Len: 16}
+}
+
+// TenantPubPrefix is tenant t's public security group /24.
+func TenantPubPrefix(t int) pkt.Prefix {
+	return pkt.Prefix{Addr: TenantPrefix(t).Addr, Len: 24}
+}
+
+// TenantPrivPrefix is tenant t's private security group /24.
+func TenantPrivPrefix(t int) pkt.Prefix {
+	return pkt.Prefix{Addr: TenantPrefix(t).Addr | 1<<8, Len: 24}
+}
+
+// PubVMAddr returns public VM i of tenant t.
+func PubVMAddr(t, i int) pkt.Addr { return TenantPubPrefix(t).Addr | pkt.Addr(i+1) }
+
+// PrivVMAddr returns private VM i of tenant t.
+func PrivVMAddr(t, i int) pkt.Addr { return TenantPrivPrefix(t).Addr | pkt.Addr(i+1) }
+
+// NewMultiTenant builds the network.
+func NewMultiTenant(cfg MTConfig) *MultiTenant {
+	if cfg.Tenants < 2 {
+		cfg.Tenants = 2
+	}
+	if cfg.PubPerTenant < 1 {
+		cfg.PubPerTenant = 1
+	}
+	if cfg.PrivPerTenant < 1 {
+		cfg.PrivPerTenant = 1
+	}
+	m := &MultiTenant{Cfg: cfg}
+	t := topo.New()
+	fab := t.AddSwitch("fabric")
+	policy := map[topo.NodeID]string{}
+
+	fib := tf.FIB{}
+	for tn := 0; tn < cfg.Tenants; tn++ {
+		sw := t.AddSwitch(fmt.Sprintf("sw%d", tn))
+		fw := t.AddMiddlebox(fmt.Sprintf("vfw%d", tn), "firewall")
+		t.AddLink(sw, fw)
+		t.AddLink(fw, fab)
+		m.VSwitchFW = append(m.VSwitchFW, fw)
+
+		var pubs, privs []topo.NodeID
+		for i := 0; i < cfg.PubPerTenant; i++ {
+			vm := t.AddHost(fmt.Sprintf("pub%d-%d", tn, i), PubVMAddr(tn, i))
+			t.AddLink(vm, sw)
+			policy[vm] = "pub"
+			pubs = append(pubs, vm)
+			fib.Add(sw, tf.Rule{Match: pkt.HostPrefix(PubVMAddr(tn, i)), In: topo.NodeNone, Out: vm, Priority: 10})
+		}
+		for i := 0; i < cfg.PrivPerTenant; i++ {
+			vm := t.AddHost(fmt.Sprintf("priv%d-%d", tn, i), PrivVMAddr(tn, i))
+			t.AddLink(vm, sw)
+			policy[vm] = "priv"
+			privs = append(privs, vm)
+			fib.Add(sw, tf.Rule{Match: pkt.HostPrefix(PrivVMAddr(tn, i)), In: topo.NodeNone, Out: vm, Priority: 10})
+		}
+		m.PubVMs = append(m.PubVMs, pubs)
+		m.PrivVMs = append(m.PrivVMs, privs)
+
+		// The vswitch firewall is dual-homed: tenant-bound traffic exits
+		// toward the tenant switch, the rest toward the fabric.
+		fib.Add(fw, tf.Rule{Match: TenantPrefix(tn), In: topo.NodeNone, Out: sw, Priority: 10})
+		fib.Add(fw, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: fab, Priority: 5})
+		fib.Add(sw, tf.Rule{Match: pkt.Prefix{}, In: topo.NodeNone, Out: fw, Priority: 1})
+		fib.Add(fab, tf.Rule{Match: TenantPrefix(tn), In: topo.NodeNone, Out: fw, Priority: 10})
+
+		// §5.3.2 security groups, default deny:
+		//   two rules for the public group (incoming/outgoing to anyone),
+		//   three for the private group (tenant-internal in/out, outgoing).
+		fwModel := &mbox.LearningFirewall{InstanceName: fmt.Sprintf("vfw%d", tn), ACL: []mbox.ACLEntry{
+			mbox.AllowEntry(pkt.Prefix{}, TenantPubPrefix(tn)),      // anyone -> public
+			mbox.AllowEntry(TenantPubPrefix(tn), pkt.Prefix{}),      // public -> anyone
+			mbox.AllowEntry(TenantPrefix(tn), TenantPrivPrefix(tn)), // tenant -> private
+			mbox.AllowEntry(TenantPrivPrefix(tn), TenantPrefix(tn)), // private -> tenant
+			mbox.AllowEntry(TenantPrivPrefix(tn), pkt.Prefix{}),     // private -> out
+		}}
+		m.Firewalls = append(m.Firewalls, fwModel)
+	}
+
+	boxes := make([]mbox.Instance, 0, cfg.Tenants)
+	for tn := 0; tn < cfg.Tenants; tn++ {
+		boxes = append(boxes, mbox.Instance{Node: m.VSwitchFW[tn], Model: m.Firewalls[tn]})
+	}
+	m.Net = &core.Network{
+		Topo:        t,
+		Boxes:       boxes,
+		Registry:    pkt.NewRegistry(),
+		PolicyClass: policy,
+		FIBFor:      func(topo.FailureScenario) tf.FIB { return fib },
+	}
+	return m
+}
+
+// PrivPrivInvariant: tenant b's private VM accepts no flows initiated by
+// tenant a's private VMs.
+func (m *MultiTenant) PrivPrivInvariant(a, b int) inv.Invariant {
+	return inv.FlowIsolation{Dst: m.PrivVMs[b][0], SrcAddr: PrivVMAddr(a, 0),
+		Label: fmt.Sprintf("priv%d-priv%d", a, b)}
+}
+
+// PubPrivInvariant: tenant b's private VM accepts no flows initiated by
+// tenant a's public VMs.
+func (m *MultiTenant) PubPrivInvariant(a, b int) inv.Invariant {
+	return inv.FlowIsolation{Dst: m.PrivVMs[b][0], SrcAddr: PubVMAddr(a, 0),
+		Label: fmt.Sprintf("pub%d-priv%d", a, b)}
+}
+
+// PrivPubInvariant: tenant a's private VMs can reach tenant b's public VMs.
+func (m *MultiTenant) PrivPubInvariant(a, b int) inv.Invariant {
+	return inv.Reachability{Dst: m.PubVMs[b][0], SrcAddr: PrivVMAddr(a, 0),
+		Label: fmt.Sprintf("priv%d-pub%d", a, b)}
+}

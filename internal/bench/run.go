@@ -1,0 +1,372 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Row is one measured point of a figure: a labelled x-value with repeated
+// timing samples (the paper reports min/5th/median/95th/max over 100 runs).
+type Row struct {
+	Label   string
+	X       int
+	Samples []time.Duration
+}
+
+// Percentile returns the p-th percentile (0..100) of the samples.
+func (r Row) Percentile(p float64) time.Duration {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), r.Samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Series is one reproduced figure.
+type Series struct {
+	Fig   string
+	Title string
+	Rows  []Row
+}
+
+// Print renders the series as a table (min / p5 / median / p95 / max).
+func (s Series) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", s.Fig, s.Title)
+	fmt.Fprintf(w, "%-28s %6s %10s %10s %10s %10s %10s\n", "series", "x", "min", "p5", "median", "p95", "max")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-28s %6d %10s %10s %10s %10s %10s\n",
+			r.Label, r.X,
+			r.Percentile(0).Round(time.Microsecond),
+			r.Percentile(5).Round(time.Microsecond),
+			r.Percentile(50).Round(time.Microsecond),
+			r.Percentile(95).Round(time.Microsecond),
+			r.Percentile(100).Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// timeIt runs f and returns its wall-clock duration.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func mustVerifier(net *core.Network, opts core.Options) *core.Verifier {
+	v, err := core.NewVerifier(net, opts)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func mustVerify(v *core.Verifier, i inv.Invariant) []core.Report {
+	rs, err := v.VerifyInvariant(i)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Fig2 reproduces Figure 2: time to verify a single invariant in the
+// datacenter for the three §5.1 scenarios, both when the invariant is
+// violated and when it holds.
+func Fig2(groups, runs int) Series {
+	s := Series{Fig: "fig2", Title: "time per invariant (datacenter scenarios), violated vs holds"}
+	collect := func(label string, f func(seed int64) time.Duration) {
+		row := Row{Label: label, X: groups}
+		for r := 0; r < runs; r++ {
+			row.Samples = append(row.Samples, f(int64(r)))
+		}
+		s.Rows = append(s.Rows, row)
+	}
+
+	collect("rules/violated", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1})
+		rng := rand.New(rand.NewSource(seed))
+		aff := d.DeleteRandomDenyRules(rng, 1)
+		v := mustVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed})
+		return timeIt(func() {
+			rs := mustVerify(v, d.IsolationInvariant(aff[0][0], aff[0][1]))
+			assertOutcome(rs[0], false)
+		})
+	})
+	collect("rules/holds", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1})
+		v := mustVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed})
+		return timeIt(func() {
+			rs := mustVerify(v, d.IsolationInvariant(0, 1))
+			assertOutcome(rs[0], true)
+		})
+	})
+	collect("redundancy/violated", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1})
+		rng := rand.New(rand.NewSource(seed))
+		aff := d.DeleteBackupDenyRules(rng, 1)
+		v := mustVerifier(d.Net, core.Options{
+			Engine:    core.EngineSAT,
+			Seed:      seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.FW1)},
+		})
+		return timeIt(func() {
+			rs := mustVerify(v, d.IsolationInvariant(aff[0][0], aff[0][1]))
+			assertOutcome(rs[0], false)
+		})
+	})
+	collect("redundancy/holds", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1})
+		v := mustVerifier(d.Net, core.Options{
+			Engine:    core.EngineSAT,
+			Seed:      seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.FW1)},
+		})
+		return timeIt(func() {
+			rs := mustVerify(v, d.IsolationInvariant(0, 1))
+			assertOutcome(rs[0], true)
+		})
+	})
+	collect("traversal/violated", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1, OpenGroups: true})
+		d.BypassIDSUnderFailure = true
+		v := mustVerifier(d.Net, core.Options{
+			Engine:    core.EngineSAT,
+			Seed:      seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.IDS1)},
+		})
+		return timeIt(func() {
+			rs := mustVerify(v, d.TraversalInvariant(0, 1))
+			assertOutcome(rs[0], false)
+		})
+	})
+	collect("traversal/holds", func(seed int64) time.Duration {
+		d := NewDatacenter(DCConfig{Groups: groups, HostsPerGroup: 1, OpenGroups: true})
+		v := mustVerifier(d.Net, core.Options{
+			Engine:    core.EngineSAT,
+			Seed:      seed,
+			Scenarios: []topo.FailureScenario{topo.Failures(d.IDS1)},
+		})
+		return timeIt(func() {
+			rs := mustVerify(v, d.TraversalInvariant(0, 1))
+			assertOutcome(rs[0], true)
+		})
+	})
+	return s
+}
+
+func assertOutcome(r core.Report, wantSatisfied bool) {
+	if r.Satisfied != wantSatisfied {
+		panic(fmt.Sprintf("bench: unexpected verdict for %s: satisfied=%v (want %v), outcome=%v",
+			r.Invariant.Name(), r.Satisfied, wantSatisfied, r.Result.Outcome))
+	}
+}
+
+// Fig3 reproduces Figure 3: time to verify all (per-class) isolation
+// invariants as policy complexity grows; symmetry collapses nothing here
+// because every class is distinct.
+func Fig3(classCounts []int, runs int) Series {
+	s := Series{Fig: "fig3", Title: "time to verify all invariants vs policy classes"}
+	for _, c := range classCounts {
+		row := Row{Label: "all-invariants", X: c}
+		for r := 0; r < runs; r++ {
+			d := NewDatacenter(DCConfig{Groups: c, HostsPerGroup: 1})
+			v := mustVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(r)})
+			// One representative invariant per policy class (see
+			// EXPERIMENTS.md): class i isolated from class i+1.
+			var invs []inv.Invariant
+			for g := 0; g < c; g++ {
+				invs = append(invs, d.IsolationInvariant(g, (g+1)%c))
+			}
+			row.Samples = append(row.Samples, timeIt(func() {
+				if _, err := v.VerifyAll(invs, true); err != nil {
+					panic(err)
+				}
+			}))
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// Fig4 reproduces Figure 4: per-invariant data-isolation time as policy
+// complexity grows (origin-agnostic caches make slices grow with classes).
+func Fig4(classCounts []int, runs int) Series {
+	s := Series{Fig: "fig4", Title: "data isolation: time per invariant vs policy classes"}
+	for _, c := range classCounts {
+		forRow := func(label string, mutate func(*Datacenter), wantSat bool) {
+			row := Row{Label: label, X: c}
+			for r := 0; r < runs; r++ {
+				d := NewDatacenter(DCConfig{Groups: c, HostsPerGroup: 1, WithCaches: true})
+				mutate(d)
+				v := mustVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(r)})
+				row.Samples = append(row.Samples, timeIt(func() {
+					rs := mustVerify(v, d.DataIsolationInvariant(0))
+					assertOutcome(rs[0], wantSat)
+				}))
+			}
+			s.Rows = append(s.Rows, row)
+		}
+		forRow("holds", func(*Datacenter) {}, true)
+		forRow("violated", func(d *Datacenter) { d.DeleteCacheACLs(0, 0) }, false)
+	}
+	return s
+}
+
+// Fig5 reproduces Figure 5: time to verify all data-isolation invariants.
+func Fig5(classCounts []int, runs int) Series {
+	s := Series{Fig: "fig5", Title: "data isolation: all invariants vs policy classes"}
+	for _, c := range classCounts {
+		row := Row{Label: "all-data-isolation", X: c}
+		for r := 0; r < runs; r++ {
+			d := NewDatacenter(DCConfig{Groups: c, HostsPerGroup: 1, WithCaches: true})
+			v := mustVerifier(d.Net, core.Options{Engine: core.EngineSAT, Seed: int64(r)})
+			var invs []inv.Invariant
+			for g := 0; g < c; g++ {
+				invs = append(invs, d.DataIsolationInvariant(g))
+			}
+			row.Samples = append(row.Samples, timeIt(func() {
+				if _, err := v.VerifyAll(invs, true); err != nil {
+					panic(err)
+				}
+			}))
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// Fig7 reproduces Figure 7: enterprise per-invariant verification time —
+// a constant-size slice vs whole-network verification growing with size.
+func Fig7(subnetCounts []int, runs int) Series {
+	s := Series{Fig: "fig7", Title: "enterprise: slice (flat) vs whole network (grows)"}
+	kinds := []struct {
+		name   string
+		subnet func(e *Enterprise) int
+	}{
+		{"public", func(*Enterprise) int { return 0 }},
+		{"private", func(*Enterprise) int { return 1 }},
+		{"quarantined", func(*Enterprise) int { return 2 }},
+	}
+	for _, mode := range []struct {
+		label    string
+		noSlices bool
+	}{{"slice", false}, {"whole", true}} {
+		for _, n := range subnetCounts {
+			if !mode.noSlices && n != subnetCounts[0] {
+				continue // slice time is size-independent: one x suffices
+			}
+			for _, k := range kinds {
+				row := Row{Label: k.name + "/" + mode.label, X: n}
+				for r := 0; r < runs; r++ {
+					e := NewEnterprise(EnterpriseConfig{Subnets: n, HostsPerSubnet: 1})
+					v := mustVerifier(e.Net, core.Options{
+						Engine: core.EngineSAT, Seed: int64(r), NoSlices: mode.noSlices,
+					})
+					iv := e.Invariant(k.subnet(e))
+					row.Samples = append(row.Samples, timeIt(func() { mustVerify(v, iv) }))
+				}
+				s.Rows = append(s.Rows, row)
+			}
+		}
+	}
+	return s
+}
+
+// Fig8 reproduces Figure 8: multi-tenant datacenter per-invariant time,
+// slice vs whole network as tenants grow.
+func Fig8(tenantCounts []int, runs int) Series {
+	s := Series{Fig: "fig8", Title: "multi-tenant: slice (flat) vs whole network (grows)"}
+	kinds := []struct {
+		name string
+		mk   func(m *MultiTenant) inv.Invariant
+	}{
+		{"priv-priv", func(m *MultiTenant) inv.Invariant { return m.PrivPrivInvariant(0, 1) }},
+		{"pub-priv", func(m *MultiTenant) inv.Invariant { return m.PubPrivInvariant(0, 1) }},
+		{"priv-pub", func(m *MultiTenant) inv.Invariant { return m.PrivPubInvariant(0, 1) }},
+	}
+	for _, mode := range []struct {
+		label    string
+		noSlices bool
+	}{{"slice", false}, {"whole", true}} {
+		for _, n := range tenantCounts {
+			if !mode.noSlices && n != tenantCounts[0] {
+				continue
+			}
+			for _, k := range kinds {
+				row := Row{Label: k.name + "/" + mode.label, X: n}
+				for r := 0; r < runs; r++ {
+					m := NewMultiTenant(MTConfig{Tenants: n, PubPerTenant: 2, PrivPerTenant: 2})
+					v := mustVerifier(m.Net, core.Options{
+						Engine: core.EngineSAT, Seed: int64(r), NoSlices: mode.noSlices,
+					})
+					iv := k.mk(m)
+					row.Samples = append(row.Samples, timeIt(func() { mustVerify(v, iv) }))
+				}
+				s.Rows = append(s.Rows, row)
+			}
+		}
+	}
+	return s
+}
+
+// Fig9b reproduces Figure 9b: ISP per-invariant time vs number of subnets
+// (5 peering points in the paper; laptop-scaled here).
+func Fig9b(peerings int, subnetCounts []int, runs int) Series {
+	s := Series{Fig: "fig9b", Title: "ISP: per-invariant time vs subnets, slice vs whole"}
+	for _, mode := range []struct {
+		label    string
+		noSlices bool
+	}{{"slice", false}, {"whole", true}} {
+		for _, n := range subnetCounts {
+			if !mode.noSlices && n != subnetCounts[0] {
+				continue
+			}
+			row := Row{Label: "private/" + mode.label, X: n}
+			for r := 0; r < runs; r++ {
+				isp := NewISP(ISPConfig{Peerings: peerings, Subnets: n})
+				v := mustVerifier(isp.Net, core.Options{
+					Engine: core.EngineSAT, Seed: int64(r), NoSlices: mode.noSlices,
+				})
+				iv := isp.Invariant(1, 0) // private subnet at peer 0
+				row.Samples = append(row.Samples, timeIt(func() { mustVerify(v, iv) }))
+			}
+			s.Rows = append(s.Rows, row)
+		}
+	}
+	return s
+}
+
+// Fig9c reproduces Figure 9c: ISP per-invariant time vs peering points
+// (75 subnets in the paper; laptop-scaled here).
+func Fig9c(subnets int, peeringCounts []int, runs int) Series {
+	s := Series{Fig: "fig9c", Title: "ISP: per-invariant time vs peering points, slice vs whole"}
+	for _, mode := range []struct {
+		label    string
+		noSlices bool
+	}{{"slice", false}, {"whole", true}} {
+		for _, p := range peeringCounts {
+			if !mode.noSlices && p != peeringCounts[0] {
+				continue
+			}
+			row := Row{Label: "private/" + mode.label, X: p}
+			for r := 0; r < runs; r++ {
+				isp := NewISP(ISPConfig{Peerings: p, Subnets: subnets})
+				v := mustVerifier(isp.Net, core.Options{
+					Engine: core.EngineSAT, Seed: int64(r), NoSlices: mode.noSlices,
+				})
+				iv := isp.Invariant(1, 0)
+				row.Samples = append(row.Samples, timeIt(func() { mustVerify(v, iv) }))
+			}
+			s.Rows = append(s.Rows, row)
+		}
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRowPercentiles(t *testing.T) {
+	r := Row{Samples: []time.Duration{5, 1, 3, 2, 4}}
+	if r.Percentile(0) != 1 || r.Percentile(100) != 5 {
+		t.Fatalf("min/max wrong: %v %v", r.Percentile(0), r.Percentile(100))
+	}
+	if r.Percentile(50) != 3 {
+		t.Fatalf("median wrong: %v", r.Percentile(50))
+	}
+	empty := Row{}
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty row percentile should be 0")
+	}
+}
+
+func TestSeriesPrint(t *testing.T) {
+	s := Series{Fig: "figX", Title: "test", Rows: []Row{{Label: "a", X: 1, Samples: []time.Duration{time.Millisecond}}}}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "a") {
+		t.Fatalf("print output wrong: %s", out)
+	}
+}
+
+// Smoke-run every figure at minimum size: exercises all the generators
+// and verifies the verdict assertions built into the runners.
+func TestFigureRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke test")
+	}
+	series := []Series{
+		Fig2(3, 1),
+		Fig3([]int{3, 4}, 1),
+		Fig4([]int{3}, 1),
+		Fig5([]int{3}, 1),
+		Fig7([]int{3, 6}, 1),
+		Fig8([]int{2, 3}, 1),
+		Fig9b(1, []int{3, 6}, 1),
+		Fig9c(3, []int{1, 2}, 1),
+	}
+	for _, s := range series {
+		if len(s.Rows) == 0 {
+			t.Fatalf("%s produced no rows", s.Fig)
+		}
+		for _, r := range s.Rows {
+			if len(r.Samples) == 0 {
+				t.Fatalf("%s row %q has no samples", s.Fig, r.Label)
+			}
+		}
+	}
+}
+
+// The headline scaling claim: slice verification time is independent of
+// network size while whole-network verification grows. Checked on the
+// enterprise sweep with a generous factor to stay robust on CI noise.
+func TestSlicingScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	s := Fig7([]int{3, 12}, 3)
+	var sliceT, wholeSmall, wholeBig time.Duration
+	for _, r := range s.Rows {
+		if r.Label == "private/slice" {
+			sliceT = r.Percentile(50)
+		}
+		if r.Label == "private/whole" && r.X == 3 {
+			wholeSmall = r.Percentile(50)
+		}
+		if r.Label == "private/whole" && r.X == 12 {
+			wholeBig = r.Percentile(50)
+		}
+	}
+	if sliceT == 0 || wholeSmall == 0 || wholeBig == 0 {
+		t.Fatalf("missing rows: %v", s.Rows)
+	}
+	if wholeBig <= wholeSmall {
+		t.Logf("warning: whole-network time did not grow (%v vs %v): timing noise?", wholeSmall, wholeBig)
+	}
+	if sliceT > wholeBig {
+		t.Fatalf("slice verification (%v) should not be slower than whole-network at size 12 (%v)", sliceT, wholeBig)
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+func anyPrefix() pkt.Prefix { return pkt.Prefix{} }
+
+// allowPair returns a single allow entry src->dst.
+func allowPair(src, dst pkt.Prefix) []mbox.ACLEntry {
+	return []mbox.ACLEntry{mbox.AllowEntry(src, dst)}
+}
+
+// allowBoth opens both directions between the subnet and the Internet.
+func allowBoth(p pkt.Prefix) []mbox.ACLEntry {
+	return []mbox.ACLEntry{
+		mbox.AllowEntry(pkt.HostPrefix(InternetAddr), p),
+		mbox.AllowEntry(p, pkt.HostPrefix(InternetAddr)),
+	}
+}
+
+// outboundReach checks that subnet s can reach the Internet.
+func outboundReach(e *Enterprise, s int) inv.Invariant {
+	return inv.Reachability{Dst: e.Internet, SrcAddr: SubnetHostAddr(s, 0), Label: "outbound"}
+}
+
+// outboundIso checks that subnet s can never reach the Internet.
+func outboundIso(e *Enterprise, s int) inv.Invariant {
+	return inv.SimpleIsolation{Dst: e.Internet, SrcAddr: SubnetHostAddr(s, 0), Label: "outbound-iso"}
+}
+
+func TestEnterpriseInvariants(t *testing.T) {
+	e := NewEnterprise(EnterpriseConfig{Subnets: 6, HostsPerSubnet: 1})
+	v, err := core.NewVerifier(e.Net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < e.Cfg.Subnets; s++ {
+		rs, err := v.VerifyInvariant(e.Invariant(s))
+		if err != nil {
+			t.Fatalf("subnet %d: %v", s, err)
+		}
+		if !rs[0].Satisfied {
+			t.Fatalf("subnet %d (%s) should satisfy its invariant: outcome=%v trace=%v",
+				s, KindOf(s), rs[0].Result.Outcome, rs[0].Result.Trace)
+		}
+		if rs[0].Whole {
+			t.Fatalf("subnet %d: slicing should apply", s)
+		}
+	}
+}
+
+func TestEnterpriseQuarantineBreach(t *testing.T) {
+	e := NewEnterprise(EnterpriseConfig{Subnets: 3, HostsPerSubnet: 1})
+	// Misconfiguration: an allow rule accidentally covering a quarantined
+	// subnet (subnet 2 is quarantined under round-robin).
+	e.Firewall.ACL = append(e.Firewall.ACL,
+		allowBoth(SubnetPrefix(2))...,
+	)
+	v, _ := core.NewVerifier(e.Net, core.Options{})
+	rs, err := v.VerifyInvariant(e.Invariant(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatal("quarantine must be breached by the stray allow rule")
+	}
+}
+
+func TestEnterprisePrivateCannotBeReachedButCanReachOut(t *testing.T) {
+	e := NewEnterprise(EnterpriseConfig{Subnets: 3, HostsPerSubnet: 1})
+	v, _ := core.NewVerifier(e.Net, core.Options{})
+	// Subnet 1 is private: flow isolation holds (tested above); also
+	// verify the positive direction — outbound reachability to the
+	// Internet.
+	rs, err := v.VerifyInvariant(outboundReach(e, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatal("private subnet must reach the Internet")
+	}
+	// And quarantined subnet 2 must NOT reach the Internet.
+	rs, err = v.VerifyInvariant(outboundIso(e, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatalf("quarantined subnet must not reach the Internet: %v", rs[0].Result.Trace)
+	}
+}
+
+func TestMultiTenantInvariants(t *testing.T) {
+	m := NewMultiTenant(MTConfig{Tenants: 3, PubPerTenant: 2, PrivPerTenant: 2})
+	v, err := core.NewVerifier(m.Net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checks for one tenant pair (others are symmetric).
+	for _, tc := range []struct {
+		label string
+		rs    func() ([]core.Report, error)
+	}{
+		{"priv-priv", func() ([]core.Report, error) { return v.VerifyInvariant(m.PrivPrivInvariant(0, 1)) }},
+		{"pub-priv", func() ([]core.Report, error) { return v.VerifyInvariant(m.PubPrivInvariant(0, 1)) }},
+		{"priv-pub", func() ([]core.Report, error) { return v.VerifyInvariant(m.PrivPubInvariant(0, 1)) }},
+	} {
+		rs, err := tc.rs()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if !rs[0].Satisfied {
+			t.Fatalf("%s should be satisfied: outcome=%v trace=%v",
+				tc.label, rs[0].Result.Outcome, rs[0].Result.Trace)
+		}
+	}
+}
+
+func TestMultiTenantMisconfiguredGroupLeaks(t *testing.T) {
+	m := NewMultiTenant(MTConfig{Tenants: 2, PubPerTenant: 1, PrivPerTenant: 1})
+	// Misconfiguration: tenant 1's firewall accidentally allows anyone to
+	// reach the private group.
+	m.Firewalls[1].ACL = append(m.Firewalls[1].ACL,
+		allowPair(anyPrefix(), TenantPrivPrefix(1))...)
+	v, _ := core.NewVerifier(m.Net, core.Options{})
+	rs, err := v.VerifyInvariant(m.PrivPrivInvariant(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatal("stray allow-all must violate priv-priv flow isolation")
+	}
+}
+
+func TestISPInvariants(t *testing.T) {
+	isp := NewISP(ISPConfig{Peerings: 2, Subnets: 3})
+	v, err := core.NewVerifier(isp.Net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		rs, err := v.VerifyInvariant(isp.Invariant(s, 0))
+		if err != nil {
+			t.Fatalf("subnet %d: %v", s, err)
+		}
+		if !rs[0].Satisfied {
+			t.Fatalf("subnet %d (%s) should hold: outcome=%v trace=%v",
+				s, KindOf(s), rs[0].Result.Outcome, rs[0].Result.Trace)
+		}
+	}
+}
+
+func TestISPScrubberBypassViolation(t *testing.T) {
+	isp := NewISP(ISPConfig{Peerings: 2, Subnets: 3, ScrubberBypassesFW: true})
+	v, _ := core.NewVerifier(isp.Net, core.Options{})
+	// Private subnet 1: rerouted-but-clean traffic bypasses the firewalls
+	// and reaches it — the §5.3.3 violation.
+	rs, err := v.VerifyInvariant(isp.Invariant(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Satisfied {
+		t.Fatal("scrubber bypass must violate private flow isolation")
+	}
+	// Public subnet 0 remains fine (it accepts outside traffic anyway).
+	rs, err = v.VerifyInvariant(isp.Invariant(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Satisfied {
+		t.Fatal("public subnet unaffected by the bypass")
+	}
+}

@@ -1,0 +1,402 @@
+// Package core assembles VMN: it takes a network description (topology,
+// per-failure-scenario forwarding state, middlebox instances, policy
+// classes), an invariant set, and produces verdicts. It implements the
+// paper's §4 scaling machinery — slicing to keep per-invariant work
+// independent of network size, and symmetry to verify one representative
+// per policy-equivalent invariant group — and dispatches bounded
+// verification to the SAT-based engine (internal/encode, the Z3 analogue)
+// or the explicit-state engine (internal/explore).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netverify/vmn/internal/encode"
+	"github.com/netverify/vmn/internal/explore"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/slices"
+	"github.com/netverify/vmn/internal/symmetry"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Network is a complete VMN input: topology plus configuration.
+type Network struct {
+	Topo     *topo.Topology
+	Boxes    []mbox.Instance
+	Registry *pkt.Registry
+	// PolicyClass labels each host/external node with its policy
+	// equivalence class (§4.1); unlabeled nodes are singletons.
+	PolicyClass map[topo.NodeID]string
+	// FIBFor maps a failure scenario to the forwarding state the static
+	// datapath uses in that scenario (§3.5's failure-condition → transfer
+	// function mapping). It must at least handle topo.NoFailures().
+	FIBFor func(topo.FailureScenario) tf.FIB
+}
+
+// EngineKind selects the verification backend.
+type EngineKind int8
+
+// Engine kinds.
+const (
+	// EngineAuto uses the SAT engine when every middlebox is encodable and
+	// falls back to the explicit engine otherwise.
+	EngineAuto EngineKind = iota
+	// EngineSAT forces the bounded-model-checking (Z3-analogue) backend.
+	EngineSAT
+	// EngineExplicit forces the explicit-state backend.
+	EngineExplicit
+)
+
+// String names the engine.
+func (e EngineKind) String() string {
+	switch e {
+	case EngineSAT:
+		return "sat"
+	case EngineExplicit:
+		return "explicit"
+	default:
+		return "auto"
+	}
+}
+
+// Options tune verification.
+type Options struct {
+	Engine EngineKind
+	// NoSlices disables §4.1 slicing: every invariant is verified against
+	// the whole network (the paper's baseline mode in Figs. 7–9).
+	NoSlices bool
+	// MaxSends overrides the schedule bound (0 = per-invariant default).
+	MaxSends int
+	// Scenarios are the failure scenarios to verify under; empty means
+	// just the fault-free network.
+	Scenarios []topo.FailureScenario
+	// Seed / RandomBranchFreq / MaxConflicts configure the SAT engine.
+	Seed             int64
+	RandomBranchFreq float64
+	MaxConflicts     int64
+	// MaxStates bounds the explicit engine.
+	MaxStates int
+}
+
+// Report is the verdict for one (invariant, scenario) pair.
+type Report struct {
+	Invariant inv.Invariant
+	Scenario  topo.FailureScenario
+	Result    inv.Result
+	// Satisfied compares the outcome against the invariant's expectation.
+	Satisfied bool
+	// SliceHosts/SliceBoxes are the verified subnetwork's size; Whole
+	// marks that no proper slice was available (or slicing was disabled).
+	SliceHosts int
+	SliceBoxes int
+	Whole      bool
+	Engine     string
+	Duration   time.Duration
+	// Reused marks verdicts inherited from a symmetry-group representative.
+	Reused bool
+}
+
+// Verifier verifies invariants over a network.
+type Verifier struct {
+	net  *Network
+	opts Options
+}
+
+// NewVerifier builds a verifier; opts zero value means defaults (auto
+// engine, slicing on, fault-free scenario).
+func NewVerifier(net *Network, opts Options) (*Verifier, error) {
+	if net.Topo == nil || net.FIBFor == nil {
+		return nil, fmt.Errorf("core: network needs a topology and a FIB provider")
+	}
+	if net.Registry == nil {
+		net.Registry = pkt.NewRegistry()
+	}
+	return &Verifier{net: net, opts: opts}, nil
+}
+
+// Network returns the verifier's network.
+func (v *Verifier) Network() *Network { return v.net }
+
+func (v *Verifier) scenarios() []topo.FailureScenario {
+	if len(v.opts.Scenarios) == 0 {
+		return []topo.FailureScenario{topo.NoFailures()}
+	}
+	return v.opts.Scenarios
+}
+
+// VerifyInvariant verifies one invariant under every configured failure
+// scenario and returns one report per scenario.
+func (v *Verifier) VerifyInvariant(i inv.Invariant) ([]Report, error) {
+	var out []Report
+	for _, sc := range v.scenarios() {
+		r, err := v.verifyOne(i, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VerifyAll verifies a set of invariants, optionally collapsing symmetric
+// invariants to one representative check (§4.2). Reports for non-
+// representative members are copies marked Reused.
+func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, error) {
+	var out []Report
+	if !useSymmetry {
+		for _, i := range invs {
+			rs, err := v.VerifyInvariant(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	}
+	cls := symmetry.Classifier{HostClass: v.net.PolicyClass, Topo: v.net.Topo}
+	groups := symmetry.Groups(cls, invs)
+	for _, g := range groups {
+		rs, err := v.VerifyInvariant(g.Representative)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+		for _, m := range g.Members {
+			if m == g.Representative {
+				continue
+			}
+			for _, r := range rs {
+				cp := r
+				cp.Invariant = m
+				cp.Reused = true
+				cp.Duration = 0
+				out = append(out, cp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// verifyOne runs one (invariant, scenario) check.
+func (v *Verifier) verifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, error) {
+	start := time.Now()
+	engine := tf.New(v.net.Topo, v.net.FIBFor(sc), sc)
+
+	// Keep set: invariant nodes plus owners of referenced addresses.
+	keep := append([]topo.NodeID(nil), i.Nodes()...)
+	for _, a := range i.RefAddrs() {
+		if n, ok := v.net.Topo.HostByAddr(a); ok {
+			keep = append(keep, n.ID)
+		}
+	}
+
+	var sl slices.Result
+	if v.opts.NoSlices {
+		sl = wholeSlice(v.net)
+	} else {
+		var err error
+		sl, err = slices.Compute(slices.Input{
+			Topo:        v.net.Topo,
+			TF:          engine,
+			Boxes:       v.net.Boxes,
+			PolicyClass: v.net.PolicyClass,
+			Keep:        keep,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	prob := &inv.Problem{
+		Topo:      v.net.Topo,
+		TF:        engine,
+		Boxes:     sl.Boxes,
+		Registry:  v.net.Registry,
+		Samples:   v.genSamples(i, sl, keep),
+		MaxSends:  v.maxSends(i, sl),
+		Scenario:  sc,
+		Invariant: i,
+	}
+
+	res, engName, err := v.dispatch(prob)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Invariant:  i,
+		Scenario:   sc,
+		Result:     res,
+		SliceHosts: len(sl.Hosts),
+		SliceBoxes: len(sl.Boxes),
+		Whole:      sl.Whole || v.opts.NoSlices,
+		Engine:     engName,
+		Duration:   time.Since(start),
+	}
+	switch res.Outcome {
+	case inv.Holds:
+		rep.Satisfied = i.Expectation()
+	case inv.Violated:
+		rep.Satisfied = !i.Expectation()
+	default:
+		rep.Satisfied = false
+	}
+	return rep, nil
+}
+
+func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
+	encOpts := encode.Options{
+		Seed:              v.opts.Seed,
+		RandomBranchFreq:  v.opts.RandomBranchFreq,
+		MaxConflicts:      v.opts.MaxConflicts,
+		GroundAllReadKeys: v.opts.NoSlices,
+	}
+	expOpts := explore.Options{MaxStates: v.opts.MaxStates}
+	switch v.opts.Engine {
+	case EngineSAT:
+		r, err := encode.Verify(p, encOpts)
+		return r, "sat", err
+	case EngineExplicit:
+		r, err := explore.Verify(p, expOpts)
+		return r, "explicit", err
+	default:
+		if encodable(p) {
+			r, err := encode.Verify(p, encOpts)
+			if err == nil {
+				return r, "sat", nil
+			}
+		}
+		r, err := explore.Verify(p, expOpts)
+		return r, "explicit", err
+	}
+}
+
+// encodable reports whether every middlebox in the problem fits the SAT
+// engine's boolean-state encoding.
+func encodable(p *inv.Problem) bool {
+	for _, b := range p.Boxes {
+		st := b.Model.InitState()
+		keys, ok := mbox.SetStateKeys(st)
+		if !ok {
+			return false
+		}
+		if _, isReader := b.Model.(mbox.KeyReader); !isReader && len(keys) > 0 {
+			return false
+		}
+		// Nondeterministic models (load balancers) are detected lazily by
+		// the engine itself; the common case is caught here.
+		if _, isLB := b.Model.(*mbox.LoadBalancer); isLB {
+			return false
+		}
+	}
+	return true
+}
+
+// maxSends picks the schedule bound: enough steps for the longest causal
+// witness the invariant class needs (request, fill, probe, reply), plus
+// the caller's override.
+func (v *Verifier) maxSends(i inv.Invariant, sl slices.Result) int {
+	if v.opts.MaxSends > 0 {
+		return v.opts.MaxSends
+	}
+	hasCache := false
+	for _, b := range sl.Boxes {
+		if b.Model.Discipline() == mbox.OriginAgnostic {
+			hasCache = true
+		}
+	}
+	switch i.(type) {
+	case inv.DataIsolation:
+		return 4
+	case inv.Traversal:
+		return 2
+	default:
+		if hasCache {
+			return 4
+		}
+		return 3
+	}
+}
+
+// genSamples builds the finite packet alphabet for a problem: for every
+// ordered pair of slice hosts an "initiate" and a "respond" flow, plus
+// content request/response samples when the invariant or slice involves
+// caches. In whole-network mode (sl.Whole) only pairs touching the keep
+// set are generated — other pairs cannot influence the invariant, but the
+// whole network's middlebox axioms are still grounded by the engine.
+func (v *Verifier) genSamples(i inv.Invariant, sl slices.Result, keep []topo.NodeID) []inv.Sample {
+	var out []inv.Sample
+	seen := map[pkt.Header]bool{}
+	add := func(sender topo.NodeID, h pkt.Header) {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, inv.Sample{Sender: sender, Hdr: h})
+		}
+	}
+	keepSet := map[topo.NodeID]bool{}
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	hosts := sl.Hosts
+	for _, a := range hosts {
+		na := v.net.Topo.Node(a)
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			if sl.Whole && !keepSet[a] && !keepSet[b] {
+				continue
+			}
+			nb := v.net.Topo.Node(b)
+			add(a, pkt.Header{Src: na.Addr, Dst: nb.Addr, SrcPort: 1000, DstPort: 80, Proto: pkt.TCP})
+			add(a, pkt.Header{Src: na.Addr, Dst: nb.Addr, SrcPort: 80, DstPort: 1000, Proto: pkt.TCP})
+		}
+	}
+	// Content traffic for data-isolation checks and cache-bearing slices.
+	origin := pkt.AddrNone
+	if di, ok := i.(inv.DataIsolation); ok {
+		origin = di.Origin
+	} else {
+		for _, b := range sl.Boxes {
+			if _, isCache := b.Model.(*mbox.ContentCache); isCache {
+				// Default content origin: the first slice host that is not
+				// the invariant destination.
+				for _, h := range hosts {
+					if len(i.Nodes()) > 0 && h == i.Nodes()[0] {
+						continue
+					}
+					origin = v.net.Topo.Node(h).Addr
+					break
+				}
+			}
+		}
+	}
+	if origin != pkt.AddrNone {
+		if srv, ok := v.net.Topo.HostByAddr(origin); ok {
+			const cid = 1
+			for _, h := range hosts {
+				if h == srv.ID {
+					continue
+				}
+				nh := v.net.Topo.Node(h)
+				add(h, pkt.Header{Src: nh.Addr, Dst: origin, SrcPort: 1000, DstPort: 80, Proto: pkt.TCP, ContentID: cid})
+				add(srv.ID, pkt.Header{Src: origin, Dst: nh.Addr, SrcPort: 80, DstPort: 1000, Proto: pkt.TCP, Origin: origin, ContentID: cid})
+			}
+		}
+	}
+	return out
+}
+
+// wholeSlice is the no-slicing baseline: all hosts and boxes.
+func wholeSlice(net *Network) slices.Result {
+	var hosts []topo.NodeID
+	for _, n := range net.Topo.Nodes() {
+		if n.Kind == topo.Host || n.Kind == topo.External {
+			hosts = append(hosts, n.ID)
+		}
+	}
+	return slices.Result{Hosts: hosts, Boxes: append([]mbox.Instance(nil), net.Boxes...), Whole: true}
+}

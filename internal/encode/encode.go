@@ -1,0 +1,488 @@
+// Package encode is VMN's SAT-based verification engine — the analogue of
+// the paper's Z3 pipeline. It grounds the middlebox and network axioms of
+// §3.4–§3.5 over a bounded schedule into a finite-domain formula
+// (internal/smt → internal/sat) whose satisfying assignments are violating
+// schedules, exactly mirroring the paper's "satisfying assignment ⇔
+// invariant violated" setup.
+//
+// # Encoding
+//
+// A schedule is K macro-steps. At each step the scheduling oracle either
+// does nothing or picks one alphabet packet with one oracle class
+// assignment; the packet's complete journey through the static fabric and
+// the middleboxes happens within the step (journeys are enumerated by
+// symbolic execution, forking on every middlebox state bit read). Middlebox
+// state — which for every model the paper evaluates is a monotone set of
+// keys (established flows, cached objects, prefixes under attack) — becomes
+// one SAT variable per (box, key, step), with frame axioms
+//
+//	S[b,k,t+1] ↔ S[b,k,t] ∨ ⋁ (selector ∧ path-condition) over paths setting k.
+//
+// The invariant's past-time LTL "bad" formula is grounded over steps by
+// internal/logic.Ground; each atom at step t becomes the disjunction of the
+// guards of matching journey events. Asserting ⋁_t bad[t] and solving
+// yields either a violating schedule (model) or a bounded proof (UNSAT).
+//
+// Serializing each packet's journey within its step is an abstraction: the
+// explicit engine (internal/explore) additionally interleaves partial
+// deliveries. For flow-parallel and origin-agnostic middleboxes with
+// monotone state the two are equivalence-checked by cross-engine property
+// tests.
+package encode
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/logic"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/sat"
+	"github.com/netverify/vmn/internal/smt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Options tune the solver-backed engine.
+type Options struct {
+	// MaxHops bounds middlebox chains per journey (loop guard).
+	MaxHops int
+	// Seed seeds the SAT solver's randomized branching; distinct seeds
+	// reproduce the run-to-run variance the paper reports for Z3.
+	Seed int64
+	// RandomBranchFreq is the solver's random-decision frequency.
+	RandomBranchFreq float64
+	// MaxConflicts bounds solver work (0 = unlimited); exceeding it yields
+	// Unknown, the analogue of an SMT timeout.
+	MaxConflicts int64
+	// GroundAllReadKeys grounds the state axioms of every middlebox for
+	// every alphabet packet, even state no journey touches. This is the
+	// whole-network baseline of Figs. 7–9: like handing Z3 the axioms of
+	// the entire network, formula size grows with network size instead of
+	// slice size.
+	GroundAllReadKeys bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxHops == 0 {
+		o.MaxHops = 12
+	}
+	return o
+}
+
+// keyRef names one middlebox state bit.
+type keyRef struct {
+	box int
+	key string
+}
+
+// keyCond is a path condition on a state bit at the step's start.
+type keyCond struct {
+	ref keyRef
+	val bool
+}
+
+// jpath is one fully resolved journey of a packet choice: the state bits it
+// assumed, the bits it sets, and the trace events it produces.
+type jpath struct {
+	conds  []keyCond
+	sets   []keyRef
+	events []logic.Event
+}
+
+// choice is one (sample, class assignment) pair.
+type choice struct {
+	sample  inv.Sample
+	classes pkt.ClassSet
+	paths   []jpath
+}
+
+// Verify encodes and solves the bounded verification problem.
+func Verify(p *inv.Problem, opts Options) (inv.Result, error) {
+	opts = opts.withDefaults()
+	if p.MaxSends <= 0 {
+		return inv.Result{}, fmt.Errorf("encode: MaxSends must be positive")
+	}
+	boxIdx := map[topo.NodeID]int{}
+	for i, b := range p.Boxes {
+		if _, ok := mbox.SetStateKeys(b.Model.InitState()); !ok {
+			return inv.Result{}, fmt.Errorf("encode: middlebox %s has non-boolean state (%T); use the explicit engine",
+				p.Topo.Node(b.Node).Name, b.Model.InitState())
+		}
+		boxIdx[b.Node] = i
+	}
+
+	// Enumerate journeys per choice.
+	var choices []choice
+	for _, s := range p.Samples {
+		for _, cls := range p.ClassAssignments() {
+			c := choice{sample: s, classes: cls}
+			paths, err := journeys(p, opts, boxIdx, s, cls)
+			if err != nil {
+				return inv.Result{}, err
+			}
+			c.paths = paths
+			choices = append(choices, c)
+		}
+	}
+
+	// Build the formula.
+	ctx := smt.NewCtx()
+	ctx.Solver().SetSeed(opts.Seed)
+	ctx.Solver().SetRandomBranchFreq(opts.RandomBranchFreq)
+	if opts.MaxConflicts > 0 {
+		ctx.Solver().SetMaxConflicts(opts.MaxConflicts)
+	}
+	K := p.MaxSends
+
+	// Selector variables: sel[t][c] plus an implicit "none" choice.
+	sel := make([][]smt.Form, K)
+	for t := 0; t < K; t++ {
+		sel[t] = make([]smt.Form, len(choices)+1)
+		for c := range sel[t] {
+			sel[t][c] = ctx.BoolVar(fmt.Sprintf("sel|%d|%d", t, c))
+		}
+		ctx.AssertExactlyOne(sel[t])
+	}
+
+	// State bits. Universe = all refs mentioned by any path.
+	universe := map[keyRef]bool{}
+	for _, c := range choices {
+		for _, pth := range c.paths {
+			for _, cond := range pth.conds {
+				universe[cond.ref] = true
+			}
+			for _, s := range pth.sets {
+				universe[s] = true
+			}
+		}
+	}
+	if opts.GroundAllReadKeys {
+		for bi, b := range p.Boxes {
+			reader, ok := b.Model.(mbox.KeyReader)
+			if !ok {
+				continue
+			}
+			for _, c := range choices {
+				in := mbox.Input{From: c.sample.Sender, Hdr: c.sample.Hdr, Classes: c.classes}
+				for _, k := range reader.ReadKeys(in) {
+					universe[keyRef{bi, k}] = true
+				}
+			}
+		}
+	}
+	bit := func(r keyRef, t int) smt.Form {
+		return ctx.BoolVar(fmt.Sprintf("S|%d|%s|%d", r.box, r.key, t))
+	}
+	for r := range universe {
+		ctx.Assert(ctx.Not(bit(r, 0))) // boot state: empty sets
+	}
+
+	guardOf := func(ci int, pth jpath, t int) smt.Form {
+		parts := []smt.Form{sel[t][ci]}
+		for _, cond := range pth.conds {
+			b := bit(cond.ref, t)
+			if !cond.val {
+				b = ctx.Not(b)
+			}
+			parts = append(parts, b)
+		}
+		return ctx.And(parts...)
+	}
+
+	// Frame/transition axioms.
+	for r := range universe {
+		for t := 0; t < K; t++ {
+			var setters []smt.Form
+			for ci, c := range choices {
+				for _, pth := range c.paths {
+					for _, s := range pth.sets {
+						if s == r {
+							setters = append(setters, guardOf(ci, pth, t))
+							break
+						}
+					}
+				}
+			}
+			next := bit(r, t+1)
+			ctx.Assert(ctx.Iff(next, ctx.Or(append([]smt.Form{bit(r, t)}, setters...)...)))
+		}
+	}
+
+	// Events per step with guards.
+	type guardedEvent struct {
+		ev    logic.Event
+		guard smt.Form
+	}
+	eventsAt := make([][]guardedEvent, K)
+	for t := 0; t < K; t++ {
+		for ci, c := range choices {
+			for _, pth := range c.paths {
+				g := guardOf(ci, pth, t)
+				for _, ev := range pth.events {
+					eventsAt[t] = append(eventsAt[t], guardedEvent{ev, g})
+				}
+			}
+		}
+	}
+
+	// Ground the invariant's bad formula over the schedule.
+	bad := p.Invariant.Bad(p)
+	grounded := logic.Ground(ctx, bad, K, func(a *logic.Atom, t int) smt.Form {
+		var hits []smt.Form
+		for _, ge := range eventsAt[t] {
+			if a.Pred(ge.ev) {
+				hits = append(hits, ge.guard)
+			}
+		}
+		return ctx.Or(hits...)
+	})
+	ctx.Assert(ctx.Or(grounded...))
+
+	switch ctx.Solve() {
+	case sat.Sat:
+		trace := extractTrace(ctx, choices, sel, guardOf, K)
+		return inv.Result{
+			Outcome:         inv.Violated,
+			Trace:           trace,
+			SolverConflicts: ctx.Solver().Stats().Conflicts,
+		}, nil
+	case sat.Unsat:
+		return inv.Result{Outcome: inv.Holds, SolverConflicts: ctx.Solver().Stats().Conflicts}, nil
+	default:
+		return inv.Result{Outcome: inv.Unknown, SolverConflicts: ctx.Solver().Stats().Conflicts}, nil
+	}
+}
+
+func extractTrace(ctx *smt.Ctx, choices []choice, sel [][]smt.Form, guardOf func(int, jpath, int) smt.Form, K int) []logic.Event {
+	var out []logic.Event
+	for t := 0; t < K; t++ {
+		for ci, c := range choices {
+			if ctx.EvalForm(sel[t][ci]) != sat.True {
+				continue
+			}
+			for _, pth := range c.paths {
+				if ctx.EvalForm(guardOf(ci, pth, t)) == sat.True {
+					out = append(out, pth.events...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// journeys symbolically executes the packet's journey, forking on state
+// reads, and returns all resolved paths.
+func journeys(p *inv.Problem, opts Options, boxIdx map[topo.NodeID]int, s inv.Sample, cls pkt.ClassSet) ([]jpath, error) {
+	type flight struct {
+		Hdr     pkt.Header
+		Classes pkt.ClassSet
+		From    topo.NodeID
+		At      topo.NodeID
+		Hops    int
+	}
+	sendEv := logic.Event{Kind: logic.EvSend, Src: s.Sender, Hdr: s.Hdr, Classes: cls}
+	if n, ok := p.Topo.HostByAddr(s.Hdr.Dst); ok {
+		sendEv.Dst = n.ID
+	} else {
+		sendEv.Dst = topo.NodeNone
+	}
+
+	var out []jpath
+	var rec func(queue []flight, assumed map[keyRef]bool, derived map[keyRef]bool, conds []keyCond, sets []keyRef, events []logic.Event) error
+	rec = func(queue []flight, assumed, derived map[keyRef]bool, conds []keyCond, sets []keyRef, events []logic.Event) error {
+		if len(queue) == 0 {
+			out = append(out, jpath{
+				conds:  append([]keyCond(nil), conds...),
+				sets:   append([]keyRef(nil), sets...),
+				events: append([]logic.Event(nil), events...),
+			})
+			return nil
+		}
+		fl := queue[0]
+		rest := append([]flight(nil), queue[1:]...)
+		node := p.Topo.Node(fl.At)
+
+		if node.Kind == topo.Host || node.Kind == topo.External {
+			rcv := logic.Event{Kind: logic.EvRecv, Dst: fl.At, Src: fl.From, Hdr: fl.Hdr, Classes: fl.Classes}
+			return rec(rest, assumed, derived, conds, sets, append(events, rcv))
+		}
+		if node.Kind != topo.Middlebox {
+			return fmt.Errorf("encode: packet surfaced at switch %s", node.Name)
+		}
+		bi, ok := boxIdx[fl.At]
+		if !ok {
+			return fmt.Errorf("encode: no model bound to middlebox %s", node.Name)
+		}
+		model := p.Boxes[bi].Model
+		failed := p.Scenario.Failed(fl.At)
+
+		forwardTo := func(hdr pkt.Header, classes pkt.ClassSet, hops int, q []flight) ([]flight, error) {
+			if hops > opts.MaxHops {
+				return nil, fmt.Errorf("encode: middlebox hop bound exceeded at %s", node.Name)
+			}
+			to, fok, err := p.TF.Next(fl.At, hdr.RouteAddr())
+			if err != nil {
+				return nil, err
+			}
+			if fok {
+				q = append(q, flight{Hdr: hdr, Classes: classes, From: fl.At, At: to, Hops: hops})
+			}
+			return q, nil
+		}
+
+		if failed && model.FailMode() == mbox.FailClosed {
+			return rec(rest, assumed, derived, conds, sets, events)
+		}
+		if failed && model.FailMode() == mbox.FailOpen {
+			q, err := forwardTo(fl.Hdr, fl.Classes, fl.Hops+1, rest)
+			if err != nil {
+				return err
+			}
+			return rec(q, assumed, derived, conds, sets, events)
+		}
+
+		// Healthy (or fail-explicit) processing.
+		input := mbox.Input{From: fl.From, Hdr: fl.Hdr, Classes: fl.Classes, Failed: failed}
+		reader, _ := model.(mbox.KeyReader)
+		var reads []string
+		if reader != nil {
+			reads = reader.ReadKeys(input)
+		} else if keys := mustKeys(model.InitState()); len(keys) > 0 {
+			return fmt.Errorf("encode: middlebox %s has state but no KeyReader", node.Name)
+		}
+
+		// Resolve unknown read bits by forking.
+		var unknown []keyRef
+		for _, k := range reads {
+			r := keyRef{bi, k}
+			if _, known := assumed[r]; known {
+				continue
+			}
+			if derived[r] {
+				continue
+			}
+			unknown = append(unknown, r)
+		}
+
+		var runWith func(vals map[keyRef]bool, conds []keyCond) error
+		runWith = func(valuation map[keyRef]bool, conds []keyCond) error {
+			// Construct the box state visible to this packet: every key of
+			// this box known true (assumed or derived).
+			var trueKeys []string
+			add := func(r keyRef, v bool) {
+				if v && r.box == bi {
+					trueKeys = append(trueKeys, r.key)
+				}
+			}
+			for r, v := range assumed {
+				add(r, v)
+			}
+			for r, v := range valuation {
+				add(r, v)
+			}
+			for r, v := range derived {
+				add(r, v)
+			}
+			st := mbox.SetStateWith(trueKeys...)
+			branches := model.Process(st, input)
+			if len(branches) != 1 {
+				return fmt.Errorf("encode: middlebox %s is nondeterministic (%d branches); use the explicit engine",
+					node.Name, len(branches))
+			}
+			br := branches[0]
+			newKeys, ok := mbox.SetStateKeys(br.Next)
+			if !ok {
+				return fmt.Errorf("encode: middlebox %s produced non-boolean state", node.Name)
+			}
+			// Diff: keys now true that were not before.
+			before := map[string]bool{}
+			for _, k := range trueKeys {
+				before[k] = true
+			}
+			newAssumed := mergeRefs(assumed, valuation)
+			newDerived := copyRefs(derived)
+			newSets := append([]keyRef(nil), sets...)
+			for _, k := range newKeys {
+				if !before[k] {
+					r := keyRef{bi, k}
+					newDerived[r] = true
+					newSets = append(newSets, r)
+				}
+			}
+			rcv := logic.Event{Kind: logic.EvRecv, Dst: fl.At, Src: fl.From, Hdr: fl.Hdr, Classes: fl.Classes}
+			newEvents := append(append([]logic.Event(nil), events...), rcv)
+			q := append([]flight(nil), rest...)
+			for _, o := range br.Out {
+				snd := logic.Event{Kind: logic.EvSend, Src: fl.At, Hdr: o.Hdr, Classes: o.Classes}
+				if n, ok := p.Topo.HostByAddr(o.Hdr.Dst); ok {
+					snd.Dst = n.ID
+				} else {
+					snd.Dst = topo.NodeNone
+				}
+				newEvents = append(newEvents, snd)
+				var err error
+				q, err = forwardTo(o.Hdr, o.Classes, fl.Hops+1, q)
+				if err != nil {
+					return err
+				}
+			}
+			return rec(q, newAssumed, newDerived, conds, newSets, newEvents)
+		}
+
+		// Enumerate assignments over the unknown bits (2^|unknown|, with
+		// |unknown| ≤ 1 for all shipped models).
+		n := len(unknown)
+		for m := 0; m < 1<<uint(n); m++ {
+			valuation := map[keyRef]bool{}
+			forkConds := append([]keyCond(nil), conds...)
+			for i, r := range unknown {
+				v := m>>uint(i)&1 == 1
+				valuation[r] = v
+				forkConds = append(forkConds, keyCond{ref: r, val: v})
+			}
+			if err := runWith(valuation, forkConds); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Kick off: the send event plus the first fabric hop.
+	var queue []flight
+	to, ok, err := p.TF.Next(s.Sender, s.Hdr.RouteAddr())
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		queue = append(queue, flight{Hdr: s.Hdr, Classes: cls, From: s.Sender, At: to})
+	}
+	if err := rec(queue, map[keyRef]bool{}, map[keyRef]bool{}, nil, nil, []logic.Event{sendEv}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func mustKeys(st mbox.State) []string {
+	keys, _ := mbox.SetStateKeys(st)
+	return keys
+}
+
+func mergeRefs(a, b map[keyRef]bool) map[keyRef]bool {
+	out := make(map[keyRef]bool, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func copyRefs(a map[keyRef]bool) map[keyRef]bool {
+	out := make(map[keyRef]bool, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

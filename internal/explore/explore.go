@@ -1,0 +1,317 @@
+// Package explore is VMN's explicit-state verification engine: an
+// exhaustive breadth-first search over the product of middlebox states,
+// in-flight packets and the invariant monitor. It considers every
+// interleaving of sends and deliveries the scheduling oracle could choose
+// and every packet-class assignment the classification oracle could make
+// (§3: "we do not attempt to model the likely order of these events, but
+// instead consider all such orders in search of invariant violations").
+//
+// The engine is the reference oracle for the SAT-based engine in
+// internal/encode: property tests assert the two agree on verdicts.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/logic"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Options tune the search.
+type Options struct {
+	// MaxHops bounds middlebox-to-middlebox forwarding chains per packet;
+	// exceeding it indicates a middlebox forwarding loop and is an error
+	// (the static fabric is already loop-checked by internal/tf).
+	MaxHops int
+	// MaxStates bounds the number of distinct product states explored;
+	// exceeding it yields Unknown.
+	MaxStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxHops == 0 {
+		o.MaxHops = 12
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 500000
+	}
+	return o
+}
+
+// flight is an in-flight packet about to surface at edge node At.
+type flight struct {
+	Hdr     pkt.Header
+	Classes pkt.ClassSet
+	From    topo.NodeID
+	At      topo.NodeID
+	Hops    int
+}
+
+func (f flight) key() string {
+	return fmt.Sprintf("%v|%d|%d->%d|%d", f.Hdr, f.Classes, f.From, f.At, f.Hops)
+}
+
+// node is one BFS node.
+type node struct {
+	boxes   []mbox.State
+	flights []flight
+	mon     uint64
+	sends   int
+
+	parent *node
+	events []logic.Event // events of the transition that produced this node
+}
+
+func (n *node) key() string {
+	var b strings.Builder
+	for _, st := range n.boxes {
+		b.WriteString(st.Key())
+		b.WriteByte(';')
+	}
+	fk := make([]string, len(n.flights))
+	for i, f := range n.flights {
+		fk[i] = f.key()
+	}
+	sort.Strings(fk)
+	b.WriteString(strings.Join(fk, ","))
+	fmt.Fprintf(&b, "|m%d|s%d", n.mon, n.sends)
+	return b.String()
+}
+
+// Verify runs the search and returns the verdict.
+func Verify(p *inv.Problem, opts Options) (inv.Result, error) {
+	opts = opts.withDefaults()
+	if p.MaxSends <= 0 {
+		return inv.Result{}, fmt.Errorf("explore: MaxSends must be positive")
+	}
+	boxIdx := map[topo.NodeID]int{}
+	for i, b := range p.Boxes {
+		boxIdx[b.Node] = i
+	}
+	mon := logic.Compile(p.Invariant.Bad(p))
+	assigns := p.ClassAssignments()
+
+	initBoxes := make([]mbox.State, len(p.Boxes))
+	for i, b := range p.Boxes {
+		initBoxes[i] = b.Model.InitState()
+	}
+	root := &node{boxes: initBoxes, mon: mon.State()}
+
+	visited := map[string]bool{root.key(): true}
+	queue := []*node{root}
+	explored := 0
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		explored++
+		if explored > opts.MaxStates {
+			return inv.Result{Outcome: inv.Unknown, StatesExplored: explored}, nil
+		}
+		succs, violation, err := expand(p, opts, boxIdx, mon, cur, assigns)
+		if err != nil {
+			return inv.Result{}, err
+		}
+		if violation != nil {
+			return inv.Result{
+				Outcome:        inv.Violated,
+				Trace:          collectTrace(violation),
+				StatesExplored: explored,
+			}, nil
+		}
+		for _, s := range succs {
+			k := s.key()
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return inv.Result{Outcome: inv.Holds, StatesExplored: explored}, nil
+}
+
+// expand generates all successors of cur. If a transition trips the
+// monitor, it returns that successor as a violation witness.
+func expand(p *inv.Problem, opts Options, boxIdx map[topo.NodeID]int, mon *logic.Monitor, cur *node, assigns []pkt.ClassSet) (succs []*node, violation *node, err error) {
+	// Host sends.
+	if cur.sends < p.MaxSends {
+		for _, s := range p.Samples {
+			for _, cls := range assigns {
+				next, bad, err := applySend(p, opts, boxIdx, mon, cur, s, cls)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, n := range next {
+					if bad {
+						return nil, n, nil
+					}
+					succs = append(succs, n)
+				}
+			}
+		}
+	}
+	// Deliveries of in-flight packets.
+	for i := range cur.flights {
+		next, bad, err := applyDeliver(p, opts, boxIdx, mon, cur, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bad && len(next) > 0 {
+			return nil, next[0], nil
+		}
+		succs = append(succs, next...)
+	}
+	return succs, nil, nil
+}
+
+func cloneBoxes(in []mbox.State) []mbox.State {
+	out := make([]mbox.State, len(in))
+	copy(out, in)
+	return out
+}
+
+// sendEvent builds the EvSend event for a header leaving src.
+func sendEvent(p *inv.Problem, src topo.NodeID, h pkt.Header, cls pkt.ClassSet) logic.Event {
+	dst := topo.NodeNone
+	if n, ok := p.Topo.HostByAddr(h.Dst); ok {
+		dst = n.ID
+	}
+	return logic.Event{Kind: logic.EvSend, Src: src, Dst: dst, Hdr: h, Classes: cls}
+}
+
+// applySend injects sample s with class assignment cls.
+func applySend(p *inv.Problem, opts Options, boxIdx map[topo.NodeID]int, mon *logic.Monitor, cur *node, s inv.Sample, cls pkt.ClassSet) ([]*node, bool, error) {
+	n := &node{
+		boxes:  cloneBoxes(cur.boxes),
+		mon:    cur.mon,
+		sends:  cur.sends + 1,
+		parent: cur,
+	}
+	n.flights = append(n.flights, cur.flights...)
+
+	mon.SetState(cur.mon)
+	ev := sendEvent(p, s.Sender, s.Hdr, cls)
+	bad := mon.Step(ev)
+	n.events = append(n.events, ev)
+	n.mon = mon.State()
+
+	to, ok, err := p.TF.Next(s.Sender, s.Hdr.RouteAddr())
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		n.flights = append(n.flights, flight{Hdr: s.Hdr, Classes: cls, From: s.Sender, At: to})
+	}
+	return []*node{n}, bad, nil
+}
+
+// applyDeliver delivers cur.flights[i], possibly through a middlebox whose
+// nondeterminism forks the state.
+func applyDeliver(p *inv.Problem, opts Options, boxIdx map[topo.NodeID]int, mon *logic.Monitor, cur *node, i int) ([]*node, bool, error) {
+	fl := cur.flights[i]
+	rest := make([]flight, 0, len(cur.flights)-1)
+	rest = append(rest, cur.flights[:i]...)
+	rest = append(rest, cur.flights[i+1:]...)
+
+	nodeInfo := p.Topo.Node(fl.At)
+	// Delivery to a host or external node: a receive event, packet consumed.
+	if nodeInfo.Kind == topo.Host || nodeInfo.Kind == topo.External {
+		n := &node{boxes: cloneBoxes(cur.boxes), flights: rest, sends: cur.sends, parent: cur}
+		mon.SetState(cur.mon)
+		ev := logic.Event{Kind: logic.EvRecv, Dst: fl.At, Src: fl.From, Hdr: fl.Hdr, Classes: fl.Classes}
+		bad := mon.Step(ev)
+		n.events = append(n.events, ev)
+		n.mon = mon.State()
+		return []*node{n}, bad, nil
+	}
+	if nodeInfo.Kind != topo.Middlebox {
+		return nil, false, fmt.Errorf("explore: packet surfaced at switch %s", nodeInfo.Name)
+	}
+	bi, ok := boxIdx[fl.At]
+	if !ok {
+		return nil, false, fmt.Errorf("explore: no model bound to middlebox %s", nodeInfo.Name)
+	}
+	model := p.Boxes[bi].Model
+	failed := p.Scenario.Failed(fl.At)
+
+	// Failure shortcuts (§3.4): failed boxes emit no events.
+	if failed && model.FailMode() == mbox.FailClosed {
+		n := &node{boxes: cloneBoxes(cur.boxes), flights: rest, mon: cur.mon, sends: cur.sends, parent: cur}
+		return []*node{n}, false, nil
+	}
+	if failed && model.FailMode() == mbox.FailOpen {
+		n := &node{boxes: cloneBoxes(cur.boxes), flights: rest, mon: cur.mon, sends: cur.sends, parent: cur}
+		if fl.Hops+1 > opts.MaxHops {
+			return nil, false, fmt.Errorf("explore: middlebox hop bound exceeded at %s", nodeInfo.Name)
+		}
+		to, fok, err := p.TF.Next(fl.At, fl.Hdr.RouteAddr())
+		if err != nil {
+			return nil, false, err
+		}
+		if fok {
+			n.flights = append(n.flights, flight{Hdr: fl.Hdr, Classes: fl.Classes, From: fl.At, At: to, Hops: fl.Hops + 1})
+		}
+		return []*node{n}, false, nil
+	}
+
+	// Healthy (or fail-explicit) processing: rcv event then model reaction.
+	mon.SetState(cur.mon)
+	var events []logic.Event
+	rcv := logic.Event{Kind: logic.EvRecv, Dst: fl.At, Src: fl.From, Hdr: fl.Hdr, Classes: fl.Classes}
+	bad := mon.Step(rcv)
+	events = append(events, rcv)
+	monAfterRcv := mon.State()
+
+	branches := model.Process(cur.boxes[bi], mbox.Input{
+		From: fl.From, Hdr: fl.Hdr, Classes: fl.Classes, Failed: failed,
+	})
+	var out []*node
+	for _, br := range branches {
+		n := &node{boxes: cloneBoxes(cur.boxes), flights: append([]flight(nil), rest...), sends: cur.sends, parent: cur}
+		n.boxes[bi] = br.Next
+		n.events = append(n.events, events...)
+		mon.SetState(monAfterRcv)
+		branchBad := bad
+		for _, o := range br.Out {
+			snd := sendEvent(p, fl.At, o.Hdr, o.Classes)
+			if mon.Step(snd) {
+				branchBad = true
+			}
+			n.events = append(n.events, snd)
+			if fl.Hops+1 > opts.MaxHops {
+				return nil, false, fmt.Errorf("explore: middlebox hop bound exceeded at %s", nodeInfo.Name)
+			}
+			to, fok, err := p.TF.Next(fl.At, o.Hdr.RouteAddr())
+			if err != nil {
+				return nil, false, err
+			}
+			if fok {
+				n.flights = append(n.flights, flight{Hdr: o.Hdr, Classes: o.Classes, From: fl.At, At: to, Hops: fl.Hops + 1})
+			}
+		}
+		n.mon = mon.State()
+		if branchBad {
+			return []*node{n}, true, nil
+		}
+		out = append(out, n)
+	}
+	return out, false, nil
+}
+
+// collectTrace walks parent pointers and concatenates transition events.
+func collectTrace(n *node) []logic.Event {
+	var rev []*node
+	for cur := n; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	var out []logic.Event
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i].events...)
+	}
+	return out
+}

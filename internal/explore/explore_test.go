@@ -1,0 +1,327 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/logic"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/testnet"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func mustVerify(t *testing.T, p *inv.Problem) inv.Result {
+	t.Helper()
+	r, err := Verify(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// A default-deny firewall with no rules: hB can never reach hA.
+func TestSimpleIsolationHolds(t *testing.T) {
+	f := testnet.NewFirewallPair(mbox.NewLearningFirewall("fw"))
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	r := mustVerify(t, p)
+	if r.Outcome != inv.Holds {
+		t.Fatalf("want holds, got %v (trace %v)", r.Outcome, r.Trace)
+	}
+	if r.StatesExplored == 0 {
+		t.Fatal("expected exploration work")
+	}
+}
+
+// Default-allow firewall: hB reaches hA; isolation is violated.
+func TestSimpleIsolationViolated(t *testing.T) {
+	fw := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	r := mustVerify(t, p)
+	if r.Outcome != inv.Violated {
+		t.Fatalf("want violated, got %v", r.Outcome)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("violation must come with a trace")
+	}
+	// The trace must end with the offending receive at hA.
+	last := r.Trace[len(r.Trace)-1]
+	if last.Kind != logic.EvRecv || last.Dst != f.HA || last.Hdr.Src != f.AddrB {
+		t.Fatalf("trace does not end with the bad receive: %v", r.Trace)
+	}
+}
+
+// Deny rules present: holds. This is the §5.1 "Rules" scenario in
+// miniature; deleting the deny rules is the injected misconfiguration.
+// Group isolation needs BOTH directions denied: with only B→A denied, A
+// could initiate to B and B's reply — whose source is B — would reach A
+// through the punched hole (the engine finds exactly that schedule).
+func TestDenyRuleScenario(t *testing.T) {
+	fw := &mbox.LearningFirewall{
+		InstanceName: "fw",
+		ACL: []mbox.ACLEntry{
+			mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.0.2")), pkt.HostPrefix(pkt.MustParseAddr("10.0.0.1"))),
+			mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.0.1")), pkt.HostPrefix(pkt.MustParseAddr("10.0.0.2"))),
+		},
+		DefaultAllow: true,
+	}
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	if r := mustVerify(t, p); r.Outcome != inv.Holds {
+		t.Fatalf("deny rule should enforce isolation, got %v", r.Outcome)
+	}
+	fw.ACL = nil // delete the rule
+	p2 := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	if r := mustVerify(t, p2); r.Outcome != inv.Violated {
+		t.Fatalf("deleting the deny rule must violate isolation, got %v", r.Outcome)
+	}
+}
+
+// Reachability: with an allow rule, hA can reach hB (Violated == reachable).
+func TestReachabilityPositive(t *testing.T) {
+	fw := mbox.NewLearningFirewall("fw",
+		mbox.AllowEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.0.1")), pkt.HostPrefix(pkt.MustParseAddr("10.0.0.2"))))
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.Reachability{Dst: f.HB, SrcAddr: f.AddrA}, topo.NoFailures())
+	r := mustVerify(t, p)
+	if r.Outcome != inv.Violated {
+		t.Fatalf("hA should reach hB, got %v", r.Outcome)
+	}
+	if p.Invariant.Expectation() {
+		t.Fatal("reachability expects the event")
+	}
+}
+
+// Flow isolation: hA may initiate to hB; hB must not initiate to hA but
+// may answer.
+func TestFlowIsolation(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	fw := mbox.NewLearningFirewall("fw",
+		mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB)))
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.FlowIsolation{Dst: f.HA, SrcAddr: aB}, topo.NoFailures())
+	r := mustVerify(t, p)
+	if r.Outcome != inv.Holds {
+		t.Fatalf("hole-punching firewall should preserve flow isolation, got %v (trace %v)", r.Outcome, r.Trace)
+	}
+	// A default-allow firewall lets hB initiate: flow isolation violated.
+	fw2 := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f2 := testnet.NewFirewallPair(fw2)
+	p2 := f2.Problem(inv.FlowIsolation{Dst: f2.HA, SrcAddr: aB}, topo.NoFailures())
+	if r := mustVerify(t, p2); r.Outcome != inv.Violated {
+		t.Fatalf("default-allow firewall must violate flow isolation, got %v", r.Outcome)
+	}
+}
+
+// Established reverse traffic passes the firewall but does not violate
+// flow isolation — this needs the full product search (the receive is only
+// bad when no prior send exists).
+func TestFlowIsolationReverseAllowed(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	fw := mbox.NewLearningFirewall("fw",
+		mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB)))
+	f := testnet.NewFirewallPair(fw)
+	// Positive check: hA can still get answers from hB.
+	p := f.Problem(inv.Reachability{Dst: f.HA, SrcAddr: aB}, topo.NoFailures())
+	if r := mustVerify(t, p); r.Outcome != inv.Violated {
+		t.Fatalf("reverse traffic should be possible, got %v", r.Outcome)
+	}
+}
+
+// §5.2 data isolation: cache ACL prevents cross-group serving; deleting it
+// leaks the server's data to h2 via the cache.
+func TestDataIsolationCache(t *testing.T) {
+	g := testnet.NewCacheGroup(
+		mbox.NewContentCache("cache",
+			mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1")), pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1")))),
+		&mbox.LearningFirewall{InstanceName: "fw", ACL: []mbox.ACLEntry{
+			mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1")), pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1"))),
+			mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1")), pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1"))),
+		}, DefaultAllow: true},
+	)
+	p := g.Problem(inv.DataIsolation{Dst: g.H2, Origin: g.AddrS})
+	r := mustVerify(t, p)
+	if r.Outcome != inv.Holds {
+		t.Fatalf("configured cache+firewall should hold, got %v (trace %v)", r.Outcome, r.Trace)
+	}
+
+	// Delete the cache ACL: the cached copy leaks around the firewall.
+	g2 := testnet.NewCacheGroup(
+		mbox.NewContentCache("cache"),
+		g.Firewall,
+	)
+	p2 := g2.Problem(inv.DataIsolation{Dst: g2.H2, Origin: g2.AddrS})
+	r2 := mustVerify(t, p2)
+	if r2.Outcome != inv.Violated {
+		t.Fatalf("deleting cache ACL must leak data, got %v", r2.Outcome)
+	}
+	// h1 (same group) must be able to get the data in both configurations.
+	p3 := g.Problem(inv.Reachability{Dst: g.H1, SrcAddr: g.AddrS, Label: "h1-gets-data"})
+	if r := mustVerify(t, p3); r.Outcome != inv.Violated {
+		t.Fatalf("h1 should receive data, got %v", r.Outcome)
+	}
+}
+
+// Traversal: all peer traffic to the host must cross the IDS.
+func TestTraversalThroughIDS(t *testing.T) {
+	f := testnet.NewIDSFragment(testnet.NewIDSRegistry())
+	invr := inv.Traversal{Dst: f.Host, SrcPrefix: pkt.HostPrefix(f.AddrPeer), Vias: []topo.NodeID{f.IDSNode}}
+	p := f.Problem(invr, 2)
+	if r := mustVerify(t, p); r.Outcome != inv.Holds {
+		t.Fatalf("traffic crosses the IDS, got %v", r.Outcome)
+	}
+}
+
+// The scrubber drops attack traffic: once the IDS flags the prefix, attack
+// packets never reach the host.
+func TestScrubberProtectsHost(t *testing.T) {
+	reg := testnet.NewIDSRegistry()
+	f := testnet.NewIDSFragment(reg)
+	atk, _ := reg.Lookup(mbox.ClassAttack)
+	mal, _ := reg.Lookup(mbox.ClassMalicious)
+	// Invariant: the host never receives a packet carrying the attack class.
+	bad := inv.SimpleIsolation{Dst: f.Host, SrcAddr: f.AddrPeer, Label: "attack-reaches-host"}
+	_ = bad
+	// Use a custom invariant via Reachability on attack-classed packets:
+	// model as "host receives attack-class packet".
+	invr := attackReach{dst: f.Host, atk: atk}
+	p := f.Problem(invr, 2)
+	r := mustVerify(t, p)
+	// Attack packets CAN reach the host before the IDS trips (first packet
+	// passes the IDS unflagged if the oracle classifies it attack-but-not-
+	// malicious). This mirrors the paper: lightweight IDS detection is
+	// heuristic; the scrubber only sees rerouted traffic.
+	if r.Outcome != inv.Violated {
+		t.Fatalf("first-packet attack can slip through, got %v", r.Outcome)
+	}
+	_ = mal
+}
+
+// attackReach is a custom invariant: the host receives an attack-class packet.
+type attackReach struct {
+	dst topo.NodeID
+	atk pkt.Class
+}
+
+func (a attackReach) Name() string { return "attack-reach" }
+func (a attackReach) Bad(*inv.Problem) logic.Formula {
+	return logic.RcvAt(a.dst, "attack", func(e logic.Event) bool {
+		return e.Classes.Has(a.atk)
+	})
+}
+func (a attackReach) Nodes() []topo.NodeID { return []topo.NodeID{a.dst} }
+func (a attackReach) Expectation() bool    { return true }
+func (a attackReach) RefAddrs() []pkt.Addr { return nil }
+
+// Failure scenarios: a fail-closed firewall that is down drops everything,
+// so isolation holds trivially; reachability is lost.
+func TestFailClosedFirewallUnderFailure(t *testing.T) {
+	fw := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f := testnet.NewFirewallPair(fw)
+	scenario := topo.Failures(f.FW)
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, scenario)
+	if r := mustVerify(t, p); r.Outcome != inv.Holds {
+		t.Fatalf("failed fail-closed firewall drops everything, got %v", r.Outcome)
+	}
+	p2 := f.Problem(inv.Reachability{Dst: f.HB, SrcAddr: f.AddrA}, scenario)
+	if r := mustVerify(t, p2); r.Outcome != inv.Holds {
+		t.Fatalf("reachability must be lost under failure, got %v", r.Outcome)
+	}
+}
+
+// The redundancy scenario of §5.1 in miniature: two firewalls in parallel,
+// backup takes over when the primary fails. If the backup lacks the deny
+// rule, isolation is violated ONLY under failure.
+func TestRedundantFirewallMisconfiguration(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	deny := mbox.DenyEntry(pkt.HostPrefix(aB), pkt.HostPrefix(aA))
+	primary := &mbox.LearningFirewall{InstanceName: "fw1", ACL: []mbox.ACLEntry{deny}, DefaultAllow: true}
+	backup := &mbox.LearningFirewall{InstanceName: "fw2", DefaultAllow: true} // missing deny!
+
+	t1 := topo.New()
+	hA := t1.AddHost("hA", aA)
+	hB := t1.AddHost("hB", aB)
+	sw := t1.AddSwitch("sw")
+	fw1 := t1.AddMiddlebox("fw1", "firewall")
+	fw2 := t1.AddMiddlebox("fw2", "firewall")
+	t1.AddLink(hA, sw)
+	t1.AddLink(hB, sw)
+	t1.AddLink(fw1, sw)
+	t1.AddLink(fw2, sw)
+
+	// Per-failure-scenario forwarding tables, as §3.5 prescribes: the
+	// fault-free table routes via the primary, the failure table via the
+	// backup.
+	fibVia := func(fw topo.NodeID) tf.FIB {
+		fib := tf.FIB{}
+		for _, h := range []struct {
+			node topo.NodeID
+			addr pkt.Addr
+		}{{hA, aA}, {hB, aB}} {
+			p := pkt.HostPrefix(h.addr)
+			fib.Add(sw, tf.Rule{Match: p, In: fw1, Out: h.node, Priority: 30})
+			fib.Add(sw, tf.Rule{Match: p, In: fw2, Out: h.node, Priority: 30})
+			fib.Add(sw, tf.Rule{Match: p, In: topo.NodeNone, Out: fw, Priority: 10})
+		}
+		return fib
+	}
+
+	mkProblem := func(scenario topo.FailureScenario) *inv.Problem {
+		fw := fw1
+		if scenario.Failed(fw1) {
+			fw = fw2
+		}
+		return &inv.Problem{
+			Topo: t1,
+			TF:   tf.New(t1, fibVia(fw), scenario),
+			Boxes: []mbox.Instance{
+				{Node: fw1, Model: primary}, {Node: fw2, Model: backup},
+			},
+			Registry: pkt.NewRegistry(),
+			Samples: []inv.Sample{
+				{Sender: hB, Hdr: pkt.Header{Src: aB, Dst: aA, SrcPort: 2000, DstPort: 443, Proto: pkt.TCP}},
+			},
+			MaxSends:  1,
+			Scenario:  scenario,
+			Invariant: inv.SimpleIsolation{Dst: hA, SrcAddr: aB},
+		}
+	}
+	// Healthy: primary enforces the rule.
+	if r := mustVerify(t, mkProblem(topo.NoFailures())); r.Outcome != inv.Holds {
+		t.Fatalf("healthy network should hold, got %v", r.Outcome)
+	}
+	// Primary failed: traffic shifts to the misconfigured backup.
+	if r := mustVerify(t, mkProblem(topo.Failures(fw1))); r.Outcome != inv.Violated {
+		t.Fatalf("misconfigured backup must violate under failure, got %v", r.Outcome)
+	}
+}
+
+func TestUnknownOnTinyStateBudget(t *testing.T) {
+	fw := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	// Searching for a violation still finds it fast; check Unknown on a
+	// holds-instance instead.
+	fwStrict := mbox.NewLearningFirewall("fw")
+	f2 := testnet.NewFirewallPair(fwStrict)
+	p2 := f2.Problem(inv.SimpleIsolation{Dst: f2.HA, SrcAddr: f2.AddrB}, topo.NoFailures())
+	r, err := Verify(p2, Options{MaxStates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != inv.Unknown {
+		t.Fatalf("want unknown under tiny budget, got %v", r.Outcome)
+	}
+	_ = p
+}
+
+func TestInvalidMaxSends(t *testing.T) {
+	f := testnet.NewFirewallPair(mbox.NewLearningFirewall("fw"))
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	p.MaxSends = 0
+	if _, err := Verify(p, Options{}); err == nil {
+		t.Fatal("MaxSends=0 must error")
+	}
+}

@@ -1,0 +1,160 @@
+package inv
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netverify/vmn/internal/logic"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+var (
+	aS = pkt.MustParseAddr("10.0.0.1")
+	aD = pkt.MustParseAddr("10.0.0.2")
+)
+
+func hdr(src, dst pkt.Addr, sp, dp pkt.Port) pkt.Header {
+	return pkt.Header{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: pkt.TCP}
+}
+
+func rcv(dst topo.NodeID, h pkt.Header) logic.Event {
+	return logic.Event{Kind: logic.EvRecv, Dst: dst, Hdr: h}
+}
+
+func snd(src topo.NodeID, h pkt.Header) logic.Event {
+	return logic.Event{Kind: logic.EvSend, Src: src, Hdr: h}
+}
+
+func TestSimpleIsolationBad(t *testing.T) {
+	i := SimpleIsolation{Dst: 2, SrcAddr: aS}
+	m := logic.Compile(i.Bad(nil))
+	if m.Step(rcv(2, hdr(aD, aS, 1, 2))) {
+		t.Fatal("wrong source must not trip")
+	}
+	if m.Step(rcv(3, hdr(aS, aD, 1, 2))) {
+		t.Fatal("wrong destination must not trip")
+	}
+	if !m.Step(rcv(2, hdr(aS, aD, 1, 2))) {
+		t.Fatal("matching receive must trip")
+	}
+	if !i.Expectation() || len(i.RefAddrs()) != 1 || i.Nodes()[0] != 2 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestReachabilityMetadata(t *testing.T) {
+	i := Reachability{Dst: 2, SrcAddr: aS, Label: "x"}
+	if i.Expectation() {
+		t.Fatal("reachability wants the event")
+	}
+	if i.Name() != "x" {
+		t.Fatal("label should name it")
+	}
+	if (Reachability{Dst: 2, SrcAddr: aS}).Name() == "" {
+		t.Fatal("default name empty")
+	}
+}
+
+func TestDataIsolationBad(t *testing.T) {
+	i := DataIsolation{Dst: 2, Origin: aS}
+	m := logic.Compile(i.Bad(nil))
+	h := hdr(aD, aS, 1, 2)
+	if m.Step(rcv(2, h)) {
+		t.Fatal("no origin must not trip")
+	}
+	h.Origin = aS
+	if !m.Step(rcv(2, h)) {
+		t.Fatal("matching origin must trip")
+	}
+}
+
+func TestFlowIsolationBadGroundsOverAlphabet(t *testing.T) {
+	p := &Problem{Samples: []Sample{
+		{Sender: 1, Hdr: hdr(aS, aD, 80, 1000)},
+	}}
+	i := FlowIsolation{Dst: 2, SrcAddr: aS}
+	m := logic.Compile(i.Bad(p))
+	// Receive without prior send: violation.
+	if !m.Step(rcv(2, hdr(aS, aD, 80, 1000))) {
+		t.Fatal("unsolicited receive must trip")
+	}
+	// With a prior send on the same (canonical) flow: fine.
+	m2 := logic.Compile(i.Bad(p))
+	if m2.Step(snd(2, hdr(aD, aS, 1000, 80))) {
+		t.Fatal("send alone is not bad")
+	}
+	if m2.Step(rcv(2, hdr(aS, aD, 80, 1000))) {
+		t.Fatal("reply to own flow must not trip")
+	}
+	// Empty alphabet: bad is unreachable.
+	empty := FlowIsolation{Dst: 2, SrcAddr: aS}.Bad(&Problem{})
+	m3 := logic.Compile(empty)
+	if m3.Step(rcv(2, hdr(aS, aD, 80, 1000))) {
+		t.Fatal("empty alphabet must not trip")
+	}
+}
+
+func TestTraversalBad(t *testing.T) {
+	i := Traversal{Dst: 2, SrcPrefix: pkt.HostPrefix(aS), SrcAddr: aS, Vias: []topo.NodeID{7}}
+	m := logic.Compile(i.Bad(nil))
+	h := hdr(aS, aD, 1, 2)
+	// Receive at dst without crossing the via: violation.
+	if !m.Step(rcv(2, h)) {
+		t.Fatal("bypass must trip")
+	}
+	// Crossing the via first: fine.
+	m2 := logic.Compile(i.Bad(nil))
+	if m2.Step(rcv(7, h)) {
+		t.Fatal("via receive is not bad")
+	}
+	if m2.Step(rcv(2, h)) {
+		t.Fatal("post-via receive must not trip")
+	}
+	if len(i.Nodes()) != 2 {
+		t.Fatal("nodes must include vias")
+	}
+	if i.RefAddrs()[0] != aS {
+		t.Fatal("refaddrs wrong")
+	}
+	if (Traversal{}).RefAddrs() != nil {
+		t.Fatal("no SrcAddr -> no RefAddrs")
+	}
+}
+
+func TestProblemClassAssignments(t *testing.T) {
+	reg := pkt.NewRegistry()
+	p := &Problem{Registry: reg}
+	if got := p.ClassAssignments(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty registry should give the empty assignment: %v", got)
+	}
+	appfw := mbox.NewAppFirewall("f", reg, "skype")
+	p.Boxes = []mbox.Instance{{Node: 0, Model: appfw}}
+	if got := p.ClassAssignments(); len(got) != 2 {
+		t.Fatalf("one relevant class should give 2 assignments: %v", got)
+	}
+	if (&Problem{}).ClassAssignments()[0] != 0 {
+		t.Fatal("nil registry must still yield the empty assignment")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Holds.String() != "holds" || Violated.String() != "violated" || Unknown.String() != "unknown" {
+		t.Fatal("outcome names")
+	}
+}
+
+func TestInvariantNames(t *testing.T) {
+	for _, i := range []Invariant{
+		SimpleIsolation{Dst: 1, SrcAddr: aS},
+		FlowIsolation{Dst: 1, SrcAddr: aS},
+		DataIsolation{Dst: 1, Origin: aS},
+		Reachability{Dst: 1, SrcAddr: aS},
+		Traversal{Dst: 1, Vias: []topo.NodeID{2}},
+	} {
+		if i.Name() == "" || !strings.Contains(i.Name(), "") {
+			t.Fatalf("empty name for %T", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package logic implements the simplified linear temporal logic with past
+// operators the paper uses for middlebox axioms and invariants (§3.2).
+// Formulas are built over three event kinds — snd(s,d,p), rcv(d,s,p) and
+// fail(n) — with the past operators ♦ (Once), Historically, Since and
+// Yesterday. Only safety properties are expressible: an invariant is
+// □¬bad, and this package provides two executions of bad:
+//
+//   - Monitor compiles bad into a past-time monitor whose state advances
+//     one event at a time (used by the explicit-state engine), and
+//   - Ground unrolls bad over a bounded horizon into internal/smt formulas
+//     (the "explicitly quantify over time" translation of §3.2, used by
+//     the BMC engine).
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/smt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// EventKind distinguishes the trace events of §3.2.
+type EventKind int8
+
+// Event kinds.
+const (
+	EvSend    EventKind = iota // snd(Src, Dst, packet)
+	EvRecv                     // rcv(Dst, Src, packet)
+	EvFail                     // fail(Node)
+	EvRecover                  // node recovery (§3: "a previously failed node can recover")
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "snd"
+	case EvRecv:
+		return "rcv"
+	case EvFail:
+		return "fail"
+	default:
+		return "recover"
+	}
+}
+
+// Event is one entry of a network trace.
+type Event struct {
+	Kind    EventKind
+	Src     topo.NodeID // sender (snd/rcv)
+	Dst     topo.NodeID // receiver (snd/rcv)
+	Node    topo.NodeID // subject of fail/recover
+	Hdr     pkt.Header
+	Classes pkt.ClassSet // oracle-assigned abstract classes of the packet
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvSend, EvRecv:
+		return fmt.Sprintf("%s(%d->%d, %s)", e.Kind, e.Src, e.Dst, e.Hdr)
+	default:
+		return fmt.Sprintf("%s(%d)", e.Kind, e.Node)
+	}
+}
+
+// Formula is a past-time LTL formula over events. All implementations are
+// pointer types so formulas can key maps.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Atom is a predicate over the current event.
+type Atom struct {
+	Name string
+	Pred func(Event) bool
+}
+
+// NotF is logical negation.
+type NotF struct{ F Formula }
+
+// AndF is n-ary conjunction.
+type AndF struct{ FS []Formula }
+
+// OrF is n-ary disjunction.
+type OrF struct{ FS []Formula }
+
+// OnceF is the past operator ♦: F held at some step so far (including now).
+type OnceF struct{ F Formula }
+
+// HistF is "historically": F held at every step so far.
+type HistF struct{ F Formula }
+
+// SinceF holds when B held at some past step and A has held ever since
+// (reflexive: B now also satisfies it).
+type SinceF struct{ A, B Formula }
+
+// YesterdayF holds when F held at the immediately preceding step (false at
+// the first step).
+type YesterdayF struct{ F Formula }
+
+func (*Atom) isFormula()       {}
+func (*NotF) isFormula()       {}
+func (*AndF) isFormula()       {}
+func (*OrF) isFormula()        {}
+func (*OnceF) isFormula()      {}
+func (*HistF) isFormula()      {}
+func (*SinceF) isFormula()     {}
+func (*YesterdayF) isFormula() {}
+
+// String implementations render in a compact math-ish syntax.
+func (a *Atom) String() string { return a.Name }
+func (f *NotF) String() string { return "¬" + f.F.String() }
+func (f *AndF) String() string { return nary("∧", f.FS) }
+func (f *OrF) String() string  { return nary("∨", f.FS) }
+func (f *OnceF) String() string {
+	return "♦" + f.F.String()
+}
+func (f *HistF) String() string      { return "□̄" + f.F.String() }
+func (f *SinceF) String() string     { return "(" + f.A.String() + " S " + f.B.String() + ")" }
+func (f *YesterdayF) String() string { return "Y" + f.F.String() }
+
+func nary(op string, fs []Formula) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " "+op+" ") + ")"
+}
+
+// Constructors.
+
+// NewAtom builds an atom with a display name and predicate.
+func NewAtom(name string, pred func(Event) bool) *Atom { return &Atom{Name: name, Pred: pred} }
+
+// Not negates f.
+func Not(f Formula) Formula { return &NotF{f} }
+
+// And conjoins fs.
+func And(fs ...Formula) Formula { return &AndF{fs} }
+
+// Or disjoins fs.
+func Or(fs ...Formula) Formula { return &OrF{fs} }
+
+// Once is the past ♦ operator.
+func Once(f Formula) Formula { return &OnceF{f} }
+
+// Historically holds while f has held at every step.
+func Historically(f Formula) Formula { return &HistF{f} }
+
+// Since builds (a S b).
+func Since(a, b Formula) Formula { return &SinceF{a, b} }
+
+// Yesterday references the previous step.
+func Yesterday(f Formula) Formula { return &YesterdayF{f} }
+
+// Common atoms.
+
+// RcvAt matches receive events at node dst satisfying pred (nil = any).
+func RcvAt(dst topo.NodeID, name string, pred func(Event) bool) *Atom {
+	return NewAtom(fmt.Sprintf("rcv@%d%s", dst, suffix(name)), func(e Event) bool {
+		return e.Kind == EvRecv && e.Dst == dst && (pred == nil || pred(e))
+	})
+}
+
+// SndFrom matches send events by node src satisfying pred (nil = any).
+func SndFrom(src topo.NodeID, name string, pred func(Event) bool) *Atom {
+	return NewAtom(fmt.Sprintf("snd@%d%s", src, suffix(name)), func(e Event) bool {
+		return e.Kind == EvSend && e.Src == src && (pred == nil || pred(e))
+	})
+}
+
+// FailOf matches the failure of node n.
+func FailOf(n topo.NodeID) *Atom {
+	return NewAtom(fmt.Sprintf("fail(%d)", n), func(e Event) bool {
+		return e.Kind == EvFail && e.Node == n
+	})
+}
+
+func suffix(name string) string {
+	if name == "" {
+		return ""
+	}
+	return "[" + name + "]"
+}
+
+// Ground unrolls formula f over horizon K (steps 0..K-1) into smt formulas,
+// one per step, against the given atom encoder. enc(a, t) must return the
+// smt encoding of atom a holding at step t. This is the paper's conversion
+// of LTL into first-order logic by explicit quantification over time.
+func Ground(c *smt.Ctx, f Formula, k int, enc func(a *Atom, t int) smt.Form) []smt.Form {
+	type key struct {
+		f Formula
+		t int
+	}
+	memo := map[key]smt.Form{}
+	var at func(f Formula, t int) smt.Form
+	at = func(f Formula, t int) smt.Form {
+		if t < 0 {
+			// Base cases before the trace starts.
+			switch f.(type) {
+			case *HistF:
+				return c.True()
+			default:
+				return c.False()
+			}
+		}
+		if g, ok := memo[key{f, t}]; ok {
+			return g
+		}
+		var g smt.Form
+		switch n := f.(type) {
+		case *Atom:
+			g = enc(n, t)
+		case *NotF:
+			g = c.Not(at(n.F, t))
+		case *AndF:
+			parts := make([]smt.Form, len(n.FS))
+			for i, sub := range n.FS {
+				parts[i] = at(sub, t)
+			}
+			g = c.And(parts...)
+		case *OrF:
+			parts := make([]smt.Form, len(n.FS))
+			for i, sub := range n.FS {
+				parts[i] = at(sub, t)
+			}
+			g = c.Or(parts...)
+		case *OnceF:
+			g = c.Or(at(n.F, t), at(f, t-1))
+		case *HistF:
+			g = c.And(at(n.F, t), at(f, t-1))
+		case *SinceF:
+			g = c.Or(at(n.B, t), c.And(at(n.A, t), at(f, t-1)))
+		case *YesterdayF:
+			if t == 0 {
+				g = c.False()
+			} else {
+				g = at(n.F, t-1)
+			}
+		default:
+			panic("logic: unknown formula node")
+		}
+		memo[key{f, t}] = g
+		return g
+	}
+	out := make([]smt.Form, k)
+	for t := 0; t < k; t++ {
+		out[t] = at(f, t)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netverify/vmn/internal/sat"
+	"github.com/netverify/vmn/internal/smt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Test atoms: events carry a single letter in Hdr.ContentID.
+func isLetter(c byte) *Atom {
+	return NewAtom(string(c), func(e Event) bool { return e.Hdr.ContentID == uint32(c) })
+}
+
+func mkEvent(c byte) Event {
+	e := Event{Kind: EvRecv}
+	e.Hdr.ContentID = uint32(c)
+	return e
+}
+
+func runTrace(f Formula, trace string) []bool {
+	m := Compile(f)
+	out := make([]bool, len(trace))
+	for i := 0; i < len(trace); i++ {
+		out[i] = m.Step(mkEvent(trace[i]))
+	}
+	return out
+}
+
+func TestAtomMonitor(t *testing.T) {
+	got := runTrace(isLetter('a'), "aba")
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOnceMonitor(t *testing.T) {
+	got := runTrace(Once(isLetter('a')), "bbabb")
+	want := []bool{false, false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistoricallyMonitor(t *testing.T) {
+	got := runTrace(Historically(isLetter('a')), "aab")
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	// Once false, stays false.
+	got = runTrace(Historically(isLetter('a')), "aba")
+	if got[2] {
+		t.Fatal("historically must not recover")
+	}
+}
+
+func TestSinceMonitor(t *testing.T) {
+	// a S b: b seen, and a at every step after it.
+	got := runTrace(Since(isLetter('a'), isLetter('b')), "abaacaa")
+	want := []bool{false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v (trace abaacaa)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestYesterdayMonitor(t *testing.T) {
+	got := runTrace(Yesterday(isLetter('a')), "aba")
+	want := []bool{false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	f := And(Once(isLetter('a')), Not(isLetter('b')))
+	got := runTrace(f, "abc")
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	g := Or(isLetter('a'), isLetter('b'))
+	got = runTrace(g, "abc")
+	want = []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Or step %d", i)
+		}
+	}
+}
+
+func TestNestedTemporal(t *testing.T) {
+	// ♦(a ∧ Y b): some past step where a followed b.
+	f := Once(And(isLetter('a'), Yesterday(isLetter('b'))))
+	got := runTrace(f, "abac")
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonitorForkIndependence(t *testing.T) {
+	m := Compile(Once(isLetter('a')))
+	m.Step(mkEvent('b'))
+	f := m.Fork()
+	f.Step(mkEvent('a'))
+	if f.State() == m.State() {
+		t.Fatal("fork should diverge after different events")
+	}
+	if m.Value() {
+		t.Fatal("original monitor must be unaffected")
+	}
+}
+
+func TestMonitorStateRoundTrip(t *testing.T) {
+	m := Compile(Once(isLetter('a')))
+	m.Step(mkEvent('a'))
+	s := m.State()
+	m2 := Compile(Once(isLetter('a')))
+	m2.SetState(s)
+	// After restoring, a 'b' event keeps Once true.
+	if !m2.Step(mkEvent('b')) {
+		t.Fatal("state restore lost the Once bit")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: EvFail, Node: 3}
+	if e.String() != "fail(3)" {
+		t.Fatalf("got %s", e)
+	}
+	s := Event{Kind: EvSend, Src: 1, Dst: 2}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := And(Not(isLetter('a')), Or(Once(isLetter('b')), Historically(isLetter('c')), Since(isLetter('d'), isLetter('e')), Yesterday(isLetter('f'))))
+	if f.String() == "" {
+		t.Fatal("expected rendering")
+	}
+}
+
+func TestCommonAtoms(t *testing.T) {
+	rcv := RcvAt(topo.NodeID(2), "any", nil)
+	if !rcv.Pred(Event{Kind: EvRecv, Dst: 2}) || rcv.Pred(Event{Kind: EvRecv, Dst: 3}) {
+		t.Fatal("RcvAt wrong")
+	}
+	if rcv.Pred(Event{Kind: EvSend, Dst: 2}) {
+		t.Fatal("RcvAt must ignore sends")
+	}
+	snd := SndFrom(topo.NodeID(1), "", nil)
+	if !snd.Pred(Event{Kind: EvSend, Src: 1}) {
+		t.Fatal("SndFrom wrong")
+	}
+	fl := FailOf(topo.NodeID(9))
+	if !fl.Pred(Event{Kind: EvFail, Node: 9}) || fl.Pred(Event{Kind: EvRecover, Node: 9}) {
+		t.Fatal("FailOf wrong")
+	}
+}
+
+// Grounding must agree with the monitor on random traces: for every step t,
+// the SMT encoding of f@t (with atoms fixed to the trace) is satisfiable
+// iff the monitor says f holds at t.
+func TestGroundAgreesWithMonitor(t *testing.T) {
+	letters := []byte{'a', 'b', 'c'}
+	formulas := []Formula{
+		Once(isLetter('a')),
+		Historically(Not(isLetter('b'))),
+		Since(Not(isLetter('c')), isLetter('a')),
+		And(Once(isLetter('a')), Not(Once(isLetter('b')))),
+		Or(Yesterday(isLetter('a')), isLetter('b')),
+		Once(And(isLetter('a'), Yesterday(isLetter('b')))),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for fi, f := range formulas {
+		for rep := 0; rep < 10; rep++ {
+			k := 1 + rng.Intn(6)
+			trace := make([]byte, k)
+			for i := range trace {
+				trace[i] = letters[rng.Intn(len(letters))]
+			}
+			// Monitor run.
+			m := Compile(f)
+			monVals := make([]bool, k)
+			for i := 0; i < k; i++ {
+				monVals[i] = m.Step(mkEvent(trace[i]))
+			}
+			// Grounded run: atoms evaluate against the fixed trace, so the
+			// formula is variable-free and must simplify to true/false.
+			c := smt.NewCtx()
+			enc := func(a *Atom, tt int) smt.Form {
+				if a.Pred(mkEvent(trace[tt])) {
+					return c.True()
+				}
+				return c.False()
+			}
+			grounded := Ground(c, f, k, enc)
+			for tt := 0; tt < k; tt++ {
+				want := monVals[tt]
+				got := grounded[tt].IsTrue()
+				if grounded[tt].IsTrue() == grounded[tt].IsFalse() {
+					t.Fatalf("formula %d: grounded value not constant", fi)
+				}
+				if got != want {
+					t.Fatalf("formula %d (%s) trace %q step %d: ground=%v monitor=%v",
+						fi, f, trace, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Grounding with free atoms: check a simple satisfiability question.
+func TestGroundWithFreeAtoms(t *testing.T) {
+	c := smt.NewCtx()
+	a := isLetter('a')
+	// atom a is free per step.
+	enc := func(at *Atom, tt int) smt.Form {
+		return c.BoolVar(at.Name + string(rune('0'+tt)))
+	}
+	k := 3
+	grounded := Ground(c, Once(a), k, enc)
+	// Assert ♦a holds at step 2 but a is false at steps 1 and 2:
+	// forces a at step 0.
+	c.Assert(grounded[2])
+	c.Assert(c.Not(c.BoolVar("a1")))
+	c.Assert(c.Not(c.BoolVar("a2")))
+	if c.Solve() != sat.Sat {
+		t.Fatal("should be satisfiable via a@0")
+	}
+	if c.EvalForm(c.BoolVar("a0")) != sat.True {
+		t.Fatal("a@0 must be true")
+	}
+	// Additionally forbidding a@0 makes it UNSAT.
+	c.Assert(c.Not(c.BoolVar("a0")))
+	if c.Solve() != sat.Unsat {
+		t.Fatal("must be UNSAT with all a@t false")
+	}
+}
+
+func TestCompileTooManyStateSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64 temporal nodes")
+		}
+	}()
+	fs := make([]Formula, 65)
+	for i := range fs {
+		fs[i] = Once(isLetter(byte('a' + i%26)))
+	}
+	// Distinct Once nodes: each needs a slot.
+	Compile(And(fs...))
+}
+
+func TestSharedSubformulaOneSlot(t *testing.T) {
+	shared := Once(isLetter('a'))
+	m := Compile(And(shared, Or(shared, isLetter('b'))))
+	if len(m.prog.tracked) != 1 {
+		t.Fatalf("shared subformula should use one slot, got %d", len(m.prog.tracked))
+	}
+}

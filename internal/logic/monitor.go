@@ -1,0 +1,176 @@
+package logic
+
+import "fmt"
+
+// Monitor executes a past-time LTL formula over a trace, one event at a
+// time. Monitors are used by the explicit-state engine, which needs the
+// monitor state to be part of the explored state space: State packs the
+// persistent part of the monitor into a single uint64 so product states
+// hash cheaply.
+//
+// The compiled node table is immutable and can be shared; the mutable
+// state is just the bitmask, so copying a Monitor (value copy) forks it.
+type Monitor struct {
+	prog  *monitorProg
+	state uint64
+	val   bool // value of the root after the last Step
+}
+
+type monitorProg struct {
+	nodes   []monNode
+	root    int
+	tracked []int // node indices with persistent state, ≤64
+	slot    map[int]int
+}
+
+type monOp int8
+
+const (
+	opAtom monOp = iota
+	opNot
+	opAnd
+	opOr
+	opOnce
+	opHist
+	opSince
+	opYesterday
+)
+
+type monNode struct {
+	op   monOp
+	atom *Atom
+	args []int // child node indices
+}
+
+// Compile translates f into an executable monitor. It panics if the
+// formula needs more than 64 state slots.
+func Compile(f Formula) *Monitor {
+	p := &monitorProg{slot: map[int]int{}}
+	seen := map[Formula]int{}
+	var build func(f Formula) int
+	build = func(f Formula) int {
+		if i, ok := seen[f]; ok {
+			return i
+		}
+		var n monNode
+		switch x := f.(type) {
+		case *Atom:
+			n = monNode{op: opAtom, atom: x}
+		case *NotF:
+			n = monNode{op: opNot, args: []int{build(x.F)}}
+		case *AndF:
+			args := make([]int, len(x.FS))
+			for i, s := range x.FS {
+				args[i] = build(s)
+			}
+			n = monNode{op: opAnd, args: args}
+		case *OrF:
+			args := make([]int, len(x.FS))
+			for i, s := range x.FS {
+				args[i] = build(s)
+			}
+			n = monNode{op: opOr, args: args}
+		case *OnceF:
+			n = monNode{op: opOnce, args: []int{build(x.F)}}
+		case *HistF:
+			n = monNode{op: opHist, args: []int{build(x.F)}}
+		case *SinceF:
+			n = monNode{op: opSince, args: []int{build(x.A), build(x.B)}}
+		case *YesterdayF:
+			n = monNode{op: opYesterday, args: []int{build(x.F)}}
+		default:
+			panic("logic: unknown formula node")
+		}
+		idx := len(p.nodes)
+		p.nodes = append(p.nodes, n)
+		seen[f] = idx
+		switch n.op {
+		case opOnce, opHist, opSince, opYesterday:
+			if len(p.tracked) >= 64 {
+				panic("logic: monitor needs more than 64 state slots")
+			}
+			p.slot[idx] = len(p.tracked)
+			p.tracked = append(p.tracked, idx)
+		}
+		return idx
+	}
+	p.root = build(f)
+	m := &Monitor{prog: p}
+	// Initial state: Historically starts true; everything else false.
+	for _, idx := range p.tracked {
+		if p.nodes[idx].op == opHist {
+			m.state |= 1 << uint(p.slot[idx])
+		}
+	}
+	return m
+}
+
+// State returns the packed persistent state (for hashing product states).
+func (m *Monitor) State() uint64 { return m.state }
+
+// SetState restores a previously observed packed state.
+func (m *Monitor) SetState(s uint64) { m.state = s }
+
+// Value reports the root formula's value after the last Step (false before
+// any event).
+func (m *Monitor) Value() bool { return m.val }
+
+// Fork returns an independent copy sharing the compiled program.
+func (m *Monitor) Fork() *Monitor {
+	c := *m
+	return &c
+}
+
+// Step advances the monitor by one event and returns the root value at this
+// step.
+func (m *Monitor) Step(e Event) bool {
+	p := m.prog
+	cur := make([]bool, len(p.nodes))
+	prevBit := func(idx int) bool { return m.state&(1<<uint(p.slot[idx])) != 0 }
+	for i, n := range p.nodes {
+		switch n.op {
+		case opAtom:
+			cur[i] = n.atom.Pred(e)
+		case opNot:
+			cur[i] = !cur[n.args[0]]
+		case opAnd:
+			v := true
+			for _, a := range n.args {
+				v = v && cur[a]
+			}
+			cur[i] = v
+		case opOr:
+			v := false
+			for _, a := range n.args {
+				v = v || cur[a]
+			}
+			cur[i] = v
+		case opOnce:
+			cur[i] = cur[n.args[0]] || prevBit(i)
+		case opHist:
+			cur[i] = cur[n.args[0]] && prevBit(i)
+		case opSince:
+			cur[i] = cur[n.args[1]] || (cur[n.args[0]] && prevBit(i))
+		case opYesterday:
+			// The stored bit is the child's value at the previous step.
+			cur[i] = prevBit(i)
+		default:
+			panic(fmt.Sprintf("logic: bad op %d", n.op))
+		}
+	}
+	var next uint64
+	for _, idx := range p.tracked {
+		var bit bool
+		if p.nodes[idx].op == opYesterday {
+			bit = cur[p.nodes[idx].args[0]] // remember child's current value
+		} else {
+			bit = cur[idx]
+		}
+		if bit {
+			next |= 1 << uint(p.slot[idx])
+		}
+	}
+	m.state = next
+	m.val = cur[p.root]
+	return m.val
+}

@@ -1,0 +1,82 @@
+package mbox
+
+// This file bridges middlebox models to the BMC engine (internal/encode),
+// which encodes middlebox state as one SAT variable per (box, key, time).
+// That encoding applies to models whose state is a *monotone set of string
+// keys* — exactly the shape of the firewall's established-flows set, the
+// cache's content set and the IDPS's under-attack set, i.e. every model
+// the paper's evaluation scenarios exercise. Models with richer state
+// (NAT's port mappings, the load balancer's assignments) are handled by
+// the explicit-state engine instead.
+
+// SetStateKeys reports whether st is a monotone key-set state and, if so,
+// returns its keys (unsorted).
+func SetStateKeys(st State) ([]string, bool) {
+	switch s := st.(type) {
+	case emptyState:
+		return nil, true
+	case *setState:
+		keys := make([]string, 0, len(s.set))
+		for k := range s.set {
+			keys = append(keys, k)
+		}
+		return keys, true
+	default:
+		return nil, false
+	}
+}
+
+// SetStateWith builds a key-set state holding exactly the given keys, for
+// evaluating a model under a hypothetical state valuation.
+func SetStateWith(keys ...string) State {
+	s := newSetState()
+	for _, k := range keys {
+		s.set[k] = true
+	}
+	return s
+}
+
+// KeyReader is implemented by key-set models to tell the BMC engine which
+// state keys Process may consult for a given input. Returning a superset
+// is safe; returning a subset is not.
+type KeyReader interface {
+	ReadKeys(in Input) []string
+}
+
+// ReadKeys implements KeyReader: the firewall consults only the packet's
+// own flow entry (the definition of flow-parallel state).
+func (f *LearningFirewall) ReadKeys(in Input) []string {
+	return []string{flowKey(in.Hdr)}
+}
+
+// ReadKeys implements KeyReader: a request consults its (origin, content)
+// cache line; responses and other packets read nothing.
+func (c *ContentCache) ReadKeys(in Input) []string {
+	if IsRequest(in.Hdr) {
+		return []string{cacheKey(in.Hdr.Dst, in.Hdr.ContentID)}
+	}
+	return nil
+}
+
+// ReadKeys implements KeyReader: the IDPS consults the attack flag of the
+// watched prefix covering the destination, if any.
+func (d *IDPS) ReadKeys(in Input) []string {
+	if pfx, ok := d.watchedPrefix(in.Hdr.Dst); ok {
+		return []string{pfx.String()}
+	}
+	return nil
+}
+
+// Stateless models trivially read nothing.
+
+// ReadKeys implements KeyReader.
+func (s *Scrubber) ReadKeys(Input) []string { return nil }
+
+// ReadKeys implements KeyReader.
+func (p *Passthrough) ReadKeys(Input) []string { return nil }
+
+// ReadKeys implements KeyReader.
+func (f *AppFirewall) ReadKeys(Input) []string { return nil }
+
+// ReadKeys implements KeyReader.
+func (w *WANOptimizer) ReadKeys(Input) []string { return nil }

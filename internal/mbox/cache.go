@@ -1,0 +1,97 @@
+package mbox
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// ContentCache is the paper's canonical origin-agnostic middlebox (§4.1,
+// §5.2): it remembers which (origin, content) pairs have passed through it
+// and answers subsequent requests itself, regardless of which client
+// caused the content to be cached — that indifference is exactly what
+// "origin-agnostic" means.
+//
+// Requests are packets with a non-zero ContentID and no Origin; responses
+// carry Origin = the data's origin server. The cache's ACL (first match
+// wins, default DefaultServe) controls which (client, origin) pairs it may
+// serve from cache — the knob whose misconfiguration §5.2 injects. A
+// denied or missed request is forwarded unchanged toward the origin
+// server; responses flowing through are cached.
+//
+// The cache fails open: when down it forwards traffic unmodified (it is a
+// performance optimization, not a security device).
+type ContentCache struct {
+	InstanceName string
+	ACL          []ACLEntry // Src = client prefix, Dst = origin prefix
+	DefaultServe bool
+}
+
+// NewContentCache builds a cache that serves everyone except denied pairs.
+func NewContentCache(name string, acl ...ACLEntry) *ContentCache {
+	return &ContentCache{InstanceName: name, ACL: acl, DefaultServe: true}
+}
+
+// Type implements Model.
+func (c *ContentCache) Type() string { return "cache" }
+
+// Discipline implements Model: the cached-content set is shared across
+// flows and indifferent to who populated it.
+func (c *ContentCache) Discipline() Discipline { return OriginAgnostic }
+
+// FailMode implements Model.
+func (c *ContentCache) FailMode() FailMode { return FailOpen }
+
+// RelevantClasses implements Model.
+func (c *ContentCache) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model: empty cache.
+func (c *ContentCache) InitState() State { return newSetState() }
+
+// MayServe reports whether the ACL lets the cache answer client's request
+// for content originating at origin.
+func (c *ContentCache) MayServe(client, origin pkt.Addr) bool {
+	for _, e := range c.ACL {
+		if e.Matches(client, origin) {
+			return e.Action == Allow
+		}
+	}
+	return c.DefaultServe
+}
+
+func cacheKey(origin pkt.Addr, cid uint32) string {
+	return fmt.Sprintf("%s/%d", origin, cid)
+}
+
+// IsRequest reports whether h is a content request.
+func IsRequest(h pkt.Header) bool { return h.ContentID != 0 && h.Origin == pkt.AddrNone }
+
+// IsResponse reports whether h is a content response.
+func IsResponse(h pkt.Header) bool { return h.ContentID != 0 && h.Origin != pkt.AddrNone }
+
+// Process implements Model.
+func (c *ContentCache) Process(st State, in Input) []Branch {
+	s := checkState[*setState](st, "cache")
+	h := in.Hdr
+	switch {
+	case IsRequest(h):
+		if s.has(cacheKey(h.Dst, h.ContentID)) && c.MayServe(h.Src, h.Dst) {
+			// Cache hit: answer on behalf of the origin.
+			resp := pkt.Header{
+				Src: h.Dst, Dst: h.Src,
+				SrcPort: h.DstPort, DstPort: h.SrcPort,
+				Proto:  h.Proto,
+				Origin: h.Dst, ContentID: h.ContentID,
+			}
+			return forward(s, "hit", Output{Hdr: resp, Classes: in.Classes})
+		}
+		// Miss (or ACL-denied): fetch from the origin.
+		return forward(s, "miss", Output{Hdr: h, Classes: in.Classes})
+	case IsResponse(h):
+		// Cache the passing response, then forward it.
+		return forward(s.with(cacheKey(h.Origin, h.ContentID)), "fill",
+			Output{Hdr: h, Classes: in.Classes})
+	default:
+		return forward(s, "pass", Output{Hdr: h, Classes: in.Classes})
+	}
+}

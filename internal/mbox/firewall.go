@@ -1,0 +1,107 @@
+package mbox
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// Action is an ACL verdict.
+type Action int8
+
+// ACL actions.
+const (
+	Allow Action = iota
+	Deny
+)
+
+// String names the action.
+func (a Action) String() string {
+	if a == Deny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// ACLEntry applies Action to flows initiated from Src to Dst (prefix-based,
+// so one entry can cover a whole policy group). Entries are evaluated in
+// order; the first match wins.
+type ACLEntry struct {
+	Src, Dst pkt.Prefix
+	Action   Action
+}
+
+// Matches reports whether the entry covers initiating src -> dst.
+func (a ACLEntry) Matches(src, dst pkt.Addr) bool {
+	return a.Src.Matches(src) && a.Dst.Matches(dst)
+}
+
+// String renders "allow src->dst".
+func (a ACLEntry) String() string { return fmt.Sprintf("%s %s->%s", a.Action, a.Src, a.Dst) }
+
+// AllowEntry builds an allow entry.
+func AllowEntry(src, dst pkt.Prefix) ACLEntry { return ACLEntry{Src: src, Dst: dst, Action: Allow} }
+
+// DenyEntry builds a deny entry.
+func DenyEntry(src, dst pkt.Prefix) ACLEntry { return ACLEntry{Src: src, Dst: dst, Action: Deny} }
+
+// LearningFirewall is the paper's Listing 1 generalized with allow/deny
+// actions and a default policy: a stateful (hole-punching) firewall.
+// A packet of an established flow always passes; otherwise the packet
+// passes only if the ACL verdict for (src, dst) is Allow, in which case
+// the flow becomes established (bidirectionally). Listing 1 is exactly
+// the configuration {allow entries only, DefaultAllow: false}; the
+// datacenter scenarios of §5.1 use deny entries with DefaultAllow: true,
+// so that *deleting* a rule (the paper's misconfiguration injection)
+// opens a hole.
+//
+// The model is flow-parallel and fails closed (@FailClosed).
+type LearningFirewall struct {
+	InstanceName string
+	ACL          []ACLEntry
+	DefaultAllow bool
+}
+
+// NewLearningFirewall builds a default-deny firewall with the given
+// entries (Listing 1 semantics when all entries are Allow).
+func NewLearningFirewall(name string, acl ...ACLEntry) *LearningFirewall {
+	return &LearningFirewall{InstanceName: name, ACL: acl}
+}
+
+// Type implements Model.
+func (f *LearningFirewall) Type() string { return "firewall" }
+
+// Discipline implements Model: firewall state is per-flow.
+func (f *LearningFirewall) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model (@FailClosed in Listing 1).
+func (f *LearningFirewall) FailMode() FailMode { return FailClosed }
+
+// RelevantClasses implements Model; the plain firewall consults none.
+func (f *LearningFirewall) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model: no established flows.
+func (f *LearningFirewall) InitState() State { return newSetState() }
+
+// Allowed reports the ACL verdict for initiating src->dst.
+func (f *LearningFirewall) Allowed(src, dst pkt.Addr) bool {
+	for _, e := range f.ACL {
+		if e.Matches(src, dst) {
+			return e.Action == Allow
+		}
+	}
+	return f.DefaultAllow
+}
+
+// Process implements Model, following Listing 1 line by line.
+func (f *LearningFirewall) Process(st State, in Input) []Branch {
+	s := checkState[*setState](st, "firewall")
+	fk := flowKey(in.Hdr)
+	if s.has(fk) { // established.contains(flow(p)) => forward
+		return forward(s, "established", Output{Hdr: in.Hdr, Classes: in.Classes})
+	}
+	if f.Allowed(in.Hdr.Src, in.Hdr.Dst) { // acl verdict allows
+		return forward(s.with(fk), "punch", Output{Hdr: in.Hdr, Classes: in.Classes})
+	}
+	return drop(s, "deny")
+}

@@ -1,0 +1,95 @@
+package mbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// LoadBalancer distributes flows addressed to a virtual IP across backend
+// servers. The backend choice for a new flow is nondeterministic (one
+// branch per backend) and sticky thereafter — the standard L4 load
+// balancer the paper lists among mutable datapaths. Flow-parallel,
+// fail-closed.
+type LoadBalancer struct {
+	InstanceName string
+	VIP          pkt.Addr
+	Backends     []pkt.Addr
+}
+
+// NewLoadBalancer builds a load balancer for vip over the given backends.
+func NewLoadBalancer(name string, vip pkt.Addr, backends ...pkt.Addr) *LoadBalancer {
+	return &LoadBalancer{InstanceName: name, VIP: vip, Backends: backends}
+}
+
+type lbState struct {
+	assign map[pkt.Flow]pkt.Addr
+}
+
+func (s *lbState) Key() string {
+	entries := make([]string, 0, len(s.assign))
+	for fl, b := range s.assign {
+		entries = append(entries, fmt.Sprintf("%s=%s", fl, b))
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "|")
+}
+
+func (s *lbState) Clone() State {
+	c := &lbState{assign: make(map[pkt.Flow]pkt.Addr, len(s.assign))}
+	for k, v := range s.assign {
+		c.assign[k] = v
+	}
+	return c
+}
+
+// Type implements Model.
+func (l *LoadBalancer) Type() string { return "loadbalancer" }
+
+// Discipline implements Model.
+func (l *LoadBalancer) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model.
+func (l *LoadBalancer) FailMode() FailMode { return FailClosed }
+
+// RelevantClasses implements Model.
+func (l *LoadBalancer) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model.
+func (l *LoadBalancer) InitState() State {
+	return &lbState{assign: map[pkt.Flow]pkt.Addr{}}
+}
+
+// Process implements Model.
+func (l *LoadBalancer) Process(st State, in Input) []Branch {
+	s := checkState[*lbState](st, "loadbalancer")
+	h := in.Hdr
+	if h.Dst != l.VIP {
+		// Not for the VIP: pass through (e.g. backend-to-client return
+		// traffic routed through the LB).
+		return forward(s, "pass", Output{Hdr: h, Classes: in.Classes})
+	}
+	fl := pkt.FlowOf(h).Canonical()
+	if b, ok := s.assign[fl]; ok {
+		h.Dst = b
+		return forward(s, "sticky", Output{Hdr: h, Classes: in.Classes})
+	}
+	if len(l.Backends) == 0 {
+		return drop(s, "no-backends")
+	}
+	branches := make([]Branch, 0, len(l.Backends))
+	for _, b := range l.Backends {
+		c := s.Clone().(*lbState)
+		c.assign[fl] = b
+		out := h
+		out.Dst = b
+		branches = append(branches, Branch{
+			Label: fmt.Sprintf("pick:%s", b),
+			Out:   []Output{{Hdr: out, Classes: in.Classes}},
+			Next:  c,
+		})
+	}
+	return branches
+}

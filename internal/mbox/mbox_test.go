@@ -1,0 +1,451 @@
+package mbox
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+var (
+	hA = pkt.MustParseAddr("10.0.0.1")
+	hB = pkt.MustParseAddr("10.0.0.2")
+	hC = pkt.MustParseAddr("10.1.0.1")
+)
+
+func hdr(src, dst pkt.Addr, sp, dp pkt.Port) pkt.Header {
+	return pkt.Header{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: pkt.TCP}
+}
+
+// single asserts the model returned exactly one branch and returns it.
+func single(t *testing.T, bs []Branch) Branch {
+	t.Helper()
+	if len(bs) != 1 {
+		t.Fatalf("want 1 branch, got %d", len(bs))
+	}
+	return bs[0]
+}
+
+func TestDisciplineAndFailModeStrings(t *testing.T) {
+	if FlowParallel.String() != "flow-parallel" || OriginAgnostic.String() != "origin-agnostic" || General.String() != "general" {
+		t.Fatal("discipline strings")
+	}
+	if FailClosed.String() != "fail-closed" || FailOpen.String() != "fail-open" || FailExplicit.String() != "fail-explicit" {
+		t.Fatal("failmode strings")
+	}
+}
+
+func TestACLEntry(t *testing.T) {
+	e := AllowEntry(pkt.HostPrefix(hA), pkt.Prefix{Addr: pkt.MustParseAddr("10.0.0.0"), Len: 24})
+	if !e.Matches(hA, hB) {
+		t.Fatal("should match")
+	}
+	if e.Matches(hB, hA) {
+		t.Fatal("src mismatch should not match")
+	}
+	if !strings.Contains(e.String(), "allow") {
+		t.Fatalf("string: %s", e)
+	}
+	d := DenyEntry(pkt.Prefix{}, pkt.Prefix{})
+	if d.Action != Deny {
+		t.Fatal("deny entry")
+	}
+}
+
+func TestFirewallDefaultDenyDropsNew(t *testing.T) {
+	fw := NewLearningFirewall("fw")
+	st := fw.InitState()
+	b := single(t, fw.Process(st, Input{Hdr: hdr(hA, hB, 1000, 80)}))
+	if len(b.Out) != 0 {
+		t.Fatal("default-deny firewall must drop unknown flow")
+	}
+}
+
+func TestFirewallAllowEstablishesFlow(t *testing.T) {
+	fw := NewLearningFirewall("fw", AllowEntry(pkt.HostPrefix(hA), pkt.HostPrefix(hB)))
+	st := fw.InitState()
+	// Forward direction allowed, establishes flow.
+	b := single(t, fw.Process(st, Input{Hdr: hdr(hA, hB, 1000, 80)}))
+	if len(b.Out) != 1 {
+		t.Fatal("allowed packet must pass")
+	}
+	// Reverse direction now passes (hole punched)...
+	b2 := single(t, fw.Process(b.Next, Input{Hdr: hdr(hB, hA, 80, 1000)}))
+	if len(b2.Out) != 1 || b2.Label != "established" {
+		t.Fatalf("reverse of established flow must pass: %+v", b2)
+	}
+	// ...but only for that flow; different ports are a new flow.
+	b3 := single(t, fw.Process(b.Next, Input{Hdr: hdr(hB, hA, 81, 1001)}))
+	if len(b3.Out) != 0 {
+		t.Fatal("unrelated reverse flow must be dropped")
+	}
+}
+
+func TestFirewallReverseNotAllowedWithoutEstablishment(t *testing.T) {
+	fw := NewLearningFirewall("fw", AllowEntry(pkt.HostPrefix(hA), pkt.HostPrefix(hB)))
+	st := fw.InitState()
+	b := single(t, fw.Process(st, Input{Hdr: hdr(hB, hA, 80, 1000)}))
+	if len(b.Out) != 0 {
+		t.Fatal("B may not initiate to A")
+	}
+}
+
+func TestFirewallDenyRuleWithDefaultAllow(t *testing.T) {
+	fw := &LearningFirewall{
+		InstanceName: "fw",
+		ACL:          []ACLEntry{DenyEntry(pkt.HostPrefix(hA), pkt.HostPrefix(hB))},
+		DefaultAllow: true,
+	}
+	if fw.Allowed(hA, hB) {
+		t.Fatal("deny rule must block")
+	}
+	if !fw.Allowed(hA, hC) {
+		t.Fatal("default allow must pass others")
+	}
+	// Deleting the deny rule (the §5.1 misconfiguration) opens the hole.
+	fw.ACL = nil
+	if !fw.Allowed(hA, hB) {
+		t.Fatal("without deny rule traffic must pass")
+	}
+}
+
+func TestFirewallFirstMatchWins(t *testing.T) {
+	group := pkt.Prefix{Addr: pkt.MustParseAddr("10.0.0.0"), Len: 24}
+	fw := &LearningFirewall{
+		ACL: []ACLEntry{
+			AllowEntry(pkt.HostPrefix(hA), pkt.HostPrefix(hB)),
+			DenyEntry(group, group),
+		},
+		DefaultAllow: false,
+	}
+	if !fw.Allowed(hA, hB) {
+		t.Fatal("specific allow listed first must win")
+	}
+	if fw.Allowed(hB, hA) {
+		t.Fatal("group deny must apply to others")
+	}
+}
+
+func TestFirewallStateKeyCanonical(t *testing.T) {
+	fw := NewLearningFirewall("fw",
+		AllowEntry(pkt.Prefix{}, pkt.Prefix{}))
+	st := fw.InitState()
+	a := single(t, fw.Process(st, Input{Hdr: hdr(hA, hB, 1, 2)})).Next
+	ab := single(t, fw.Process(a, Input{Hdr: hdr(hA, hC, 3, 4)})).Next
+	// Same flows added in the other order yield the same key.
+	c := single(t, fw.Process(st, Input{Hdr: hdr(hA, hC, 3, 4)})).Next
+	cb := single(t, fw.Process(c, Input{Hdr: hdr(hA, hB, 1, 2)})).Next
+	if ab.Key() != cb.Key() {
+		t.Fatalf("state keys must be order-insensitive: %q vs %q", ab.Key(), cb.Key())
+	}
+	if st.Key() == ab.Key() {
+		t.Fatal("established flows must change the key")
+	}
+}
+
+func TestNATOutboundAndReturn(t *testing.T) {
+	natAddr := pkt.MustParseAddr("100.0.0.1")
+	n := NewNAT("nat", natAddr)
+	st := n.InitState()
+	// Outbound: src rewritten to NAT address and remapped port.
+	b := single(t, n.Process(st, Input{Hdr: hdr(hA, hC, 1234, 80)}))
+	out := b.Out[0].Hdr
+	if out.Src != natAddr {
+		t.Fatalf("src not rewritten: %s", out.Src)
+	}
+	if out.SrcPort == 1234 {
+		t.Fatal("src port must be remapped")
+	}
+	// Second packet of same flow: same mapping, no state change.
+	b2 := single(t, n.Process(b.Next, Input{Hdr: hdr(hA, hC, 1234, 80)}))
+	if b2.Out[0].Hdr.SrcPort != out.SrcPort {
+		t.Fatal("mapping must be stable")
+	}
+	if b2.Next.Key() != b.Next.Key() {
+		t.Fatal("no state change for active flow")
+	}
+	// Return traffic to the NAT address is translated back.
+	ret := hdr(hC, natAddr, 80, out.SrcPort)
+	b3 := single(t, n.Process(b.Next, Input{Hdr: ret}))
+	got := b3.Out[0].Hdr
+	if got.Dst != hA || got.DstPort != 1234 {
+		t.Fatalf("reverse translation wrong: %s", got)
+	}
+}
+
+func TestNATDropsUnknownReverse(t *testing.T) {
+	n := NewNAT("nat", pkt.MustParseAddr("100.0.0.1"))
+	b := single(t, n.Process(n.InitState(), Input{Hdr: hdr(hC, pkt.MustParseAddr("100.0.0.1"), 80, 9999)}))
+	if len(b.Out) != 0 {
+		t.Fatal("unknown reverse mapping must drop")
+	}
+}
+
+func TestNATExplicitFailureDrops(t *testing.T) {
+	n := NewNAT("nat", pkt.MustParseAddr("100.0.0.1"))
+	if n.FailMode() != FailExplicit {
+		t.Fatal("NAT models failure explicitly")
+	}
+	b := single(t, n.Process(n.InitState(), Input{Hdr: hdr(hA, hC, 1, 2), Failed: true}))
+	if len(b.Out) != 0 {
+		t.Fatal("failed NAT must drop")
+	}
+}
+
+func TestNATDistinctFlowsDistinctPorts(t *testing.T) {
+	n := NewNAT("nat", pkt.MustParseAddr("100.0.0.1"))
+	st := n.InitState()
+	b1 := single(t, n.Process(st, Input{Hdr: hdr(hA, hC, 1000, 80)}))
+	b2 := single(t, n.Process(b1.Next, Input{Hdr: hdr(hB, hC, 1000, 80)}))
+	if b1.Out[0].Hdr.SrcPort == b2.Out[0].Hdr.SrcPort {
+		t.Fatal("different flows must get different remapped ports")
+	}
+}
+
+func TestLoadBalancerBranchesAndStickiness(t *testing.T) {
+	vip := pkt.MustParseAddr("10.9.9.9")
+	lb := NewLoadBalancer("lb", vip, hA, hB)
+	st := lb.InitState()
+	bs := lb.Process(st, Input{Hdr: hdr(hC, vip, 1000, 80)})
+	if len(bs) != 2 {
+		t.Fatalf("want one branch per backend, got %d", len(bs))
+	}
+	dsts := map[pkt.Addr]bool{}
+	for _, b := range bs {
+		dsts[b.Out[0].Hdr.Dst] = true
+		// Follow-up packet on the same flow sticks to the chosen backend.
+		b2 := single(t, lb.Process(b.Next, Input{Hdr: hdr(hC, vip, 1000, 80)}))
+		if b2.Out[0].Hdr.Dst != b.Out[0].Hdr.Dst {
+			t.Fatal("flow must stick to its backend")
+		}
+	}
+	if !dsts[hA] || !dsts[hB] {
+		t.Fatalf("both backends must be reachable: %v", dsts)
+	}
+}
+
+func TestLoadBalancerPassThroughNonVIP(t *testing.T) {
+	lb := NewLoadBalancer("lb", pkt.MustParseAddr("10.9.9.9"), hA)
+	b := single(t, lb.Process(lb.InitState(), Input{Hdr: hdr(hA, hC, 80, 1000)}))
+	if len(b.Out) != 1 || b.Out[0].Hdr.Dst != hC {
+		t.Fatal("non-VIP traffic passes through")
+	}
+}
+
+func TestLoadBalancerNoBackendsDrops(t *testing.T) {
+	vip := pkt.MustParseAddr("10.9.9.9")
+	lb := NewLoadBalancer("lb", vip)
+	b := single(t, lb.Process(lb.InitState(), Input{Hdr: hdr(hC, vip, 1, 2)}))
+	if len(b.Out) != 0 {
+		t.Fatal("no backends: drop")
+	}
+}
+
+func request(src, origin pkt.Addr, cid uint32) pkt.Header {
+	return pkt.Header{Src: src, Dst: origin, SrcPort: 1000, DstPort: 80, Proto: pkt.TCP, ContentID: cid}
+}
+
+func response(origin, dst pkt.Addr, cid uint32) pkt.Header {
+	return pkt.Header{Src: origin, Dst: dst, SrcPort: 80, DstPort: 1000, Proto: pkt.TCP, Origin: origin, ContentID: cid}
+}
+
+func TestCacheMissFillHit(t *testing.T) {
+	c := NewContentCache("cache")
+	st := c.InitState()
+	// Request before fill: miss, forwarded upstream unchanged.
+	b := single(t, c.Process(st, Input{Hdr: request(hA, hC, 7)}))
+	if b.Label != "miss" || b.Out[0].Hdr.Dst != hC {
+		t.Fatalf("miss handling wrong: %+v", b)
+	}
+	// Response fills the cache.
+	b2 := single(t, c.Process(st, Input{Hdr: response(hC, hA, 7)}))
+	if b2.Label != "fill" {
+		t.Fatalf("fill expected: %+v", b2)
+	}
+	// Request after fill: served by the cache with Origin set.
+	b3 := single(t, c.Process(b2.Next, Input{Hdr: request(hB, hC, 7)}))
+	if b3.Label != "hit" {
+		t.Fatalf("hit expected: %+v", b3)
+	}
+	resp := b3.Out[0].Hdr
+	if resp.Dst != hB || resp.Origin != hC || resp.ContentID != 7 {
+		t.Fatalf("served response wrong: %s", resp)
+	}
+}
+
+func TestCacheOriginAgnostic(t *testing.T) {
+	// Who filled the cache must not matter: state key identical whether A
+	// or B fetched the content.
+	c := NewContentCache("cache")
+	st := c.InitState()
+	viaA := single(t, c.Process(st, Input{Hdr: response(hC, hA, 7)})).Next
+	viaB := single(t, c.Process(st, Input{Hdr: response(hC, hB, 7)})).Next
+	if viaA.Key() != viaB.Key() {
+		t.Fatalf("cache must be origin-agnostic: %q vs %q", viaA.Key(), viaB.Key())
+	}
+	if c.Discipline() != OriginAgnostic {
+		t.Fatal("discipline must be origin-agnostic")
+	}
+}
+
+func TestCacheACLDeniesServing(t *testing.T) {
+	// Deny B from being served content originating at C.
+	c := NewContentCache("cache", DenyEntry(pkt.HostPrefix(hB), pkt.HostPrefix(hC)))
+	st := single(t, c.Process(c.InitState(), Input{Hdr: response(hC, hA, 7)})).Next
+	// B's request must NOT be served from cache; it is forwarded upstream.
+	b := single(t, c.Process(st, Input{Hdr: request(hB, hC, 7)}))
+	if b.Label != "miss" {
+		t.Fatalf("denied client must go upstream: %+v", b)
+	}
+	// A is still served.
+	b2 := single(t, c.Process(st, Input{Hdr: request(hA, hC, 7)}))
+	if b2.Label != "hit" {
+		t.Fatalf("allowed client should hit: %+v", b2)
+	}
+	// Deleting the ACL (the §5.2 misconfiguration) exposes the data.
+	c.ACL = nil
+	b3 := single(t, c.Process(st, Input{Hdr: request(hB, hC, 7)}))
+	if b3.Label != "hit" {
+		t.Fatal("without ACL the private copy is served — the violation VMN must find")
+	}
+}
+
+func TestCacheNonContentPass(t *testing.T) {
+	c := NewContentCache("cache")
+	b := single(t, c.Process(c.InitState(), Input{Hdr: hdr(hA, hB, 1, 2)}))
+	if b.Label != "pass" || len(b.Out) != 1 {
+		t.Fatalf("non-content packets pass: %+v", b)
+	}
+}
+
+func TestIDPSTripAndReroute(t *testing.T) {
+	reg := pkt.NewRegistry()
+	mal := reg.Register(ClassMalicious)
+	scrub := pkt.MustParseAddr("100.0.0.9")
+	watched := pkt.Prefix{Addr: pkt.MustParseAddr("10.0.0.0"), Len: 24}
+	d := NewIDPS("ids", reg, scrub, watched)
+	st := d.InitState()
+
+	// Benign packet to a watched prefix passes untouched.
+	b := single(t, d.Process(st, Input{Hdr: hdr(hC, hA, 1, 2)}))
+	if b.Label != "pass" || b.Out[0].Hdr.Tunnel != pkt.AddrNone {
+		t.Fatalf("benign should pass: %+v", b)
+	}
+	// Malicious packet trips attack mode and is tunneled to the scrubber.
+	b2 := single(t, d.Process(st, Input{Hdr: hdr(hC, hA, 1, 2), Classes: pkt.ClassSet(0).With(mal)}))
+	if b2.Label != "trip" || b2.Out[0].Hdr.Tunnel != scrub {
+		t.Fatalf("malicious should trip: %+v", b2)
+	}
+	if b2.Out[0].Hdr.RouteAddr() != scrub {
+		t.Fatal("fabric must route on the tunnel address")
+	}
+	// Subsequent benign traffic to the same prefix is rerouted too.
+	b3 := single(t, d.Process(b2.Next, Input{Hdr: hdr(hC, hB, 3, 4)}))
+	if b3.Label != "reroute" || b3.Out[0].Hdr.Tunnel != scrub {
+		t.Fatalf("under attack everything reroutes: %+v", b3)
+	}
+	// Traffic to unwatched prefixes is never touched.
+	b4 := single(t, d.Process(b2.Next, Input{Hdr: hdr(hA, hC, 5, 6)}))
+	if b4.Out[0].Hdr.Tunnel != pkt.AddrNone {
+		t.Fatal("unwatched prefix must pass")
+	}
+}
+
+func TestScrubberDropsAttackForwardsClean(t *testing.T) {
+	reg := pkt.NewRegistry()
+	atk := reg.Register(ClassAttack)
+	s := NewScrubber("sb", reg)
+	st := s.InitState()
+	in := hdr(hC, hA, 1, 2)
+	in.Tunnel = pkt.MustParseAddr("100.0.0.9")
+	// Attack traffic is discarded.
+	b := single(t, s.Process(st, Input{Hdr: in, Classes: pkt.ClassSet(0).With(atk)}))
+	if len(b.Out) != 0 {
+		t.Fatal("attack traffic must be scrubbed")
+	}
+	// Clean traffic is decapsulated and forwarded to the original dst.
+	b2 := single(t, s.Process(st, Input{Hdr: in}))
+	out := b2.Out[0].Hdr
+	if out.Tunnel != pkt.AddrNone || out.Dst != hA {
+		t.Fatalf("decapsulation wrong: %s", out)
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	p := NewPassthrough("gw", "gateway")
+	if p.Type() != "gateway" {
+		t.Fatal("type")
+	}
+	b := single(t, p.Process(p.InitState(), Input{Hdr: hdr(hA, hB, 1, 2)}))
+	if len(b.Out) != 1 || b.Out[0].Hdr != hdr(hA, hB, 1, 2) {
+		t.Fatal("passthrough must not modify")
+	}
+}
+
+func TestAppFirewallBlocksClass(t *testing.T) {
+	reg := pkt.NewRegistry()
+	f := NewAppFirewall("appfw", reg, "skype")
+	sky, _ := reg.Lookup("skype")
+	b := single(t, f.Process(f.InitState(), Input{Hdr: hdr(hA, hB, 1, 2), Classes: pkt.ClassSet(0).With(sky)}))
+	if len(b.Out) != 0 {
+		t.Fatal("skype must be blocked")
+	}
+	b2 := single(t, f.Process(f.InitState(), Input{Hdr: hdr(hA, hB, 1, 2)}))
+	if len(b2.Out) != 1 {
+		t.Fatal("non-skype passes")
+	}
+	if f.RelevantClasses(reg).Count() != 1 {
+		t.Fatal("relevant classes should include skype")
+	}
+}
+
+func TestWANOptimizerOpaquesPayload(t *testing.T) {
+	w := NewWANOptimizer("wo")
+	h := hdr(hA, hB, 1, 2)
+	h.ContentID = 42
+	b := single(t, w.Process(w.InitState(), Input{Hdr: h}))
+	if b.Out[0].Hdr.ContentID != OpaquePayload {
+		t.Fatal("payload must become opaque")
+	}
+	// Packets without content stay unchanged.
+	b2 := single(t, w.Process(w.InitState(), Input{Hdr: hdr(hA, hB, 1, 2)}))
+	if b2.Out[0].Hdr.ContentID != 0 {
+		t.Fatal("no-content packets unchanged")
+	}
+}
+
+func TestCheckStatePanicsOnForeignState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fw := NewLearningFirewall("fw")
+	n := NewNAT("nat", pkt.MustParseAddr("100.0.0.1"))
+	fw.Process(n.InitState(), Input{Hdr: hdr(hA, hB, 1, 2)})
+}
+
+func TestSetStateCloneIndependence(t *testing.T) {
+	s := newSetState()
+	s.set["a"] = true
+	c := s.Clone().(*setState)
+	c.set["b"] = true
+	if s.has("b") {
+		t.Fatal("clone must not alias")
+	}
+	if s.len() != 1 || c.len() != 2 {
+		t.Fatal("lengths wrong")
+	}
+}
+
+func TestIsRequestIsResponse(t *testing.T) {
+	req := request(hA, hC, 1)
+	resp := response(hC, hA, 1)
+	plain := hdr(hA, hB, 1, 2)
+	if !IsRequest(req) || IsRequest(resp) || IsRequest(plain) {
+		t.Fatal("IsRequest wrong")
+	}
+	if !IsResponse(resp) || IsResponse(req) || IsResponse(plain) {
+		t.Fatal("IsResponse wrong")
+	}
+}

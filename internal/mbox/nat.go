@@ -1,0 +1,114 @@
+package mbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// NAT is the paper's Listing 2: source NAT with explicit failure handling
+// (packets are dropped while the box is failed). Outbound flows have their
+// source rewritten to the NAT address and a remapped port; return traffic
+// addressed to the NAT is translated back using the reverse table.
+//
+// The paper assigns remapped ports "at random"; like all complex value
+// choices in VMN, the concrete value is irrelevant — only equality
+// comparisons matter — so the model allocates fresh ports deterministically
+// from PortBase upward (documented substitution; see DESIGN.md).
+type NAT struct {
+	InstanceName string
+	NATAddr      pkt.Addr
+	PortBase     pkt.Port
+}
+
+// NewNAT builds a NAT owning the given public address.
+func NewNAT(name string, addr pkt.Addr) *NAT {
+	return &NAT{InstanceName: name, NATAddr: addr, PortBase: 50000}
+}
+
+// natState mirrors Listing 2's `active` and `reverse` maps.
+type natState struct {
+	active  map[pkt.Flow]pkt.Port                  // outbound flow -> remapped source port
+	reverse map[pkt.Port]struct{ ep pkt.Endpoint } // remapped port -> original (addr, port)
+	next    pkt.Port
+}
+
+func (s *natState) Key() string {
+	entries := make([]string, 0, len(s.active))
+	for fl, p := range s.active {
+		entries = append(entries, fmt.Sprintf("%s=%d", fl, p))
+	}
+	sort.Strings(entries)
+	return fmt.Sprintf("next=%d;%s", s.next, strings.Join(entries, "|"))
+}
+
+func (s *natState) Clone() State {
+	c := &natState{
+		active:  make(map[pkt.Flow]pkt.Port, len(s.active)),
+		reverse: make(map[pkt.Port]struct{ ep pkt.Endpoint }, len(s.reverse)),
+		next:    s.next,
+	}
+	for k, v := range s.active {
+		c.active[k] = v
+	}
+	for k, v := range s.reverse {
+		c.reverse[k] = v
+	}
+	return c
+}
+
+// Type implements Model.
+func (n *NAT) Type() string { return "nat" }
+
+// Discipline implements Model: NAT state is per-flow.
+func (n *NAT) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model: Listing 2 models failure explicitly.
+func (n *NAT) FailMode() FailMode { return FailExplicit }
+
+// RelevantClasses implements Model.
+func (n *NAT) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model.
+func (n *NAT) InitState() State {
+	return &natState{
+		active:  map[pkt.Flow]pkt.Port{},
+		reverse: map[pkt.Port]struct{ ep pkt.Endpoint }{},
+		next:    0,
+	}
+}
+
+// Process implements Model, following Listing 2.
+func (n *NAT) Process(st State, in Input) []Branch {
+	s := checkState[*natState](st, "nat")
+	if in.Failed { // when fail(this) => forward(Seq.empty)
+		return drop(s, "failed")
+	}
+	h := in.Hdr
+	if h.Dst == n.NATAddr { // reverse translation
+		r, ok := s.reverse[h.DstPort]
+		if !ok {
+			return drop(s, "no-mapping")
+		}
+		h.Dst = r.ep.Addr
+		h.DstPort = r.ep.Port
+		return forward(s, "rev", Output{Hdr: h, Classes: in.Classes})
+	}
+	fl := pkt.FlowOf(h)
+	if p, ok := s.active[fl]; ok { // active.contains(flow(p))
+		h.Src = n.NATAddr
+		h.SrcPort = p
+		return forward(s, "active", Output{Hdr: h, Classes: in.Classes})
+	}
+	// New outbound flow: remap.
+	c := s.Clone().(*natState)
+	remapped := n.PortBase + c.next
+	c.next++
+	c.active[fl] = remapped
+	c.reverse[remapped] = struct{ ep pkt.Endpoint }{pkt.Endpoint{Addr: h.Src, Port: h.SrcPort}}
+	h.Src = n.NATAddr
+	h.SrcPort = remapped
+	return forward(c, "remap", Output{Hdr: h, Classes: in.Classes})
+}

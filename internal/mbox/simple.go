@@ -1,0 +1,121 @@
+package mbox
+
+import (
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// Passthrough is a stateless middlebox that forwards everything unchanged
+// — used for gateways and off-path taps whose behaviour does not affect
+// reachability.
+type Passthrough struct {
+	InstanceName string
+	TypeName     string // reported Type(), e.g. "gateway"
+}
+
+// NewPassthrough builds a pass-through box reporting the given type.
+func NewPassthrough(name, typeName string) *Passthrough {
+	return &Passthrough{InstanceName: name, TypeName: typeName}
+}
+
+// Type implements Model.
+func (p *Passthrough) Type() string { return p.TypeName }
+
+// Discipline implements Model.
+func (p *Passthrough) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model.
+func (p *Passthrough) FailMode() FailMode { return FailOpen }
+
+// RelevantClasses implements Model.
+func (p *Passthrough) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model.
+func (p *Passthrough) InitState() State { return emptyState{} }
+
+// Process implements Model.
+func (p *Passthrough) Process(st State, in Input) []Branch {
+	return forward(st, "pass", Output{Hdr: in.Hdr, Classes: in.Classes})
+}
+
+// AppFirewall is an application-level firewall driven purely by abstract
+// packet classes (§2.2's Skype example): packets belonging to any blocked
+// class are dropped. Correct identification requires flow affinity (all
+// packets of a flow through the same instance) — an input constraint the
+// model declares but that network design must uphold.
+type AppFirewall struct {
+	InstanceName string
+	Blocked      pkt.ClassSet
+}
+
+// NewAppFirewall builds an application firewall blocking the named classes
+// (registered in reg on demand).
+func NewAppFirewall(name string, reg *pkt.Registry, blockedClasses ...string) *AppFirewall {
+	var set pkt.ClassSet
+	for _, n := range blockedClasses {
+		set = set.With(reg.Register(n))
+	}
+	return &AppFirewall{InstanceName: name, Blocked: set}
+}
+
+// Type implements Model.
+func (f *AppFirewall) Type() string { return "appfirewall" }
+
+// Discipline implements Model.
+func (f *AppFirewall) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model.
+func (f *AppFirewall) FailMode() FailMode { return FailClosed }
+
+// RelevantClasses implements Model.
+func (f *AppFirewall) RelevantClasses(*pkt.Registry) pkt.ClassSet { return f.Blocked }
+
+// InitState implements Model.
+func (f *AppFirewall) InitState() State { return emptyState{} }
+
+// Process implements Model.
+func (f *AppFirewall) Process(st State, in Input) []Branch {
+	if in.Classes&f.Blocked != 0 {
+		return drop(st, "blocked-class")
+	}
+	return forward(st, "pass", Output{Hdr: in.Hdr, Classes: in.Classes})
+}
+
+// OpaquePayload is the placeholder value complex packet modifications
+// rewrite ContentID to (§3.4: encryption/compression are modelled as
+// replacing the field with an unconstrained value; a fixed opaque marker
+// is sufficient because the verifier only compares for equality).
+const OpaquePayload uint32 = 0xffffffff
+
+// WANOptimizer models a compressing/encrypting box: the payload identity
+// is destroyed (ContentID becomes opaque) while addressing is preserved.
+// Stateless and fail-open.
+type WANOptimizer struct {
+	InstanceName string
+}
+
+// NewWANOptimizer builds a WAN optimizer.
+func NewWANOptimizer(name string) *WANOptimizer { return &WANOptimizer{InstanceName: name} }
+
+// Type implements Model.
+func (w *WANOptimizer) Type() string { return "wanopt" }
+
+// Discipline implements Model.
+func (w *WANOptimizer) Discipline() Discipline { return FlowParallel }
+
+// FailMode implements Model.
+func (w *WANOptimizer) FailMode() FailMode { return FailOpen }
+
+// RelevantClasses implements Model.
+func (w *WANOptimizer) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
+
+// InitState implements Model.
+func (w *WANOptimizer) InitState() State { return emptyState{} }
+
+// Process implements Model.
+func (w *WANOptimizer) Process(st State, in Input) []Branch {
+	h := in.Hdr
+	if h.ContentID != 0 {
+		h.ContentID = OpaquePayload
+	}
+	return forward(st, "opaque", Output{Hdr: h, Classes: in.Classes})
+}

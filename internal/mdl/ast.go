@@ -1,0 +1,128 @@
+package mdl
+
+// TypeExpr is a declared type: a named type (Address, Flow, int, port,
+// Packet), a Set[T], a Map[K,V] or a tuple (T1, T2).
+type TypeExpr struct {
+	Name  string     // base name for simple types, "Set"/"Map" for containers, "" for tuples
+	Args  []TypeExpr // container element types
+	Tuple []TypeExpr // tuple members (when Name == "")
+}
+
+// IsSet reports whether the type is a Set.
+func (t TypeExpr) IsSet() bool { return t.Name == "Set" }
+
+// IsMap reports whether the type is a Map.
+func (t TypeExpr) IsMap() bool { return t.Name == "Map" }
+
+// Param is a class configuration parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+}
+
+// StateVar is a `val` declaration.
+type StateVar struct {
+	Name string
+	Type TypeExpr
+}
+
+// AbstractFn is an `abstract` member (e.g. remapped_port): an oracle-style
+// value generator the implementation would provide.
+type AbstractFn struct {
+	Name   string
+	Params []Param
+	Result TypeExpr
+}
+
+// Class is a parsed middlebox model.
+type Class struct {
+	Annotations []string // e.g. "FailClosed"
+	Name        string
+	Params      []Param
+	State       []StateVar
+	Abstract    []AbstractFn
+	Clauses     []Clause // the body of `def model (p: Packet)`
+	PacketVar   string   // name of the model function's packet parameter
+}
+
+// Clause is one guarded alternative: `when <cond> => <stmts>` (the `when`
+// keyword is optional; `_` is the catch-all guard).
+type Clause struct {
+	Wildcard bool
+	Cond     Expr
+	Body     []Stmt
+}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// Ident references a parameter, local, state variable, `p` or `this`.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int }
+
+// TupleExpr is (a, b, ...).
+type TupleExpr struct{ Elems []Expr }
+
+// CallExpr is name(args) — accessor, abstract function, state-map lookup
+// or class predicate (`skype?(p)`).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// MethodExpr is recv.method(args) — e.g. acl.contains((a, b)).
+type MethodExpr struct {
+	Recv   string
+	Method string
+	Args   []Expr
+}
+
+// IndexExpr is name[expr] — map lookup.
+type IndexExpr struct {
+	Name string
+	Idx  Expr
+}
+
+// BinExpr is a binary operation: ==, !=, &&, ||.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr is !expr.
+type NotExpr struct{ E Expr }
+
+func (*Ident) isExpr()      {}
+func (*IntLit) isExpr()     {}
+func (*TupleExpr) isExpr()  {}
+func (*CallExpr) isExpr()   {}
+func (*MethodExpr) isExpr() {}
+func (*IndexExpr) isExpr()  {}
+func (*BinExpr) isExpr()    {}
+func (*NotExpr) isExpr()    {}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// ForwardStmt is forward(Seq(...)) / forward(Seq.empty).
+type ForwardStmt struct{ Packets []Expr }
+
+// AddStmt is `set += expr`.
+type AddStmt struct {
+	Set  string
+	Elem Expr
+}
+
+// AssignStmt covers `x = expr`, `dst(p) = expr` (packet-field write),
+// `active(flow(p)) = expr` (map put via call-style LHS), and
+// `(a, b) = expr` (tuple destructuring into locals).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+func (*ForwardStmt) isStmt() {}
+func (*AddStmt) isStmt()     {}
+func (*AssignStmt) isStmt()  {}

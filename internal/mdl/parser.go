@@ -1,0 +1,552 @@
+package mdl
+
+import "fmt"
+
+// Parse parses one middlebox class definition.
+func Parse(src string) (*Class, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	cls, err := p.parseClass()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input after class definition")
+	}
+	return cls, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("mdl: line %d: %s (at %s)", p.peek().line, fmt.Sprintf(format, args...), describe(p.peek()))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errorf("expected %s", k)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != word {
+		return p.errorf("expected %q", word)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) atIdent(word string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == word
+}
+
+func (p *parser) skipSemis() {
+	for p.peek().kind == tokSemi {
+		p.next()
+	}
+}
+
+func (p *parser) parseClass() (*Class, error) {
+	cls := &Class{}
+	for p.peek().kind == tokAt {
+		p.next()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cls.Annotations = append(cls.Annotations, t.text)
+	}
+	if err := p.expectIdent("class"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	cls.Name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		params, err := p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+		cls.Params = params
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRBrace {
+		switch {
+		case p.atIdent("val"):
+			p.next()
+			n, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			cls.State = append(cls.State, StateVar{Name: n.text, Type: ty})
+		case p.atIdent("abstract"):
+			p.next()
+			n, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			var params []Param
+			if p.peek().kind != tokRParen {
+				params, err = p.parseParams()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			cls.Abstract = append(cls.Abstract, AbstractFn{Name: n.text, Params: params, Result: ty})
+		case p.atIdent("def"):
+			p.next()
+			if err := p.expectIdent("model"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			pv, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			cls.PacketVar = pv.text
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			if _, err := p.parseType(); err != nil { // Packet
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			for p.peek().kind != tokRBrace {
+				cl, err := p.parseClause()
+				if err != nil {
+					return nil, err
+				}
+				cls.Clauses = append(cls.Clauses, cl)
+			}
+			p.next() // }
+		default:
+			return nil, p.errorf("expected val, abstract or def")
+		}
+	}
+	p.next() // }
+	if cls.PacketVar == "" {
+		return nil, fmt.Errorf("mdl: class %s has no model function", cls.Name)
+	}
+	return cls, nil
+}
+
+func (p *parser) parseParams() ([]Param, error) {
+	var out []Param
+	for {
+		n, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Name: n.text, Type: ty})
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseType() (TypeExpr, error) {
+	if p.peek().kind == tokLParen { // tuple type
+		p.next()
+		var tuple []TypeExpr
+		for {
+			t, err := p.parseType()
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			tuple = append(tuple, t)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return TypeExpr{}, err
+		}
+		return TypeExpr{Tuple: tuple}, nil
+	}
+	n, err := p.expect(tokIdent)
+	if err != nil {
+		return TypeExpr{}, err
+	}
+	ty := TypeExpr{Name: n.text}
+	if p.peek().kind == tokLBracket {
+		p.next()
+		for {
+			arg, err := p.parseType()
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			ty.Args = append(ty.Args, arg)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return TypeExpr{}, err
+		}
+	}
+	return ty, nil
+}
+
+// parseClause parses `[when] guard => stmts`.
+func (p *parser) parseClause() (Clause, error) {
+	var cl Clause
+	if p.atIdent("when") {
+		p.next()
+	}
+	if p.peek().kind == tokUnder {
+		p.next()
+		cl.Wildcard = true
+	} else {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return cl, err
+		}
+		cl.Cond = cond
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return cl, err
+	}
+	for {
+		p.skipSemis()
+		if p.peek().kind == tokRBrace || p.atIdent("when") || p.peek().kind == tokUnder {
+			break
+		}
+		// Lookahead: an expression followed by => starts the next clause.
+		mark := p.save()
+		if _, err := p.parseExpr(); err == nil && p.peek().kind == tokArrow {
+			p.restore(mark)
+			break
+		}
+		p.restore(mark)
+		st, err := p.parseStmt()
+		if err != nil {
+			return cl, err
+		}
+		cl.Body = append(cl.Body, st)
+	}
+	if len(cl.Body) == 0 {
+		return cl, fmt.Errorf("mdl: line %d: clause has no statements", p.peek().line)
+	}
+	return cl, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	// forward(Seq(...)) / forward(Seq.empty)
+	if p.atIdent("forward") {
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("Seq"); err != nil {
+			return nil, err
+		}
+		var packets []Expr
+		switch p.peek().kind {
+		case tokDot:
+			p.next()
+			if err := p.expectIdent("empty"); err != nil {
+				return nil, err
+			}
+		case tokLParen:
+			p.next()
+			for p.peek().kind != tokRParen {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				packets = append(packets, e)
+				if p.peek().kind == tokComma {
+					p.next()
+				}
+			}
+			p.next() // )
+		default:
+			return nil, p.errorf("expected Seq(...) or Seq.empty")
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &ForwardStmt{Packets: packets}, nil
+	}
+	// Everything else starts with an expression-shaped LHS.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().kind {
+	case tokPlusEq:
+		id, ok := lhs.(*Ident)
+		if !ok {
+			return nil, p.errorf("+= requires a state set on the left")
+		}
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AddStmt{Set: id.Name, Elem: rhs}, nil
+	case tokAssign:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *Ident, *TupleExpr, *CallExpr, *IndexExpr:
+			return &AssignStmt{LHS: lhs, RHS: rhs}, nil
+		}
+		return nil, p.errorf("invalid assignment target")
+	}
+	return nil, p.errorf("expected a statement")
+}
+
+// Expression grammar: or → and → cmp → unary → postfix → primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().kind {
+	case tokEq:
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "==", L: l, R: r}, nil
+	case tokNeq:
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: "!=", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokNot {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokDot:
+			p.next()
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			recv, ok := e.(*Ident)
+			if !ok {
+				return nil, p.errorf("method receiver must be a name")
+			}
+			if p.peek().kind == tokLParen {
+				p.next()
+				var args []Expr
+				for p.peek().kind != tokRParen {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokComma {
+						p.next()
+					}
+				}
+				p.next() // )
+				e = &MethodExpr{Recv: recv.Name, Method: m.text, Args: args}
+			} else {
+				// Field access sugar: p.src ≡ src(p); p.dest ≡ dst(p).
+				e = &CallExpr{Name: m.text, Args: []Expr{recv}}
+			}
+		case tokLParen:
+			id, ok := e.(*Ident)
+			if !ok {
+				return e, nil
+			}
+			p.next()
+			var args []Expr
+			for p.peek().kind != tokRParen {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().kind == tokComma {
+					p.next()
+				}
+			}
+			p.next() // )
+			e = &CallExpr{Name: id.Name, Args: args}
+		case tokLBracket:
+			id, ok := e.(*Ident)
+			if !ok {
+				return nil, p.errorf("indexing requires a name")
+			}
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Name: id.Name, Idx: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.peek(); t.kind {
+	case tokIdent:
+		p.next()
+		return &Ident{Name: t.text}, nil
+	case tokInt:
+		p.next()
+		n := 0
+		for _, c := range t.text {
+			n = n*10 + int(c-'0')
+		}
+		return &IntLit{Value: n}, nil
+	case tokLParen:
+		p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokComma {
+			elems := []Expr{first}
+			for p.peek().kind == tokComma {
+				p.next()
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return &TupleExpr{Elems: elems}, nil
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return first, nil
+	}
+	return nil, p.errorf("expected an expression")
+}

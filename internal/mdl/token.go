@@ -1,0 +1,182 @@
+// Package mdl implements the paper's middlebox modelling language (§3.4):
+// a loop-free, event-driven language in which middlebox forwarding models
+// are written as a class with configuration parameters, state declarations
+// and a `model` function made of guarded clauses. Listings 1 and 2 of the
+// paper parse verbatim (modulo whitespace).
+//
+// Parsed models are instantiated into mbox.Model values by the interpreter
+// in interp.go, so a model written in MDL is interchangeable with the
+// native Go models.
+package mdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokAt       // @
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokComma    // ,
+	tokColon    // :
+	tokSemi     // ;
+	tokDot      // .
+	tokArrow    // =>
+	tokAssign   // =
+	tokPlusEq   // +=
+	tokEq       // ==
+	tokNeq      // !=
+	tokAnd      // &&
+	tokOr       // ||
+	tokNot      // !
+	tokUnder    // _
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tokEOF: "EOF", tokIdent: "identifier", tokInt: "integer", tokAt: "@",
+		tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+		tokLBracket: "[", tokRBracket: "]", tokComma: ",", tokColon: ":",
+		tokSemi: ";", tokDot: ".", tokArrow: "=>", tokAssign: "=",
+		tokPlusEq: "+=", tokEq: "==", tokNeq: "!=", tokAnd: "&&",
+		tokOr: "||", tokNot: "!", tokUnder: "_",
+	}
+	return names[k]
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("mdl: line %d: %s", e.line, e.msg) }
+
+// lex splits src into tokens. Line comments start with "//".
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokKind, text string) { toks = append(toks, token{k, text, line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			// Class predicates like `skype?` keep the trailing '?'.
+			if j < len(src) && src[j] == '?' {
+				j++
+			}
+			word := src[i:j]
+			if word == "_" {
+				emit(tokUnder, word)
+			} else {
+				emit(tokIdent, word)
+			}
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			emit(tokInt, src[i:j])
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "=>":
+				emit(tokArrow, two)
+				i += 2
+			case two == "==":
+				emit(tokEq, two)
+				i += 2
+			case two == "!=":
+				emit(tokNeq, two)
+				i += 2
+			case two == "&&":
+				emit(tokAnd, two)
+				i += 2
+			case two == "||":
+				emit(tokOr, two)
+				i += 2
+			case two == "+=":
+				emit(tokPlusEq, two)
+				i += 2
+			default:
+				switch c {
+				case '@':
+					emit(tokAt, "@")
+				case '(':
+					emit(tokLParen, "(")
+				case ')':
+					emit(tokRParen, ")")
+				case '{':
+					emit(tokLBrace, "{")
+				case '}':
+					emit(tokRBrace, "}")
+				case '[':
+					emit(tokLBracket, "[")
+				case ']':
+					emit(tokRBracket, "]")
+				case ',':
+					emit(tokComma, ",")
+				case ':':
+					emit(tokColon, ":")
+				case ';':
+					emit(tokSemi, ";")
+				case '.':
+					emit(tokDot, ".")
+				case '=':
+					emit(tokAssign, "=")
+				case '!':
+					emit(tokNot, "!")
+				default:
+					return nil, &lexError{line, fmt.Sprintf("unexpected character %q", string(c))}
+				}
+				i++
+			}
+		}
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}
+
+// describe renders a token for error messages.
+func describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokInt {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return strings.TrimSpace(t.kind.String())
+}

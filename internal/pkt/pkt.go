@@ -1,0 +1,207 @@
+// Package pkt defines VMN's packet model: headers with the intrinsic
+// fields the paper's invariants reference (src, dst, ports, origin),
+// directional flows with symmetric hashing (in the style of gopacket's
+// Flow/Endpoint), and abstract packet classes assigned by the
+// classification oracle (§2.2 of the paper).
+package pkt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4-style 32-bit address.
+type Addr uint32
+
+// AddrNone is the zero address, used as "unset".
+const AddrNone Addr = 0
+
+// ParseAddr parses a dotted-quad address ("10.0.0.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("pkt: malformed address %q", s)
+	}
+	var a Addr
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("pkt: malformed address %q", s)
+		}
+		a = a<<8 | Addr(n)
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for tests and tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Prefix is an address prefix used by forwarding rules and ACLs.
+type Prefix struct {
+	Addr Addr
+	Len  int // 0..32
+}
+
+// Matches reports whether a falls within the prefix.
+func (p Prefix) Matches(a Addr) bool {
+	if p.Len <= 0 {
+		return true
+	}
+	if p.Len >= 32 {
+		return p.Addr == a
+	}
+	shift := uint(32 - p.Len)
+	return a>>shift == p.Addr>>shift
+}
+
+// HostPrefix returns the /32 prefix for a.
+func HostPrefix(a Addr) Prefix { return Prefix{a, 32} }
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Len) }
+
+// Port is a transport port number.
+type Port uint16
+
+// Proto is a transport protocol.
+type Proto uint8
+
+// Supported protocols.
+const (
+	TCP Proto = iota
+	UDP
+	ICMP
+)
+
+// String returns "tcp", "udp" or "icmp".
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return "icmp"
+	}
+}
+
+// Header carries the intrinsic per-packet information middlebox forwarding
+// models may inspect or rewrite. Origin is the provenance of the payload
+// (the paper's origin(p), e.g. derived from x-http-forwarded-for) used by
+// data-isolation invariants; ContentID names the payload for caches.
+// Tunnel, when non-zero, is an encapsulation destination (e.g. an IDS
+// redirecting suspect traffic to a scrubbing box IP-in-IP style): the
+// static fabric routes on Tunnel until some middlebox decapsulates.
+type Header struct {
+	Src, Dst         Addr
+	SrcPort, DstPort Port
+	Proto            Proto
+	Origin           Addr
+	ContentID        uint32
+	Tunnel           Addr
+}
+
+// RouteAddr is the address the static datapath forwards on: the tunnel
+// endpoint when encapsulated, the destination otherwise.
+func (h Header) RouteAddr() Addr {
+	if h.Tunnel != AddrNone {
+		return h.Tunnel
+	}
+	return h.Dst
+}
+
+// String renders a compact five-tuple plus origin.
+func (h Header) String() string {
+	s := fmt.Sprintf("%s:%d->%s:%d/%s origin=%s content=%d",
+		h.Src, h.SrcPort, h.Dst, h.DstPort, h.Proto, h.Origin, h.ContentID)
+	if h.Tunnel != AddrNone {
+		s += fmt.Sprintf(" tunnel=%s", h.Tunnel)
+	}
+	return s
+}
+
+// Endpoint is one side of a flow.
+type Endpoint struct {
+	Addr Addr
+	Port Port
+}
+
+// LessThan gives a total order on endpoints, used for canonical flows.
+func (e Endpoint) LessThan(o Endpoint) bool {
+	if e.Addr != o.Addr {
+		return e.Addr < o.Addr
+	}
+	return e.Port < o.Port
+}
+
+// String renders "addr:port".
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Flow is a directional transport flow (src endpoint, dst endpoint, proto).
+type Flow struct {
+	Src, Dst Endpoint
+	Proto    Proto
+}
+
+// FlowOf extracts the flow of a header.
+func FlowOf(h Header) Flow {
+	return Flow{
+		Src:   Endpoint{h.Src, h.SrcPort},
+		Dst:   Endpoint{h.Dst, h.DstPort},
+		Proto: h.Proto,
+	}
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src, Proto: f.Proto} }
+
+// Canonical returns the direction-insensitive representative of the flow
+// (the lexicographically smaller endpoint first), so that a flow and its
+// reverse map to the same key — what stateful firewalls key their
+// "established" sets on.
+func (f Flow) Canonical() Flow {
+	if f.Dst.LessThan(f.Src) {
+		return f.Reverse()
+	}
+	return f
+}
+
+// FastHash returns a direction-insensitive 64-bit hash (equal for a flow
+// and its reverse), in the style of gopacket's Flow.FastHash.
+func (f Flow) FastHash() uint64 {
+	h1 := endpointHash(f.Src)
+	h2 := endpointHash(f.Dst)
+	// Commutative mix keeps the hash symmetric under direction reversal.
+	return (h1 ^ h2) + mix(h1+h2) + uint64(f.Proto)
+}
+
+func endpointHash(e Endpoint) uint64 {
+	return mix(uint64(e.Addr)<<16 | uint64(e.Port))
+}
+
+func mix(x uint64) uint64 {
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// String renders "src->dst/proto".
+func (f Flow) String() string {
+	return fmt.Sprintf("%s->%s/%s", f.Src, f.Dst, f.Proto)
+}

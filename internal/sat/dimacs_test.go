@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 || s.NumClauses() != 2 {
+		t.Fatalf("vars=%d clauses=%d", s.NumVars(), s.NumClauses())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("should be SAT")
+	}
+}
+
+func TestParseDIMACSWithoutHeader(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("1 2 0\n-1 0\n-2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("should be UNSAT")
+	}
+}
+
+func TestParseDIMACSClauseWithoutTrailingZero(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("should be SAT")
+	}
+}
+
+func TestParseDIMACSBadHeader(t *testing.T) {
+	if _, err := ParseDIMACS(strings.NewReader("p sat 3 2\n")); err == nil {
+		t.Fatal("expected error for non-cnf header")
+	}
+	if _, err := ParseDIMACS(strings.NewReader("p cnf x 2\n")); err == nil {
+		t.Fatal("expected error for non-numeric var count")
+	}
+}
+
+func TestParseDIMACSBadLiteral(t *testing.T) {
+	if _, err := ParseDIMACS(strings.NewReader("1 foo 0\n")); err == nil {
+		t.Fatal("expected error for bad literal")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := newSolverWithVars(4)
+	s.AddClause(lit(1), lit(-2))
+	s.AddClause(lit(2), lit(3), lit(-4))
+	s.AddClause(lit(-1))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Solve(), s.Solve(); got != want {
+		t.Fatalf("round-trip changed verdict: %v vs %v", got, want)
+	}
+}
+
+func TestDIMACSRoundTripUnsat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 3)
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatal("round-tripped pigeonhole should stay UNSAT")
+	}
+}

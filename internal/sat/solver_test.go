@@ -1,0 +1,423 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lit(n int) Lit { // DIMACS-style helper: 1 => x0, -1 => ¬x0
+	if n > 0 {
+		return MkLit(Var(n-1), false)
+	}
+	return MkLit(Var(-n-1), true)
+}
+
+func newSolverWithVars(n int) *Solver {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+func TestLitBasics(t *testing.T) {
+	v := Var(5)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatalf("Var round-trip failed: %v %v", p.Var(), n.Var())
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatalf("sign wrong: p=%v n=%v", p.Sign(), n.Sign())
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatalf("negation not involutive")
+	}
+	if p.String() != "6" || n.String() != "-6" {
+		t.Fatalf("string: %s %s", p, n)
+	}
+}
+
+func TestTribool(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Undef.Not() != Undef {
+		t.Fatal("Not broken")
+	}
+	if True.xorSign(true) != False || True.xorSign(false) != True {
+		t.Fatal("xorSign broken")
+	}
+	if Undef.xorSign(true) != Undef {
+		t.Fatal("xorSign must preserve Undef")
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: got %v, want Sat", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(lit(1))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if s.Value(0) != True {
+		t.Fatalf("x0 should be true, got %v", s.Value(0))
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(lit(1))
+	ok := s.AddClause(lit(-1))
+	if ok {
+		t.Fatal("adding contradictory unit should report inconsistency")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTautologyAccepted(t *testing.T) {
+	s := newSolverWithVars(2)
+	if !s.AddClause(lit(1), lit(-1)) {
+		t.Fatal("tautology should be accepted")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// x1 ∧ (x1→x2) ∧ (x2→x3) ∧ ... forces all true.
+	const n = 50
+	s := newSolverWithVars(n)
+	s.AddClause(lit(1))
+	for i := 1; i < n; i++ {
+		s.AddClause(lit(-i), lit(i+1))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	for i := 0; i < n; i++ {
+		if s.Value(Var(i)) != True {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+}
+
+func TestUnsatTriangle(t *testing.T) {
+	// (a∨b) (¬a∨b) (a∨¬b) (¬a∨¬b) is unsatisfiable.
+	s := newSolverWithVars(2)
+	s.AddClause(lit(1), lit(2))
+	s.AddClause(lit(-1), lit(2))
+	s.AddClause(lit(1), lit(-2))
+	s.AddClause(lit(-1), lit(-2))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// pigeonhole adds clauses asserting n+1 pigeons fit into n holes (UNSAT).
+func pigeonhole(s *Solver, n int) {
+	vars := make([][]Var, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ { // every pigeon in some hole
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ { // no two pigeons share a hole
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d): got %v, want Unsat", n, got)
+		}
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons into n holes is satisfiable.
+	const n = 5
+	s := New()
+	vars := make([][]Var, n)
+	for p := 0; p < n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestModelSatisfiesAllClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		nv := 10 + rng.Intn(20)
+		nc := 2 * nv
+		s := newSolverWithVars(nv)
+		clauses := make([][]Lit, 0, nc)
+		for i := 0; i < nc; i++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		if s.Solve() != Sat {
+			continue
+		}
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				if s.Value(l.Var()).xorSign(l.Sign()) == True {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("model does not satisfy clause %v", cl)
+			}
+		}
+	}
+}
+
+// bruteForceSat decides satisfiability of a CNF by enumeration (≤20 vars).
+func bruteForceSat(nv int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nv); m++ {
+		ok := true
+		for _, cl := range clauses {
+			cs := false
+			for _, l := range cl {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.Sign() {
+					cs = true
+					break
+				}
+			}
+			if !cs {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		nv := 3 + rng.Intn(8)
+		nc := 1 + rng.Intn(4*nv)
+		clauses := make([][]Lit, 0, nc)
+		s := newSolverWithVars(nv)
+		for i := 0; i < nc; i++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForceSat(nv, clauses)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v clauses=%v", iter, got, want, clauses)
+		}
+	}
+}
+
+func TestQuickRandom3SATAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 4 + int(seed%5+5)%5 // 4..8 vars
+		nc := 3 * nv
+		clauses := make([][]Lit, 0, nc)
+		s := newSolverWithVars(nv)
+		for i := 0; i < nc; i++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		return (s.Solve() == Sat) == bruteForceSat(nv, clauses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	// (a ∨ b) with assumption ¬a forces b.
+	s := newSolverWithVars(2)
+	s.AddClause(lit(1), lit(2))
+	if got := s.SolveAssuming([]Lit{lit(-1)}); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if s.Value(1) != True {
+		t.Fatalf("b should be true under ¬a")
+	}
+	// Assuming both ¬a and ¬b must be Unsat, and the solver stays reusable.
+	if got := s.SolveAssuming([]Lit{lit(-1), lit(-2)}); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solver must remain usable after assumption conflict, got %v", got)
+	}
+}
+
+func TestAssumptionConflictLits(t *testing.T) {
+	s := newSolverWithVars(3)
+	s.AddClause(lit(-1), lit(2)) // a→b
+	s.AddClause(lit(-2), lit(3)) // b→c
+	if got := s.SolveAssuming([]Lit{lit(1), lit(-3)}); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+	if len(s.ConflictLits()) == 0 {
+		t.Fatal("expected a non-empty final conflict over assumptions")
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := newSolverWithVars(2)
+	s.AddClause(lit(1), lit(2))
+	if s.Solve() != Sat {
+		t.Fatal("phase 1 should be SAT")
+	}
+	s.AddClause(lit(-1))
+	s.AddClause(lit(-2))
+	if s.Solve() != Unsat {
+		t.Fatal("phase 2 should be UNSAT")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func(seed int64) Stats {
+		s := New()
+		s.SetSeed(seed)
+		s.SetRandomBranchFreq(0.1)
+		pigeonhole(s, 5)
+		s.Solve()
+		return s.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed should give identical statistics: %+v vs %+v", a, b)
+	}
+}
+
+func TestMaxConflictsGivesUnknown(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8) // hard enough to exceed a tiny conflict budget
+	s.SetMaxConflicts(5)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v, want Unknown under conflict budget", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestVarOrderHeap(t *testing.T) {
+	act := []float64{1, 5, 3, 4, 2}
+	o := newVarOrder(&act)
+	o.grow(5)
+	for v := 0; v < 5; v++ {
+		o.push(Var(v))
+	}
+	got := []Var{}
+	for !o.empty() {
+		got = append(got, o.pop())
+	}
+	want := []Var{1, 3, 2, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5)
+	s.Solve()
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Propagations == 0 {
+		t.Fatalf("expected non-trivial work, got %+v", st)
+	}
+}
+
+func BenchmarkSolverPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+func BenchmarkSolverRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		nv := 60
+		s := newSolverWithVars(nv)
+		for c := 0; c < int(4.0*float64(nv)); c++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+			}
+			s.AddClause(cl...)
+		}
+		s.Solve()
+	}
+}

@@ -1,0 +1,203 @@
+// Package slices implements §4 of the paper: network slices. A slice is a
+// subnetwork closed under forwarding and state; any invariant referencing
+// only nodes in the slice holds on the whole network iff it holds on the
+// slice. For networks whose middleboxes are all flow-parallel, closure
+// under forwarding suffices; when origin-agnostic middleboxes (caches,
+// IDSes) are present the slice must additionally contain one
+// representative host from every policy equivalence class (§4.1). Networks
+// containing middleboxes of General discipline do not shrink: the whole
+// network is returned.
+package slices
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Input describes the network to slice.
+type Input struct {
+	Topo *topo.Topology
+	TF   *tf.Engine
+	// Boxes are all middlebox instances in the network.
+	Boxes []mbox.Instance
+	// PolicyClass assigns each host/external node its policy equivalence
+	// class (§4.1: same class ⇔ same middlebox types and policy treatment).
+	// Nodes missing from the map form singleton classes.
+	PolicyClass map[topo.NodeID]string
+	// Keep are the nodes the invariant references; they are always in the
+	// slice.
+	Keep []topo.NodeID
+}
+
+// Result is a computed slice.
+type Result struct {
+	// Hosts are the slice's host/external nodes.
+	Hosts []topo.NodeID
+	// Boxes are the middlebox instances the slice retains.
+	Boxes []mbox.Instance
+	// Whole reports that no proper slice exists (a General-discipline
+	// middlebox forced the whole network).
+	Whole bool
+}
+
+// Size returns the number of edge nodes in the slice — the quantity the
+// paper's scaling argument is about.
+func (r Result) Size() int { return len(r.Hosts) + len(r.Boxes) }
+
+// AuxAddrs is implemented by middlebox models that forward traffic to
+// auxiliary service addresses (e.g. an IDS rerouting to its scrubber);
+// closure under forwarding must pull the owners of these addresses into
+// the slice.
+type AuxAddrs interface {
+	AuxAddrs() []pkt.Addr
+}
+
+// Compute builds a slice per §4.1.
+func Compute(in Input) (Result, error) {
+	boxByNode := map[topo.NodeID]mbox.Instance{}
+	originAgnostic := false
+	for _, b := range in.Boxes {
+		boxByNode[b.Node] = b
+		switch b.Model.Discipline() {
+		case mbox.General:
+			// No slice smaller than the network is sound.
+			return wholeNetwork(in), nil
+		case mbox.OriginAgnostic:
+			originAgnostic = true
+		}
+	}
+
+	inSlice := map[topo.NodeID]bool{}
+	var hosts []topo.NodeID
+	addNode := func(id topo.NodeID) {
+		if inSlice[id] {
+			return
+		}
+		inSlice[id] = true
+		n := in.Topo.Node(id)
+		if n.Kind == topo.Host || n.Kind == topo.External {
+			hosts = append(hosts, id)
+		}
+	}
+	for _, id := range in.Keep {
+		addNode(id)
+	}
+
+	// Fixpoint: close under forwarding (paths between slice hosts pull in
+	// on-path middleboxes and auxiliary service nodes), then — if any
+	// origin-agnostic box is present — ensure one representative per
+	// policy class, which may add hosts and restart closure.
+	for iter := 0; ; iter++ {
+		if iter > in.Topo.NumNodes()+8 {
+			return Result{}, fmt.Errorf("slices: closure did not converge")
+		}
+		changed := false
+
+		// Closure under forwarding.
+		cur := append([]topo.NodeID(nil), hosts...)
+		// Also close paths from middleboxes already in the slice (e.g. the
+		// invariant names a middlebox: traffic still flows host-to-host).
+		for id := range inSlice {
+			if in.Topo.Node(id).Kind == topo.Middlebox {
+				cur = append(cur, id)
+			}
+		}
+		for _, a := range cur {
+			for _, b := range hosts {
+				if a == b {
+					continue
+				}
+				path, err := in.TF.Path(a, in.Topo.Node(b).Addr)
+				if err != nil {
+					continue // unreachable pairs constrain nothing
+				}
+				for _, hop := range path {
+					if in.Topo.Node(hop).Kind == topo.Middlebox && !inSlice[hop] {
+						addNode(hop)
+						changed = true
+					}
+				}
+			}
+		}
+		// Auxiliary addresses of slice middleboxes.
+		for id := range inSlice {
+			b, ok := boxByNode[id]
+			if !ok {
+				continue
+			}
+			if aux, ok := b.Model.(AuxAddrs); ok {
+				for _, addr := range aux.AuxAddrs() {
+					if n, found := in.Topo.HostByAddr(addr); found && !inSlice[n.ID] {
+						addNode(n.ID)
+						changed = true
+					}
+					// The aux target may be a middlebox (scrubber):
+					// locate it by walking the fabric from a slice host.
+					if len(hosts) > 0 {
+						if to, ok2, err := in.TF.Next(hosts[0], addr); err == nil && ok2 && !inSlice[to] {
+							if in.Topo.Node(to).Kind == topo.Middlebox {
+								addNode(to)
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Policy-class representatives for origin-agnostic state (§4.1).
+		if originAgnostic {
+			have := map[string]bool{}
+			for _, h := range hosts {
+				have[classOf(in, h)] = true
+			}
+			for _, n := range in.Topo.Nodes() {
+				if n.Kind != topo.Host && n.Kind != topo.External {
+					continue
+				}
+				c := classOf(in, n.ID)
+				if !have[c] {
+					addNode(n.ID)
+					have[c] = true
+					changed = true
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	var boxes []mbox.Instance
+	for id := range inSlice {
+		if b, ok := boxByNode[id]; ok {
+			boxes = append(boxes, b)
+		}
+	}
+	sort.Slice(boxes, func(i, j int) bool { return boxes[i].Node < boxes[j].Node })
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return Result{Hosts: hosts, Boxes: boxes}, nil
+}
+
+func classOf(in Input, id topo.NodeID) string {
+	if c, ok := in.PolicyClass[id]; ok {
+		return c
+	}
+	return fmt.Sprintf("singleton-%d", id)
+}
+
+func wholeNetwork(in Input) Result {
+	var hosts []topo.NodeID
+	for _, n := range in.Topo.Nodes() {
+		if n.Kind == topo.Host || n.Kind == topo.External {
+			hosts = append(hosts, n.ID)
+		}
+	}
+	return Result{Hosts: hosts, Boxes: append([]mbox.Instance(nil), in.Boxes...), Whole: true}
+}

@@ -1,0 +1,101 @@
+// Package symmetry implements §4.2 of the paper: when a network's topology
+// and policy are symmetric with respect to policy equivalence classes, two
+// invariants that map to each other under a class-preserving renaming of
+// nodes have the same verdict. VMN therefore partitions the invariant set
+// into symmetry groups and verifies one representative per group.
+package symmetry
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Classifier resolves nodes and addresses to policy-class names.
+type Classifier struct {
+	// HostClass maps host/external nodes to their policy equivalence
+	// class. Missing nodes are singletons.
+	HostClass map[topo.NodeID]string
+	// Topo resolves addresses to nodes; may be nil if no invariant uses
+	// address fields.
+	Topo *topo.Topology
+}
+
+func (c Classifier) nodeClass(id topo.NodeID) string {
+	if cl, ok := c.HostClass[id]; ok {
+		return cl
+	}
+	return fmt.Sprintf("node-%d", id)
+}
+
+func (c Classifier) addrClass(a pkt.Addr) string {
+	if c.Topo != nil {
+		if n, ok := c.Topo.HostByAddr(a); ok {
+			return c.nodeClass(n.ID)
+		}
+	}
+	return "addr-" + a.String()
+}
+
+// Signature renders an invariant's symmetry signature: two invariants with
+// equal signatures are symmetric (given a symmetric network). Unknown
+// invariant types get unique signatures and are never grouped.
+func (c Classifier) Signature(i inv.Invariant) string {
+	switch v := i.(type) {
+	case inv.SimpleIsolation:
+		return "simple|" + c.nodeClass(v.Dst) + "|" + c.addrClass(v.SrcAddr)
+	case inv.Reachability:
+		return "reach|" + c.nodeClass(v.Dst) + "|" + c.addrClass(v.SrcAddr)
+	case inv.FlowIsolation:
+		return "flow|" + c.nodeClass(v.Dst) + "|" + c.addrClass(v.SrcAddr)
+	case inv.DataIsolation:
+		return "data|" + c.nodeClass(v.Dst) + "|" + c.addrClass(v.Origin)
+	case inv.Traversal:
+		vias := make([]string, len(v.Vias))
+		for j, m := range v.Vias {
+			vias[j] = c.nodeClass(m)
+		}
+		sort.Strings(vias)
+		return fmt.Sprintf("trav|%s|%s|%v", c.nodeClass(v.Dst), v.SrcPrefix, vias)
+	default:
+		return fmt.Sprintf("opaque|%s", i.Name())
+	}
+}
+
+// Group is one symmetry class of invariants.
+type Group struct {
+	Signature      string
+	Representative inv.Invariant
+	Members        []inv.Invariant
+}
+
+// Groups partitions invariants into symmetry groups, preserving first-seen
+// order of groups and members.
+func Groups(c Classifier, invs []inv.Invariant) []Group {
+	index := map[string]int{}
+	var out []Group
+	for _, i := range invs {
+		sig := c.Signature(i)
+		gi, ok := index[sig]
+		if !ok {
+			gi = len(out)
+			index[sig] = gi
+			out = append(out, Group{Signature: sig, Representative: i})
+		}
+		out[gi].Members = append(out[gi].Members, i)
+	}
+	return out
+}
+
+// Reduction reports how many checks symmetry saves: total members minus
+// number of groups.
+func Reduction(groups []Group) int {
+	total := 0
+	for _, g := range groups {
+		total += len(g.Members)
+	}
+	return total - len(groups)
+}

@@ -1,0 +1,109 @@
+package symmetry
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func classifier() (Classifier, []topo.NodeID) {
+	t := topo.New()
+	sw := t.AddSwitch("sw")
+	var hosts []topo.NodeID
+	for i := 0; i < 4; i++ {
+		h := t.AddHost(string(rune('a'+i)), pkt.Addr(10)<<24|pkt.Addr(i+1))
+		t.AddLink(h, sw)
+		hosts = append(hosts, h)
+	}
+	c := Classifier{
+		HostClass: map[topo.NodeID]string{
+			hosts[0]: "red", hosts[1]: "red",
+			hosts[2]: "blue", hosts[3]: "blue",
+		},
+		Topo: t,
+	}
+	return c, hosts
+}
+
+func addrOf(i int) pkt.Addr { return pkt.Addr(10)<<24 | pkt.Addr(i+1) }
+
+func TestSignatureGroupsSymmetricInvariants(t *testing.T) {
+	c, hosts := classifier()
+	// red<-blue isolation in two symmetric instantiations.
+	i1 := inv.SimpleIsolation{Dst: hosts[0], SrcAddr: addrOf(2)}
+	i2 := inv.SimpleIsolation{Dst: hosts[1], SrcAddr: addrOf(3)}
+	// A blue<-red one is different.
+	i3 := inv.SimpleIsolation{Dst: hosts[2], SrcAddr: addrOf(0)}
+	if c.Signature(i1) != c.Signature(i2) {
+		t.Fatal("symmetric invariants must share a signature")
+	}
+	if c.Signature(i1) == c.Signature(i3) {
+		t.Fatal("direction matters: red<-blue != blue<-red")
+	}
+}
+
+func TestSignatureDistinguishesInvariantKinds(t *testing.T) {
+	c, hosts := classifier()
+	iso := inv.SimpleIsolation{Dst: hosts[0], SrcAddr: addrOf(2)}
+	flow := inv.FlowIsolation{Dst: hosts[0], SrcAddr: addrOf(2)}
+	reach := inv.Reachability{Dst: hosts[0], SrcAddr: addrOf(2)}
+	data := inv.DataIsolation{Dst: hosts[0], Origin: addrOf(2)}
+	sigs := map[string]bool{
+		c.Signature(iso): true, c.Signature(flow): true,
+		c.Signature(reach): true, c.Signature(data): true,
+	}
+	if len(sigs) != 4 {
+		t.Fatalf("kinds must have distinct signatures, got %d", len(sigs))
+	}
+}
+
+func TestTraversalSignatureSortsVias(t *testing.T) {
+	c, hosts := classifier()
+	t1 := inv.Traversal{Dst: hosts[0], Vias: []topo.NodeID{7, 9}}
+	t2 := inv.Traversal{Dst: hosts[1], Vias: []topo.NodeID{9, 7}}
+	if c.Signature(t1) != c.Signature(t2) {
+		t.Fatal("via order must not matter")
+	}
+}
+
+func TestUnknownNodesAreSingletons(t *testing.T) {
+	c, _ := classifier()
+	i1 := inv.SimpleIsolation{Dst: 99, SrcAddr: addrOf(0)}
+	i2 := inv.SimpleIsolation{Dst: 98, SrcAddr: addrOf(0)}
+	if c.Signature(i1) == c.Signature(i2) {
+		t.Fatal("unlabeled nodes must not be grouped")
+	}
+}
+
+func TestGroupsAndReduction(t *testing.T) {
+	c, hosts := classifier()
+	invs := []inv.Invariant{
+		inv.SimpleIsolation{Dst: hosts[0], SrcAddr: addrOf(2)},
+		inv.SimpleIsolation{Dst: hosts[1], SrcAddr: addrOf(3)}, // symmetric to #0
+		inv.SimpleIsolation{Dst: hosts[2], SrcAddr: addrOf(0)},
+	}
+	gs := Groups(c, invs)
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(gs))
+	}
+	if Reduction(gs) != 1 {
+		t.Fatalf("reduction = %d, want 1", Reduction(gs))
+	}
+	if gs[0].Representative != invs[0] || len(gs[0].Members) != 2 {
+		t.Fatalf("group structure wrong: %+v", gs[0])
+	}
+}
+
+// opaque is an invariant type the classifier does not know.
+type opaque struct{ inv.SimpleIsolation }
+
+func TestOpaqueInvariantsNeverGrouped(t *testing.T) {
+	c, hosts := classifier()
+	a := opaque{inv.SimpleIsolation{Dst: hosts[0], SrcAddr: addrOf(2), Label: "x"}}
+	b := opaque{inv.SimpleIsolation{Dst: hosts[1], SrcAddr: addrOf(3), Label: "y"}}
+	if c.Signature(a) == c.Signature(b) {
+		t.Fatal("opaque invariants must get unique signatures")
+	}
+}

@@ -1,0 +1,237 @@
+// Package tf compiles static-datapath forwarding state into transfer
+// functions, playing the role VeriFlow/HSA play in the paper (§3.5): given
+// a topology, per-switch forwarding tables and a failure scenario, it
+// produces a function from a located packet to the next edge node
+// (host, external world or middlebox). The verifier then models the whole
+// static fabric as a single pseudo-node Ω whose behaviour is this function.
+//
+// Static forwarding loops are detected and reported as errors, mirroring
+// VMN's behaviour of raising an exception on loops (footnote 5 and §3.5 of
+// the paper); loop-freedom is what keeps the network axioms first-order.
+package tf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// ErrLoop is returned when the static forwarding state sends a packet
+// around a cycle.
+var ErrLoop = errors.New("tf: static forwarding loop")
+
+// Rule is one forwarding entry of a switch (or of an edge node that needs
+// explicit egress routing). Rules are selected by highest Priority first;
+// among equal priorities, an ingress-specific rule beats a wildcard one and
+// a longer prefix beats a shorter one. Rules whose Out node is failed are
+// skipped, which is how backup paths (lower-priority rules) take over under
+// failure scenarios.
+type Rule struct {
+	Match    pkt.Prefix  // destination prefix
+	In       topo.NodeID // required ingress neighbor; NodeNone = any
+	Out      topo.NodeID // next-hop neighbor
+	Priority int
+}
+
+// FIB maps each node to its forwarding rules.
+type FIB map[topo.NodeID][]Rule
+
+// Add appends a rule to node n's table.
+func (f FIB) Add(n topo.NodeID, r Rule) { f[n] = append(f[n], r) }
+
+// Engine evaluates the transfer function for one failure scenario.
+type Engine struct {
+	topo *topo.Topology
+	fib  FIB
+	fail topo.FailureScenario
+
+	sorted map[topo.NodeID][]Rule
+	memo   map[memoKey]memoVal
+}
+
+type memoKey struct {
+	from topo.NodeID
+	dst  pkt.Addr
+}
+
+type memoVal struct {
+	next topo.NodeID
+	ok   bool
+	err  error
+}
+
+// New builds an engine over the given topology, tables and failure
+// scenario. The FIB is not copied; callers must not mutate it afterwards.
+func New(t *topo.Topology, fib FIB, fail topo.FailureScenario) *Engine {
+	e := &Engine{topo: t, fib: fib, fail: fail,
+		sorted: make(map[topo.NodeID][]Rule, len(fib)),
+		memo:   map[memoKey]memoVal{},
+	}
+	for n, rules := range fib {
+		rs := append([]Rule(nil), rules...)
+		sort.SliceStable(rs, func(i, j int) bool {
+			a, b := rs[i], rs[j]
+			if a.Priority != b.Priority {
+				return a.Priority > b.Priority
+			}
+			ai, bi := a.In != topo.NodeNone, b.In != topo.NodeNone
+			if ai != bi {
+				return ai
+			}
+			return a.Match.Len > b.Match.Len
+		})
+		e.sorted[n] = rs
+	}
+	return e
+}
+
+// Failure returns the engine's failure scenario.
+func (e *Engine) Failure() topo.FailureScenario { return e.fail }
+
+// hop picks the next hop at node `at` for a packet to dst that arrived from
+// `prev`. The boolean result is false when the packet is dropped
+// (no applicable rule and no implicit default).
+func (e *Engine) hop(at, prev topo.NodeID, dst pkt.Addr) (topo.NodeID, bool) {
+	for _, r := range e.sorted[at] {
+		if r.In != topo.NodeNone && r.In != prev {
+			continue
+		}
+		if !r.Match.Matches(dst) {
+			continue
+		}
+		if e.fail.Failed(r.Out) && e.topo.Node(r.Out).Kind == topo.Switch {
+			continue // route around failed fabric elements
+		}
+		return r.Out, true
+	}
+	// Implicit default for edge nodes with a single live link.
+	if e.topo.Node(at).IsEdge() {
+		var candidate topo.NodeID = topo.NodeNone
+		for _, nb := range e.topo.Neighbors(at) {
+			if e.fail.Failed(nb) && e.topo.Node(nb).Kind == topo.Switch {
+				continue
+			}
+			if candidate != topo.NodeNone {
+				return topo.NodeNone, false // ambiguous: require explicit rules
+			}
+			candidate = nb
+		}
+		if candidate != topo.NodeNone {
+			return candidate, true
+		}
+	}
+	return topo.NodeNone, false
+}
+
+// Next evaluates the compiled transfer function: it carries a packet
+// located at edge node `from` with destination address dst across the
+// switch fabric and returns the edge node where it next surfaces. ok=false
+// means the fabric drops the packet (blackhole); ErrLoop reports a static
+// forwarding loop.
+func (e *Engine) Next(from topo.NodeID, dst pkt.Addr) (next topo.NodeID, ok bool, err error) {
+	k := memoKey{from, dst}
+	if v, hit := e.memo[k]; hit {
+		return v.next, v.ok, v.err
+	}
+	next, ok, err = e.walk(from, dst)
+	e.memo[k] = memoVal{next, ok, err}
+	return next, ok, err
+}
+
+func (e *Engine) walk(from topo.NodeID, dst pkt.Addr) (topo.NodeID, bool, error) {
+	if !e.topo.Node(from).IsEdge() {
+		return topo.NodeNone, false, fmt.Errorf("tf: transfer function must start at an edge node, got %s", e.topo.Node(from).Name)
+	}
+	prev := topo.NodeNone
+	cur := from
+	visited := map[topo.NodeID]bool{}
+	for {
+		nxt, ok := e.hop(cur, prev, dst)
+		if !ok {
+			return topo.NodeNone, false, nil
+		}
+		n := e.topo.Node(nxt)
+		if n.IsEdge() {
+			return nxt, true, nil
+		}
+		if visited[nxt] {
+			return topo.NodeNone, false, fmt.Errorf("%w: dst %s revisits %s", ErrLoop, dst, n.Name)
+		}
+		visited[nxt] = true
+		prev, cur = cur, nxt
+	}
+}
+
+// Entry is one row of the compiled pseudo-switch: packets at From destined
+// to an address owned by DstHost surface next at Via.
+type Entry struct {
+	From    topo.NodeID
+	DstHost topo.NodeID
+	Via     topo.NodeID
+	Dropped bool
+}
+
+// Matrix compiles the transfer function into explicit rows, one per
+// (edge node, destination host) pair — the finite object the encoder turns
+// into Ω axioms. It fails on any forwarding loop.
+func (e *Engine) Matrix() ([]Entry, error) {
+	var dests []topo.NodeID
+	for _, id := range e.topo.EdgeNodes() {
+		n := e.topo.Node(id)
+		if n.Kind == topo.Host || n.Kind == topo.External {
+			dests = append(dests, id)
+		}
+	}
+	var out []Entry
+	for _, from := range e.topo.EdgeNodes() {
+		for _, d := range dests {
+			if from == d {
+				continue
+			}
+			via, ok, err := e.Next(from, e.topo.Node(d).Addr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Entry{From: from, DstHost: d, Via: via, Dropped: !ok})
+		}
+	}
+	return out, nil
+}
+
+// Path traces the sequence of edge nodes a packet visits from `from` to the
+// host owning dst, treating middleboxes as pass-through (their mutable
+// behaviour is irrelevant for static pipeline checking). It returns the
+// visited edge nodes in order, ending with the destination host, and
+// errors on loops (including loops through middleboxes) or if the packet
+// is dropped by the fabric.
+func (e *Engine) Path(from topo.NodeID, dst pkt.Addr) ([]topo.NodeID, error) {
+	var path []topo.NodeID
+	cur := from
+	seen := map[topo.NodeID]bool{cur: true}
+	for {
+		next, ok, err := e.Next(cur, dst)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("tf: packet from %s to %s dropped at %s",
+				e.topo.Node(from).Name, dst, e.topo.Node(cur).Name)
+		}
+		path = append(path, next)
+		n := e.topo.Node(next)
+		if n.Kind == topo.Host || n.Kind == topo.External {
+			if n.Addr == dst || n.Kind == topo.External {
+				return path, nil
+			}
+			return nil, fmt.Errorf("tf: packet to %s delivered to wrong host %s", dst, n.Name)
+		}
+		if seen[next] {
+			return nil, fmt.Errorf("%w: middlebox cycle through %s", ErrLoop, n.Name)
+		}
+		seen[next] = true
+		cur = next
+	}
+}
