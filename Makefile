@@ -1,0 +1,33 @@
+# Development and CI entry points. `make ci` is the full gate: formatting,
+# vet, build, race-enabled tests and a one-shot benchmark smoke run.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench-smoke bench-json
+
+ci: fmt vet build race bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every Fig2 benchmark (SAT and explicit engines): a fast
+# sanity check that the measured paths still run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Fig2 -benchtime 1x .
+
+# Machine-readable series for benchmark trajectory tracking.
+bench-json:
+	$(GO) run ./cmd/vmnbench -fig 2,explicit -runs 5 -json

@@ -6,6 +6,7 @@ package vmn
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/netverify/vmn/internal/bench"
@@ -95,6 +96,39 @@ func BenchmarkFig2TraversalHolds(b *testing.B) {
 		})
 		return v, d.TraversalInvariant(0, 1), true
 	})
+}
+
+// --- Figure 2, explicit-state engine: the perf target of the binary-
+// fingerprint search. MaxSends is raised to 4 so the product space is
+// large enough (715 states) to exercise the search loop; allocs/op and
+// states explored per second are reported alongside wall clock. ---
+
+func benchFig2Explicit(b *testing.B, workers int) {
+	b.Helper()
+	d := bench.NewDatacenter(bench.DCConfig{Groups: 5, HostsPerGroup: 1})
+	v, _ := core.NewVerifier(d.Net, core.Options{
+		Engine: core.EngineExplicit, MaxSends: 4, Workers: workers,
+	})
+	iv := d.IsolationInvariant(0, 1)
+	b.ReportAllocs()
+	states := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := v.VerifyInvariant(iv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rs[0].Satisfied {
+			b.Fatalf("unexpected verdict: %v", rs[0].Result.Outcome)
+		}
+		states += rs[0].Result.StatesExplored
+	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+}
+
+func BenchmarkFig2ExplicitRulesHoldsW1(b *testing.B) { benchFig2Explicit(b, 1) }
+func BenchmarkFig2ExplicitRulesHoldsWMax(b *testing.B) {
+	benchFig2Explicit(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Figure 3: all invariants vs policy classes ---

@@ -38,10 +38,11 @@ func main() {
 		noSlices  = flag.Bool("no-slices", false, "verify against the whole network")
 		engine    = flag.String("engine", "auto", "auto | sat | explicit")
 		seed      = flag.Int64("seed", 0, "solver seed")
+		workers   = flag.Int("workers", 0, "explicit-engine search workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opts := core.Options{Seed: *seed, NoSlices: *noSlices}
+	opts := core.Options{Seed: *seed, NoSlices: *noSlices, Workers: *workers}
 	switch *engine {
 	case "sat":
 		opts.Engine = core.EngineSAT

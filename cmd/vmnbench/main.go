@@ -1,14 +1,21 @@
 // Command vmnbench regenerates the paper's evaluation figures (§5) as
 // text tables: per-row min/p5/median/p95/max over repeated runs, the same
-// statistics the paper's box-and-whisker plots report.
+// statistics the paper's box-and-whisker plots report. The extra
+// "explicit" figure sweeps the explicit-state engine's search workers.
 //
 // Usage:
 //
 //	vmnbench -fig all -runs 5
 //	vmnbench -fig 7 -runs 20
+//	vmnbench -fig 2,explicit -runs 10 -json > bench.json
+//
+// With -json the series are emitted as a single JSON array (duration
+// samples in nanoseconds, plus the explored-state count for explicit-
+// engine rows), for machine-readable benchmark trajectory tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +25,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit or all")
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
+	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -41,13 +49,18 @@ func main() {
 	}
 
 	ran := false
+	var series []bench.Series
 	run := func(name string, f func() bench.Series) {
 		if !all && !want[name] {
 			return
 		}
 		ran = true
 		s := f()
-		s.Print(os.Stdout)
+		if *asJSON {
+			series = append(series, s)
+		} else {
+			s.Print(os.Stdout)
+		}
 	}
 
 	run("2", func() bench.Series { return bench.Fig2(5*sc, *runs) })
@@ -58,9 +71,18 @@ func main() {
 	run("8", func() bench.Series { return bench.Fig8(mul(2, 4, 6, 8), *runs) })
 	run("9b", func() bench.Series { return bench.Fig9b(2, mul(3, 6, 12, 18), *runs) })
 	run("9c", func() bench.Series { return bench.Fig9c(6, mul(1, 2, 4, 6), *runs) })
+	run("explicit", func() bench.Series { return bench.FigExplicit([]int{1, 2, 4, 8}, *runs) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit or all)\n", *fig)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(series); err != nil {
+			fmt.Fprintf(os.Stderr, "vmnbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

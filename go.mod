@@ -1,0 +1,3 @@
+module github.com/netverify/vmn
+
+go 1.22

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/core"
+)
+
+// FigExplicit measures the explicit-state engine on the Fig. 2 datacenter
+// "rules/holds" instance at an elevated schedule bound (the explicit
+// engine's cost driver), sweeping the search worker count. The verdict,
+// trace and state count are identical across worker counts by
+// construction, so the sweep isolates the search loop's scaling; states
+// explored per run is recorded so consumers can track states/sec.
+func FigExplicit(workerCounts []int, runs int) Series {
+	s := Series{Fig: "explicit", Title: "explicit engine: time per invariant vs search workers"}
+	for _, workers := range workerCounts {
+		row := Row{Label: fmt.Sprintf("rules-holds/w%d", workers), X: workers}
+		for r := 0; r < runs; r++ {
+			d := NewDatacenter(DCConfig{Groups: 5, HostsPerGroup: 1})
+			v := mustVerifier(d.Net, core.Options{
+				Engine:   core.EngineExplicit,
+				MaxSends: 4,
+				Workers:  workers,
+			})
+			var states int
+			row.Samples = append(row.Samples, timeIt(func() {
+				rs := mustVerify(v, d.IsolationInvariant(0, 1))
+				assertOutcome(rs[0], true)
+				states = rs[0].Result.StatesExplored
+			}))
+			row.States = states
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// statesCol renders the optional states/sec column of Print.
+func statesCol(r Row) string {
+	if sps := r.StatesPerSec(); sps > 0 {
+		return fmt.Sprintf("%8.0f st/s", sps)
+	}
+	return ""
+}

@@ -14,10 +14,23 @@ import (
 
 // Row is one measured point of a figure: a labelled x-value with repeated
 // timing samples (the paper reports min/5th/median/95th/max over 100 runs).
+// For explicit-engine rows, States records the (deterministic) number of
+// product states explored per run, so consumers can derive states/sec.
 type Row struct {
 	Label   string
 	X       int
 	Samples []time.Duration
+	States  int `json:",omitempty"`
+}
+
+// StatesPerSec derives the exploration throughput from the median sample;
+// zero when the row has no state count.
+func (r Row) StatesPerSec() float64 {
+	med := r.Percentile(50)
+	if r.States == 0 || med <= 0 {
+		return 0
+	}
+	return float64(r.States) / med.Seconds()
 }
 
 // Percentile returns the p-th percentile (0..100) of the samples.
@@ -43,13 +56,14 @@ func (s Series) Print(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", s.Fig, s.Title)
 	fmt.Fprintf(w, "%-28s %6s %10s %10s %10s %10s %10s\n", "series", "x", "min", "p5", "median", "p95", "max")
 	for _, r := range s.Rows {
-		fmt.Fprintf(w, "%-28s %6d %10s %10s %10s %10s %10s\n",
+		fmt.Fprintf(w, "%-28s %6d %10s %10s %10s %10s %10s %s\n",
 			r.Label, r.X,
 			r.Percentile(0).Round(time.Microsecond),
 			r.Percentile(5).Round(time.Microsecond),
 			r.Percentile(50).Round(time.Microsecond),
 			r.Percentile(95).Round(time.Microsecond),
-			r.Percentile(100).Round(time.Microsecond))
+			r.Percentile(100).Round(time.Microsecond),
+			statesCol(r))
 	}
 	fmt.Fprintln(w)
 }

@@ -80,6 +80,9 @@ type Options struct {
 	MaxConflicts     int64
 	// MaxStates bounds the explicit engine.
 	MaxStates int
+	// Workers sets the explicit engine's search parallelism (0 =
+	// GOMAXPROCS). Verdicts and traces are identical for every value.
+	Workers int
 }
 
 // Report is the verdict for one (invariant, scenario) pair.
@@ -254,7 +257,7 @@ func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
 		MaxConflicts:      v.opts.MaxConflicts,
 		GroundAllReadKeys: v.opts.NoSlices,
 	}
-	expOpts := explore.Options{MaxStates: v.opts.MaxStates}
+	expOpts := explore.Options{MaxStates: v.opts.MaxStates, Workers: v.opts.Workers}
 	switch v.opts.Engine {
 	case EngineSAT:
 		r, err := encode.Verify(p, encOpts)

@@ -1,6 +1,9 @@
 package explore
 
 import (
+	"errors"
+	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/netverify/vmn/internal/inv"
@@ -315,6 +318,111 @@ func TestUnknownOnTinyStateBudget(t *testing.T) {
 		t.Fatalf("want unknown under tiny budget, got %v", r.Outcome)
 	}
 	_ = p
+}
+
+// A middlebox forwarding loop (mb1 -> mb2 -> mb1 -> ...) must exhaust the
+// hop bound and report a typed error naming an offending middlebox.
+func TestHopBoundReportsOffendingMiddlebox(t *testing.T) {
+	aH, aX := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	t1 := topo.New()
+	h := t1.AddHost("h", aH)
+	hX := t1.AddHost("hX", aX)
+	sw := t1.AddSwitch("sw")
+	mb1 := t1.AddMiddlebox("mb1", "gateway")
+	mb2 := t1.AddMiddlebox("mb2", "gateway")
+	t1.AddLink(h, sw)
+	t1.AddLink(hX, sw)
+	t1.AddLink(mb1, sw)
+	t1.AddLink(mb2, sw)
+
+	// Packets for hX bounce between the two pass-through middleboxes.
+	fib := tf.FIB{}
+	px := pkt.HostPrefix(aX)
+	fib.Add(sw, tf.Rule{Match: px, In: h, Out: mb1, Priority: 10})
+	fib.Add(sw, tf.Rule{Match: px, In: mb1, Out: mb2, Priority: 10})
+	fib.Add(sw, tf.Rule{Match: px, In: mb2, Out: mb1, Priority: 10})
+
+	p := &inv.Problem{
+		Topo: t1,
+		TF:   tf.New(t1, fib, topo.NoFailures()),
+		Boxes: []mbox.Instance{
+			{Node: mb1, Model: mbox.NewPassthrough("mb1", "gateway")},
+			{Node: mb2, Model: mbox.NewPassthrough("mb2", "gateway")},
+		},
+		Registry: pkt.NewRegistry(),
+		Samples: []inv.Sample{
+			{Sender: h, Hdr: pkt.Header{Src: aH, Dst: aX, SrcPort: 1000, DstPort: 80, Proto: pkt.TCP}},
+		},
+		MaxSends:  1,
+		Scenario:  topo.NoFailures(),
+		Invariant: inv.SimpleIsolation{Dst: hX, SrcAddr: aH},
+	}
+	_, err := Verify(p, Options{MaxHops: 4})
+	if err == nil {
+		t.Fatal("middlebox forwarding loop must error")
+	}
+	if !errors.Is(err, ErrHopBound) {
+		t.Fatalf("want ErrHopBound, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "mb1") && !strings.Contains(err.Error(), "mb2") {
+		t.Fatalf("error must name the offending middlebox: %v", err)
+	}
+}
+
+// Same problem + same options ⇒ identical verdict, state count and
+// violation trace for every worker count, on both holding and violated
+// instances (including nondeterministically branching middleboxes).
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *inv.Problem
+	}{
+		{"firewall-holds", func() *inv.Problem {
+			f := testnet.NewFirewallPair(mbox.NewLearningFirewall("fw"))
+			return f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+		}},
+		{"firewall-violated", func() *inv.Problem {
+			f := testnet.NewFirewallPair(&mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true})
+			return f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+		}},
+		{"cache-holds", func() *inv.Problem {
+			g := testnet.NewCacheGroup(
+				mbox.NewContentCache("cache",
+					mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1")), pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1")))),
+				&mbox.LearningFirewall{InstanceName: "fw", ACL: []mbox.ACLEntry{
+					mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1")), pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1"))),
+					mbox.DenyEntry(pkt.HostPrefix(pkt.MustParseAddr("10.2.0.1")), pkt.HostPrefix(pkt.MustParseAddr("10.0.1.1"))),
+				}, DefaultAllow: true},
+			)
+			return g.Problem(inv.DataIsolation{Dst: g.H2, Origin: g.AddrS})
+		}},
+		{"cache-violated", func() *inv.Problem {
+			g := testnet.NewCacheGroup(mbox.NewContentCache("cache"),
+				&mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true})
+			return g.Problem(inv.DataIsolation{Dst: g.H2, Origin: g.AddrS})
+		}},
+	}
+	for _, c := range cases {
+		base, err := Verify(c.mk(), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Verify(c.mk(), Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+			}
+			if got.Outcome != base.Outcome {
+				t.Errorf("%s workers=%d: outcome %v != %v", c.name, workers, got.Outcome, base.Outcome)
+			}
+			if got.StatesExplored != base.StatesExplored {
+				t.Errorf("%s workers=%d: states %d != %d", c.name, workers, got.StatesExplored, base.StatesExplored)
+			}
+			if !reflect.DeepEqual(got.Trace, base.Trace) {
+				t.Errorf("%s workers=%d: traces differ:\n  %v\n  %v", c.name, workers, got.Trace, base.Trace)
+			}
+		}
+	}
 }
 
 func TestInvalidMaxSends(t *testing.T) {

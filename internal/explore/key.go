@@ -1,0 +1,116 @@
+package explore
+
+// Binary product-state fingerprints. A product state (middlebox states,
+// in-flight packet multiset, monitor state, send count) is encoded into a
+// single reusable byte buffer:
+//
+//	for each middlebox (fixed problem order): uvarint(len) ‖ State.AppendKey
+//	uvarint(#flights) ‖ sorted fixed-size flight records
+//	monitor uint64 ‖ uvarint(sends)
+//
+// Box segments are length-framed and flight records are fixed-size and
+// byte-sorted, so the encoding is injective and canonical: two product
+// states encode to the same bytes iff they are the same state. The search
+// dedups on a 64-bit FNV-1a fingerprint of these bytes and keeps the full
+// encoding for collision verification (see visited.go).
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// flightKeySize is the fixed length of one encoded flight record.
+const flightKeySize = 43
+
+// appendFlightKey encodes one in-flight packet.
+func appendFlightKey(b []byte, f *flight) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Hdr.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Hdr.Dst))
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Hdr.SrcPort))
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Hdr.DstPort))
+	b = append(b, byte(f.Hdr.Proto))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Hdr.Origin))
+	b = binary.BigEndian.AppendUint32(b, f.Hdr.ContentID)
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Hdr.Tunnel))
+	b = binary.BigEndian.AppendUint64(b, uint64(f.Classes))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.From))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.At))
+	return binary.BigEndian.AppendUint16(b, uint16(f.Hops))
+}
+
+// sortFlightKeys canonicalizes the flight region of a key: an in-place
+// insertion sort of consecutive flightKeySize-byte records (flight counts
+// are tiny — bounded by MaxSends plus middlebox fan-out).
+func sortFlightKeys(b []byte) {
+	var tmp [flightKeySize]byte
+	n := len(b) / flightKeySize
+	for i := 1; i < n; i++ {
+		rec := b[i*flightKeySize : (i+1)*flightKeySize]
+		j := i
+		for j > 0 && bytes.Compare(b[(j-1)*flightKeySize:j*flightKeySize], rec) > 0 {
+			j--
+		}
+		if j == i {
+			continue
+		}
+		copy(tmp[:], rec)
+		copy(b[(j+1)*flightKeySize:(i+1)*flightKeySize], b[j*flightKeySize:i*flightKeySize])
+		copy(b[j*flightKeySize:], tmp[:])
+	}
+}
+
+// appendNodeKey encodes n's product state into b. seg is a reusable
+// scratch buffer for per-box segments (returned so growth is kept).
+func appendNodeKey(b, seg []byte, n *node) (key, segOut []byte) {
+	for _, st := range n.boxes {
+		seg = st.AppendKey(seg[:0])
+		b = binary.AppendUvarint(b, uint64(len(seg)))
+		b = append(b, seg...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(n.flights)))
+	flightsAt := len(b)
+	for i := range n.flights {
+		b = appendFlightKey(b, &n.flights[i])
+	}
+	sortFlightKeys(b[flightsAt:])
+	b = binary.BigEndian.AppendUint64(b, n.mon)
+	b = binary.AppendUvarint(b, uint64(n.sends))
+	return b, seg
+}
+
+// hashKey is 64-bit FNV-1a over the encoded key.
+func hashKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// arena hands out stable byte slices for visited-set keys without one
+// allocation per key. Chunks are retained by the subslices handed out, so
+// dropping a full chunk is safe.
+type arena struct {
+	chunk []byte
+}
+
+const arenaChunkSize = 1 << 16
+
+// save copies b into the arena and returns the stable copy.
+func (a *arena) save(b []byte) []byte {
+	if len(a.chunk)+len(b) > cap(a.chunk) {
+		size := arenaChunkSize
+		if len(b) > size {
+			size = len(b)
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	start := len(a.chunk)
+	a.chunk = append(a.chunk, b...)
+	return a.chunk[start:len(a.chunk):len(a.chunk)]
+}

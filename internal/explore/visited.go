@@ -1,0 +1,87 @@
+package explore
+
+// visited is the deduplication set of the search: product states keyed by
+// their 64-bit fingerprint, with the full binary key kept so a hash
+// collision can never merge two distinct states.
+//
+// The set is sharded by fingerprint. Concurrency discipline is phased
+// rather than locked: during frontier expansion workers only *read*
+// (lookups against states inserted by earlier levels), and during the
+// level's dedup phase each shard is written by exactly one goroutine (a
+// successor's shard is a pure function of its fingerprint). The level
+// barrier between the phases provides the happens-before edge, so no
+// locks are needed on the hot path.
+
+import "bytes"
+
+const (
+	numShards = 64
+	shardMask = numShards - 1
+)
+
+type visited struct {
+	shards [numShards]shard
+}
+
+// shard keeps the first full key per fingerprint inline and spills the
+// (astronomically rare) colliding keys to an overflow list.
+type shard struct {
+	first    map[uint64][]byte
+	overflow map[uint64][][]byte
+}
+
+func newVisited() *visited {
+	v := &visited{}
+	for i := range v.shards {
+		v.shards[i].first = make(map[uint64][]byte)
+	}
+	return v
+}
+
+// shardOf returns the shard index owning fingerprint h.
+func shardOf(h uint64) int { return int(h & shardMask) }
+
+// contains reports whether key (with fingerprint h) is in the set. Safe
+// to call concurrently from expansion workers: the level barrier
+// guarantees no insert is in flight.
+func (v *visited) contains(h uint64, key []byte) bool {
+	s := &v.shards[shardOf(h)]
+	k, ok := s.first[h]
+	if !ok {
+		return false
+	}
+	if bytes.Equal(k, key) {
+		return true
+	}
+	for _, o := range s.overflow[h] {
+		if bytes.Equal(o, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds key (with fingerprint h) to the set and reports whether it
+// was absent. Must only be called by the goroutine owning shardOf(h) in
+// the current phase.
+func (v *visited) insert(h uint64, key []byte) bool {
+	s := &v.shards[shardOf(h)]
+	k, ok := s.first[h]
+	if !ok {
+		s.first[h] = key
+		return true
+	}
+	if bytes.Equal(k, key) {
+		return false
+	}
+	for _, o := range s.overflow[h] {
+		if bytes.Equal(o, key) {
+			return false
+		}
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[uint64][][]byte)
+	}
+	s.overflow[h] = append(s.overflow[h], key)
+	return true
+}

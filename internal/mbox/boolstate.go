@@ -16,11 +16,7 @@ func SetStateKeys(st State) ([]string, bool) {
 	case emptyState:
 		return nil, true
 	case *setState:
-		keys := make([]string, 0, len(s.set))
-		for k := range s.set {
-			keys = append(keys, k)
-		}
-		return keys, true
+		return append([]string(nil), s.keys...), true
 	default:
 		return nil, false
 	}
@@ -31,7 +27,7 @@ func SetStateKeys(st State) ([]string, bool) {
 func SetStateWith(keys ...string) State {
 	s := newSetState()
 	for _, k := range keys {
-		s.set[k] = true
+		s = s.with(k)
 	}
 	return s
 }

@@ -1,0 +1,32 @@
+package mbox
+
+// Binary state fingerprints. Every State implements AppendKey, which
+// appends a canonical (order-insensitive where the state is a set or map)
+// binary encoding of the state to a caller-provided buffer. The explicit-
+// state engine concatenates these segments — length-framed, so distinct
+// state vectors can never collide — hashes the result to a 64-bit
+// fingerprint and dedups product states on it, verifying the full key on
+// hash collisions. AppendKey must be cheap and allocation-free beyond
+// growing b: canonical ordering is maintained at mutation time (states
+// keep sorted tables), not recomputed per call.
+
+import (
+	"encoding/binary"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFlow appends a fixed 13-byte flow encoding.
+func appendFlow(b []byte, f pkt.Flow) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Src.Addr))
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Src.Port))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.Dst.Addr))
+	b = binary.BigEndian.AppendUint16(b, uint16(f.Dst.Port))
+	return append(b, byte(f.Proto))
+}

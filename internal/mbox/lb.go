@@ -1,6 +1,7 @@
 package mbox
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,25 +25,58 @@ func NewLoadBalancer(name string, vip pkt.Addr, backends ...pkt.Addr) *LoadBalan
 	return &LoadBalancer{InstanceName: name, VIP: vip, Backends: backends}
 }
 
+// lbEntry is one sticky assignment: a canonical flow pinned to a backend.
+type lbEntry struct {
+	flow    pkt.Flow
+	backend pkt.Addr
+}
+
+// lbState keeps assignments as a flow-sorted table so cloning is a single
+// copy and fingerprints need no per-call sorting.
 type lbState struct {
-	assign map[pkt.Flow]pkt.Addr
+	assign []lbEntry // sorted by flow
 }
 
 func (s *lbState) Key() string {
-	entries := make([]string, 0, len(s.assign))
-	for fl, b := range s.assign {
-		entries = append(entries, fmt.Sprintf("%s=%s", fl, b))
+	var b strings.Builder
+	for i, e := range s.assign {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s=%s", e.flow, e.backend)
 	}
-	sort.Strings(entries)
-	return strings.Join(entries, "|")
+	return b.String()
+}
+
+func (s *lbState) AppendKey(b []byte) []byte {
+	for _, e := range s.assign {
+		b = appendFlow(b, e.flow)
+		b = binary.BigEndian.AppendUint32(b, uint32(e.backend))
+	}
+	return b
 }
 
 func (s *lbState) Clone() State {
-	c := &lbState{assign: make(map[pkt.Flow]pkt.Addr, len(s.assign))}
-	for k, v := range s.assign {
-		c.assign[k] = v
+	return &lbState{assign: append([]lbEntry(nil), s.assign...)}
+}
+
+// lookup returns the backend assigned to a canonical flow.
+func (s *lbState) lookup(fl pkt.Flow) (pkt.Addr, bool) {
+	i := sort.Search(len(s.assign), func(i int) bool { return !s.assign[i].flow.Less(fl) })
+	if i < len(s.assign) && s.assign[i].flow == fl {
+		return s.assign[i].backend, true
 	}
-	return c
+	return pkt.AddrNone, false
+}
+
+// withAssign returns a copy of s with fl pinned to backend.
+func (s *lbState) withAssign(fl pkt.Flow, backend pkt.Addr) *lbState {
+	i := sort.Search(len(s.assign), func(i int) bool { return !s.assign[i].flow.Less(fl) })
+	assign := make([]lbEntry, len(s.assign)+1)
+	copy(assign, s.assign[:i])
+	assign[i] = lbEntry{flow: fl, backend: backend}
+	copy(assign[i+1:], s.assign[i:])
+	return &lbState{assign: assign}
 }
 
 // Type implements Model.
@@ -58,9 +92,7 @@ func (l *LoadBalancer) FailMode() FailMode { return FailClosed }
 func (l *LoadBalancer) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
 
 // InitState implements Model.
-func (l *LoadBalancer) InitState() State {
-	return &lbState{assign: map[pkt.Flow]pkt.Addr{}}
-}
+func (l *LoadBalancer) InitState() State { return &lbState{} }
 
 // Process implements Model.
 func (l *LoadBalancer) Process(st State, in Input) []Branch {
@@ -72,7 +104,7 @@ func (l *LoadBalancer) Process(st State, in Input) []Branch {
 		return forward(s, "pass", Output{Hdr: h, Classes: in.Classes})
 	}
 	fl := pkt.FlowOf(h).Canonical()
-	if b, ok := s.assign[fl]; ok {
+	if b, ok := s.lookup(fl); ok {
 		h.Dst = b
 		return forward(s, "sticky", Output{Hdr: h, Classes: in.Classes})
 	}
@@ -81,8 +113,7 @@ func (l *LoadBalancer) Process(st State, in Input) []Branch {
 	}
 	branches := make([]Branch, 0, len(l.Backends))
 	for _, b := range l.Backends {
-		c := s.Clone().(*lbState)
-		c.assign[fl] = b
+		c := s.withAssign(fl, b)
 		out := h
 		out.Dst = b
 		branches = append(branches, Branch{

@@ -82,10 +82,17 @@ func (m FailMode) String() string {
 }
 
 // State is a middlebox's mutable state. Implementations must be
-// deep-cloneable and produce a canonical Key so the explicit-state engine
-// can hash and dedupe product states.
+// deep-cloneable and produce a canonical key so the explicit-state engine
+// can hash and dedupe product states: AppendKey appends a canonical binary
+// fingerprint segment to b (equal states ⇔ equal bytes, regardless of
+// insertion order), and Key renders the same bytes as a string for
+// debugging and tests. States are shared between explored product states
+// and read concurrently by search workers, so both methods must be safe
+// for concurrent use on an unmodified state (maintain canonical order at
+// construction time, never lazily).
 type State interface {
 	Key() string
+	AppendKey(b []byte) []byte
 	Clone() State
 }
 
@@ -151,42 +158,50 @@ func forward(st State, label string, outs ...Output) []Branch {
 // emptyState is a reusable stateless State.
 type emptyState struct{}
 
-func (emptyState) Key() string  { return "" }
-func (emptyState) Clone() State { return emptyState{} }
+func (emptyState) Key() string               { return "" }
+func (emptyState) AppendKey(b []byte) []byte { return b }
+func (emptyState) Clone() State              { return emptyState{} }
 
-// setState is a State that is a sorted set of strings.
+// setState is a State that is a set of strings, kept as a sorted slice so
+// cloning is one copy and the fingerprint needs no per-call sorting.
 type setState struct {
-	set map[string]bool
+	keys []string // sorted, unique
 }
 
-func newSetState() *setState { return &setState{set: map[string]bool{}} }
+func newSetState() *setState { return &setState{} }
 
-func (s *setState) Key() string {
-	keys := make([]string, 0, len(s.set))
-	for k := range s.set {
-		keys = append(keys, k)
+func (s *setState) Key() string { return strings.Join(s.keys, "|") }
+
+func (s *setState) AppendKey(b []byte) []byte {
+	for _, k := range s.keys {
+		b = appendString(b, k)
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, "|")
+	return b
 }
 
 func (s *setState) Clone() State {
-	c := newSetState()
-	for k := range s.set {
-		c.set[k] = true
-	}
-	return c
+	return &setState{keys: append([]string(nil), s.keys...)}
 }
 
+// with returns a copy of s with k added (no-op copy if already present).
 func (s *setState) with(k string) *setState {
-	c := s.Clone().(*setState)
-	c.set[k] = true
-	return c
+	i := sort.SearchStrings(s.keys, k)
+	if i < len(s.keys) && s.keys[i] == k {
+		return s
+	}
+	keys := make([]string, len(s.keys)+1)
+	copy(keys, s.keys[:i])
+	keys[i] = k
+	copy(keys[i+1:], s.keys[i:])
+	return &setState{keys: keys}
 }
 
-func (s *setState) has(k string) bool { return s.set[k] }
+func (s *setState) has(k string) bool {
+	i := sort.SearchStrings(s.keys, k)
+	return i < len(s.keys) && s.keys[i] == k
+}
 
-func (s *setState) len() int { return len(s.set) }
+func (s *setState) len() int { return len(s.keys) }
 
 // flowKey is the canonical string for a bidirectional flow.
 func flowKey(h pkt.Header) string {

@@ -426,15 +426,53 @@ func TestCheckStatePanicsOnForeignState(t *testing.T) {
 }
 
 func TestSetStateCloneIndependence(t *testing.T) {
-	s := newSetState()
-	s.set["a"] = true
-	c := s.Clone().(*setState)
-	c.set["b"] = true
+	s := newSetState().with("a")
+	c := s.with("b")
 	if s.has("b") {
-		t.Fatal("clone must not alias")
+		t.Fatal("derived state must not alias")
 	}
 	if s.len() != 1 || c.len() != 2 {
 		t.Fatal("lengths wrong")
+	}
+	if c.with("b") != c {
+		t.Fatal("adding a present key must be a no-op")
+	}
+	clone := c.Clone().(*setState)
+	if clone.Key() != c.Key() || !clone.has("a") || !clone.has("b") {
+		t.Fatal("clone must preserve contents")
+	}
+}
+
+func TestAppendKeyCanonical(t *testing.T) {
+	// Set states: insertion order must not matter; distinct contents must
+	// differ even when concatenations could collide ("ab"+"c" vs "a"+"bc").
+	ab := newSetState().with("ab").with("c")
+	ba := newSetState().with("c").with("ab")
+	if string(ab.AppendKey(nil)) != string(ba.AppendKey(nil)) {
+		t.Fatal("set fingerprint must be order-insensitive")
+	}
+	other := newSetState().with("a").with("bc")
+	if string(ab.AppendKey(nil)) == string(other.AppendKey(nil)) {
+		t.Fatal("length framing must keep distinct sets distinct")
+	}
+	// NAT states: same mappings added in different orders fingerprint the
+	// same; the port counter distinguishes otherwise-equal tables.
+	n := NewNAT("nat", pkt.MustParseAddr("100.0.0.1"))
+	st := n.InitState()
+	s1 := single(t, n.Process(st, Input{Hdr: hdr(hA, hC, 1000, 80)})).Next
+	s12 := single(t, n.Process(s1, Input{Hdr: hdr(hB, hC, 1000, 80)})).Next
+	if string(s1.AppendKey(nil)) == string(s12.AppendKey(nil)) {
+		t.Fatal("NAT fingerprints must track the mapping table")
+	}
+	if s12.Key() == "" || string(s12.AppendKey(nil)) != string(s12.Clone().AppendKey(nil)) {
+		t.Fatal("clone must fingerprint identically")
+	}
+	// LB states likewise.
+	vip := pkt.MustParseAddr("10.9.9.9")
+	lb := NewLoadBalancer("lb", vip, hA, hB)
+	bs := lb.Process(lb.InitState(), Input{Hdr: hdr(hC, vip, 1000, 80)})
+	if string(bs[0].Next.AppendKey(nil)) == string(bs[1].Next.AppendKey(nil)) {
+		t.Fatal("distinct backend choices must fingerprint differently")
 	}
 }
 

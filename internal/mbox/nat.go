@@ -28,35 +28,74 @@ func NewNAT(name string, addr pkt.Addr) *NAT {
 	return &NAT{InstanceName: name, NATAddr: addr, PortBase: 50000}
 }
 
-// natState mirrors Listing 2's `active` and `reverse` maps.
+// natEntry is one row of Listing 2's `active` table: an outbound flow and
+// its remapped source port. The original endpoint (Listing 2's `reverse`
+// table) is recoverable as the flow's source, so no second table is kept.
+type natEntry struct {
+	flow pkt.Flow
+	port pkt.Port
+}
+
+// natState mirrors Listing 2's `active`/`reverse` maps as one flow-sorted
+// table, so cloning is a single copy and fingerprints need no sorting.
 type natState struct {
-	active  map[pkt.Flow]pkt.Port                  // outbound flow -> remapped source port
-	reverse map[pkt.Port]struct{ ep pkt.Endpoint } // remapped port -> original (addr, port)
+	entries []natEntry // sorted by flow
 	next    pkt.Port
 }
 
 func (s *natState) Key() string {
-	entries := make([]string, 0, len(s.active))
-	for fl, p := range s.active {
-		entries = append(entries, fmt.Sprintf("%s=%d", fl, p))
+	var b strings.Builder
+	fmt.Fprintf(&b, "next=%d;", s.next)
+	for i, e := range s.entries {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s=%d", e.flow, e.port)
 	}
-	sort.Strings(entries)
-	return fmt.Sprintf("next=%d;%s", s.next, strings.Join(entries, "|"))
+	return b.String()
+}
+
+func (s *natState) AppendKey(b []byte) []byte {
+	b = append(b, byte(s.next>>8), byte(s.next))
+	for _, e := range s.entries {
+		b = appendFlow(b, e.flow)
+		b = append(b, byte(e.port>>8), byte(e.port))
+	}
+	return b
 }
 
 func (s *natState) Clone() State {
-	c := &natState{
-		active:  make(map[pkt.Flow]pkt.Port, len(s.active)),
-		reverse: make(map[pkt.Port]struct{ ep pkt.Endpoint }, len(s.reverse)),
-		next:    s.next,
+	return &natState{entries: append([]natEntry(nil), s.entries...), next: s.next}
+}
+
+// lookup returns the remapped port for an active outbound flow.
+func (s *natState) lookup(fl pkt.Flow) (pkt.Port, bool) {
+	i := sort.Search(len(s.entries), func(i int) bool { return !s.entries[i].flow.Less(fl) })
+	if i < len(s.entries) && s.entries[i].flow == fl {
+		return s.entries[i].port, true
 	}
-	for k, v := range s.active {
-		c.active[k] = v
+	return 0, false
+}
+
+// reverse returns the original endpoint a remapped port translates back to.
+func (s *natState) reverse(p pkt.Port) (pkt.Endpoint, bool) {
+	for _, e := range s.entries {
+		if e.port == p {
+			return e.flow.Src, true
+		}
 	}
-	for k, v := range s.reverse {
-		c.reverse[k] = v
-	}
-	return c
+	return pkt.Endpoint{}, false
+}
+
+// withMapping returns a copy of s with fl remapped to port, allocated from
+// the next counter by the caller.
+func (s *natState) withMapping(fl pkt.Flow, port pkt.Port) *natState {
+	i := sort.Search(len(s.entries), func(i int) bool { return !s.entries[i].flow.Less(fl) })
+	entries := make([]natEntry, len(s.entries)+1)
+	copy(entries, s.entries[:i])
+	entries[i] = natEntry{flow: fl, port: port}
+	copy(entries[i+1:], s.entries[i:])
+	return &natState{entries: entries, next: s.next + 1}
 }
 
 // Type implements Model.
@@ -72,13 +111,7 @@ func (n *NAT) FailMode() FailMode { return FailExplicit }
 func (n *NAT) RelevantClasses(*pkt.Registry) pkt.ClassSet { return 0 }
 
 // InitState implements Model.
-func (n *NAT) InitState() State {
-	return &natState{
-		active:  map[pkt.Flow]pkt.Port{},
-		reverse: map[pkt.Port]struct{ ep pkt.Endpoint }{},
-		next:    0,
-	}
-}
+func (n *NAT) InitState() State { return &natState{} }
 
 // Process implements Model, following Listing 2.
 func (n *NAT) Process(st State, in Input) []Branch {
@@ -88,26 +121,23 @@ func (n *NAT) Process(st State, in Input) []Branch {
 	}
 	h := in.Hdr
 	if h.Dst == n.NATAddr { // reverse translation
-		r, ok := s.reverse[h.DstPort]
+		ep, ok := s.reverse(h.DstPort)
 		if !ok {
 			return drop(s, "no-mapping")
 		}
-		h.Dst = r.ep.Addr
-		h.DstPort = r.ep.Port
+		h.Dst = ep.Addr
+		h.DstPort = ep.Port
 		return forward(s, "rev", Output{Hdr: h, Classes: in.Classes})
 	}
 	fl := pkt.FlowOf(h)
-	if p, ok := s.active[fl]; ok { // active.contains(flow(p))
+	if p, ok := s.lookup(fl); ok { // active.contains(flow(p))
 		h.Src = n.NATAddr
 		h.SrcPort = p
 		return forward(s, "active", Output{Hdr: h, Classes: in.Classes})
 	}
 	// New outbound flow: remap.
-	c := s.Clone().(*natState)
-	remapped := n.PortBase + c.next
-	c.next++
-	c.active[fl] = remapped
-	c.reverse[remapped] = struct{ ep pkt.Endpoint }{pkt.Endpoint{Addr: h.Src, Port: h.SrcPort}}
+	remapped := n.PortBase + s.next
+	c := s.withMapping(fl, remapped)
 	h.Src = n.NATAddr
 	h.SrcPort = remapped
 	return forward(c, "remap", Output{Hdr: h, Classes: in.Classes})

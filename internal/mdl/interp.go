@@ -183,6 +183,11 @@ func (s *istate) Key() string {
 	return b.String()
 }
 
+// AppendKey implements mbox.State. Interpreted states are generic
+// map-of-maps structures, so the fingerprint reuses the canonical Key
+// rendering rather than a bespoke binary layout.
+func (s *istate) AppendKey(b []byte) []byte { return append(b, s.Key()...) }
+
 // Clone implements mbox.State.
 func (s *istate) Clone() mbox.State {
 	c := &istate{

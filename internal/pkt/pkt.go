@@ -167,6 +167,19 @@ func FlowOf(h Header) Flow {
 // Reverse returns the flow in the opposite direction.
 func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src, Proto: f.Proto} }
 
+// Less gives a total order on flows (src, dst, proto lexicographically),
+// used to keep middlebox state tables canonically sorted so their binary
+// fingerprints are order-insensitive.
+func (f Flow) Less(o Flow) bool {
+	if f.Src != o.Src {
+		return f.Src.LessThan(o.Src)
+	}
+	if f.Dst != o.Dst {
+		return f.Dst.LessThan(o.Dst)
+	}
+	return f.Proto < o.Proto
+}
+
 // Canonical returns the direction-insensitive representative of the flow
 // (the lexicographically smaller endpoint first), so that a flow and its
 // reverse map to the same key — what stateful firewalls key their

@@ -75,6 +75,30 @@ func TestFlowReverseInvolution(t *testing.T) {
 	}
 }
 
+func TestFlowLessTotalOrder(t *testing.T) {
+	f := func(a1, a2 uint32, p1, p2 uint16) bool {
+		x := Flow{Endpoint{Addr(a1), Port(p1)}, Endpoint{Addr(a2), Port(p2)}, TCP}
+		y := Flow{Endpoint{Addr(a2), Port(p2)}, Endpoint{Addr(a1), Port(p1)}, TCP}
+		// Antisymmetric and total: exactly one of x<y, y<x, x==y.
+		less, greater, equal := x.Less(y), y.Less(x), x == y
+		n := 0
+		for _, b := range []bool{less, greater, equal} {
+			if b {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	a := Flow{Endpoint{1, 1}, Endpoint{2, 2}, TCP}
+	b := Flow{Endpoint{1, 1}, Endpoint{2, 2}, UDP}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("proto must break ties")
+	}
+}
+
 func TestFlowCanonicalSymmetric(t *testing.T) {
 	f := func(a1, a2 uint32, p1, p2 uint16) bool {
 		fl := Flow{Endpoint{Addr(a1), Port(p1)}, Endpoint{Addr(a2), Port(p2)}, UDP}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/netverify/vmn/internal/pkt"
 	"github.com/netverify/vmn/internal/topo"
@@ -49,7 +50,11 @@ type Engine struct {
 	fail topo.FailureScenario
 
 	sorted map[topo.NodeID][]Rule
-	memo   map[memoKey]memoVal
+
+	// memo caches Next results; guarded by mu so the explicit-state
+	// engine's parallel search workers can share one Engine.
+	mu   sync.RWMutex
+	memo map[memoKey]memoVal
 }
 
 type memoKey struct {
@@ -130,14 +135,19 @@ func (e *Engine) hop(at, prev topo.NodeID, dst pkt.Addr) (topo.NodeID, bool) {
 // located at edge node `from` with destination address dst across the
 // switch fabric and returns the edge node where it next surfaces. ok=false
 // means the fabric drops the packet (blackhole); ErrLoop reports a static
-// forwarding loop.
+// forwarding loop. Next is safe for concurrent use.
 func (e *Engine) Next(from topo.NodeID, dst pkt.Addr) (next topo.NodeID, ok bool, err error) {
 	k := memoKey{from, dst}
-	if v, hit := e.memo[k]; hit {
+	e.mu.RLock()
+	v, hit := e.memo[k]
+	e.mu.RUnlock()
+	if hit {
 		return v.next, v.ok, v.err
 	}
 	next, ok, err = e.walk(from, dst)
+	e.mu.Lock()
 	e.memo[k] = memoVal{next, ok, err}
+	e.mu.Unlock()
 	return next, ok, err
 }
 
