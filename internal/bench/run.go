@@ -16,11 +16,19 @@ import (
 // timing samples (the paper reports min/5th/median/95th/max over 100 runs).
 // For explicit-engine rows, States records the (deterministic) number of
 // product states explored per run, so consumers can derive states/sec.
+// Churn rows (incremental vs full re-verification) additionally carry the
+// per-step invariant count, the average number of invariants dirtied per
+// step, and the verdict-cache hit / solver-run totals.
 type Row struct {
 	Label   string
 	X       int
 	Samples []time.Duration
 	States  int `json:",omitempty"`
+	// Churn accounting (see Churn).
+	Invariants int `json:",omitempty"`
+	Dirtied    int `json:",omitempty"`
+	CacheHits  int `json:",omitempty"`
+	Solves     int `json:",omitempty"`
 }
 
 // StatesPerSec derives the exploration throughput from the median sample;

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/netverify/vmn/internal/encode"
@@ -83,6 +85,12 @@ type Options struct {
 	// Workers sets the explicit engine's search parallelism (0 =
 	// GOMAXPROCS). Verdicts and traces are identical for every value.
 	Workers int
+	// InvWorkers parallelizes VerifyAll across invariants (or symmetry
+	// groups): 0 or 1 verifies sequentially, N > 1 uses N concurrent
+	// verifications. Report content and order are identical for every
+	// value. Invariant-level parallelism composes with Workers, the
+	// explicit engine's intra-search parallelism.
+	InvWorkers int
 }
 
 // Report is the verdict for one (invariant, scenario) pair.
@@ -101,12 +109,31 @@ type Report struct {
 	Duration   time.Duration
 	// Reused marks verdicts inherited from a symmetry-group representative.
 	Reused bool
+	// Slice is the verified slice itself — provenance for incremental
+	// verification (internal/incr), which derives dependency footprints
+	// and verdict-cache fingerprints from it.
+	Slice slices.Result
+	// Cached marks verdicts served from an incremental verdict cache
+	// without re-solving.
+	Cached bool
 }
 
-// Verifier verifies invariants over a network.
+// Verifier verifies invariants over a network. It caches compiled
+// transfer engines and memoizes SAT-engine journey enumerations across
+// invariants, with every cache keyed by content fingerprints (forwarding
+// state, failure scenario, middlebox configurations), so in-place network
+// mutations between verification calls are picked up on the next call —
+// the mutate-and-reverify pattern of the examples stays valid. Do not
+// mutate the network concurrently with a running verification; the
+// verification methods themselves are safe for concurrent use.
 type Verifier struct {
 	net  *Network
 	opts Options
+
+	mu          sync.Mutex
+	engines     map[uint64][]*tf.Engine
+	engineCount int
+	journeys    *encode.JourneyCache
 }
 
 // NewVerifier builds a verifier; opts zero value means defaults (auto
@@ -118,7 +145,49 @@ func NewVerifier(net *Network, opts Options) (*Verifier, error) {
 	if net.Registry == nil {
 		net.Registry = pkt.NewRegistry()
 	}
-	return &Verifier{net: net, opts: opts}, nil
+	return &Verifier{
+		net:      net,
+		opts:     opts,
+		engines:  map[uint64][]*tf.Engine{},
+		journeys: encode.NewJourneyCache(),
+	}, nil
+}
+
+// maxCachedEngines bounds the compiled-engine cache of a long-lived
+// Verifier; overflowing flushes it wholesale (warm memoization is lost,
+// correctness is not — engines are content-addressed).
+const maxCachedEngines = 64
+
+// EngineFor returns the compiled transfer engine for a failure scenario.
+// The forwarding state is recompiled on every call (so mutations behind
+// FIBFor take effect), but when its behaviour fingerprint matches a
+// previously compiled engine the old one — with its warm walk memoization
+// shared across invariants — is reused. Fingerprint collisions are ruled
+// out by full-key comparison. Callers running many checks under one
+// scenario should call this once and pass the engine to VerifyOneOn /
+// SliceOn rather than recompiling per check.
+func (v *Verifier) EngineFor(sc topo.FailureScenario) *tf.Engine {
+	e := tf.New(v.net.Topo, v.net.FIBFor(sc), sc)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, old := range v.engines[e.Fingerprint()] {
+		if bytes.Equal(old.FingerprintKey(), e.FingerprintKey()) {
+			return old
+		}
+	}
+	if v.engineCount >= maxCachedEngines {
+		v.engines = map[uint64][]*tf.Engine{}
+		v.engineCount = 0
+	}
+	v.engines[e.Fingerprint()] = append(v.engines[e.Fingerprint()], e)
+	v.engineCount++
+	return e
+}
+
+// JourneyCacheStats reports the SAT engine's journey-memoization hits and
+// misses accumulated by this verifier.
+func (v *Verifier) JourneyCacheStats() (hits, misses int64) {
+	return v.journeys.Stats()
 }
 
 // Network returns the verifier's network.
@@ -147,31 +216,77 @@ func (v *Verifier) VerifyInvariant(i inv.Invariant) ([]Report, error) {
 
 // VerifyAll verifies a set of invariants, optionally collapsing symmetric
 // invariants to one representative check (§4.2). Reports for non-
-// representative members are copies marked Reused.
+// representative members are copies marked Reused. With Options.InvWorkers
+// > 1 the representative checks run concurrently; report content and order
+// are identical to the sequential run.
 func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, error) {
-	var out []Report
-	if !useSymmetry {
+	var groups []symmetry.Group
+	if useSymmetry {
+		cls := symmetry.Classifier{HostClass: v.net.PolicyClass, Topo: v.net.Topo}
+		groups = symmetry.Groups(cls, invs)
+	} else {
 		for _, i := range invs {
-			rs, err := v.VerifyInvariant(i)
+			groups = append(groups, symmetry.Group{Representative: i, Members: []inv.Invariant{i}})
+		}
+	}
+
+	perGroup := make([][]Report, len(groups))
+	verify := func(gi int) error {
+		rs, err := v.VerifyInvariant(groups[gi].Representative)
+		if err != nil {
+			return err
+		}
+		perGroup[gi] = rs
+		return nil
+	}
+
+	workers := v.opts.InvWorkers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for gi := range groups {
+			if err := verify(gi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		work := make(chan int)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for gi := range work {
+					if errs[w] != nil {
+						continue
+					}
+					errs[w] = verify(gi)
+				}
+			}(w)
+		}
+		for gi := range groups {
+			work <- gi
+		}
+		close(work)
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, rs...)
 		}
-		return out, nil
 	}
-	cls := symmetry.Classifier{HostClass: v.net.PolicyClass, Topo: v.net.Topo}
-	groups := symmetry.Groups(cls, invs)
-	for _, g := range groups {
-		rs, err := v.VerifyInvariant(g.Representative)
-		if err != nil {
-			return nil, err
-		}
+
+	var out []Report
+	for gi, g := range groups {
+		rs := perGroup[gi]
 		out = append(out, rs...)
-		for _, m := range g.Members {
-			if m == g.Representative {
-				continue
-			}
+		// The representative is always Members[0] (symmetry.Groups builds
+		// groups first-seen); skip it by position — invariants may be
+		// uncomparable types (Traversal holds a slice), so interface
+		// equality would panic.
+		for _, m := range g.Members[1:] {
 			for _, r := range rs {
 				cp := r
 				cp.Invariant = m
@@ -184,34 +299,69 @@ func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, 
 	return out, nil
 }
 
-// verifyOne runs one (invariant, scenario) check.
-func (v *Verifier) verifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, error) {
-	start := time.Now()
-	engine := tf.New(v.net.Topo, v.net.FIBFor(sc), sc)
-
-	// Keep set: invariant nodes plus owners of referenced addresses.
+// keepSet lists the nodes an invariant pins into its slice: the nodes it
+// references plus the owners of referenced addresses.
+func (v *Verifier) keepSet(i inv.Invariant) []topo.NodeID {
 	keep := append([]topo.NodeID(nil), i.Nodes()...)
 	for _, a := range i.RefAddrs() {
 		if n, ok := v.net.Topo.HostByAddr(a); ok {
 			keep = append(keep, n.ID)
 		}
 	}
+	return keep
+}
 
-	var sl slices.Result
+// SliceFor computes the slice the invariant would be verified against
+// under the given failure scenario (the whole network when slicing is
+// disabled). Exposed so the incremental layer can fingerprint a slice
+// before deciding whether to re-solve; the engine's path memoization makes
+// the subsequent in-verification recomputation nearly free.
+func (v *Verifier) SliceFor(i inv.Invariant, sc topo.FailureScenario) (slices.Result, error) {
+	return v.sliceFor(v.keepSet(i), v.EngineFor(sc))
+}
+
+// SliceOn is SliceFor against a pre-compiled engine.
+func (v *Verifier) SliceOn(i inv.Invariant, engine *tf.Engine) (slices.Result, error) {
+	return v.sliceFor(v.keepSet(i), engine)
+}
+
+func (v *Verifier) sliceFor(keep []topo.NodeID, engine *tf.Engine) (slices.Result, error) {
 	if v.opts.NoSlices {
-		sl = wholeSlice(v.net)
-	} else {
-		var err error
-		sl, err = slices.Compute(slices.Input{
-			Topo:        v.net.Topo,
-			TF:          engine,
-			Boxes:       v.net.Boxes,
-			PolicyClass: v.net.PolicyClass,
-			Keep:        keep,
-		})
-		if err != nil {
-			return Report{}, err
-		}
+		return wholeSlice(v.net), nil
+	}
+	return slices.Compute(slices.Input{
+		Topo:        v.net.Topo,
+		TF:          engine,
+		Boxes:       v.net.Boxes,
+		PolicyClass: v.net.PolicyClass,
+		Keep:        keep,
+	})
+}
+
+// VerifyOne runs one (invariant, scenario) check.
+func (v *Verifier) VerifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, error) {
+	return v.verifyOne(i, sc)
+}
+
+// VerifyOneOn is VerifyOne against a pre-compiled engine — callers
+// batching many checks under one scenario (the incremental layer's
+// re-verification pool) compile once via EngineFor and pass it down.
+func (v *Verifier) VerifyOneOn(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (Report, error) {
+	return v.verifyOn(i, sc, engine)
+}
+
+// verifyOne runs one (invariant, scenario) check.
+func (v *Verifier) verifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, error) {
+	return v.verifyOn(i, sc, v.EngineFor(sc))
+}
+
+func (v *Verifier) verifyOn(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (Report, error) {
+	start := time.Now()
+	keep := v.keepSet(i)
+
+	sl, err := v.sliceFor(keep, engine)
+	if err != nil {
+		return Report{}, err
 	}
 
 	prob := &inv.Problem{
@@ -238,6 +388,7 @@ func (v *Verifier) verifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, 
 		Whole:      sl.Whole || v.opts.NoSlices,
 		Engine:     engName,
 		Duration:   time.Since(start),
+		Slice:      sl,
 	}
 	switch res.Outcome {
 	case inv.Holds:
@@ -256,6 +407,7 @@ func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
 		RandomBranchFreq:  v.opts.RandomBranchFreq,
 		MaxConflicts:      v.opts.MaxConflicts,
 		GroundAllReadKeys: v.opts.NoSlices,
+		Journeys:          v.journeys,
 	}
 	expOpts := explore.Options{MaxStates: v.opts.MaxStates, Workers: v.opts.Workers}
 	switch v.opts.Engine {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// TestJourneyMemoAcrossInvariants pins the SAT engine's cross-invariant
+// journey memoization: two invariants over the same slice share the same
+// packet alphabet, so the second verification must reuse the first's
+// journey enumerations.
+func TestJourneyMemoAcrossInvariants(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	net, hA, hB, _ := pairNet(mbox.NewLearningFirewall("fw",
+		mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB))))
+	v, err := NewVerifier(net, Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := []inv.Invariant{
+		inv.SimpleIsolation{Dst: hB, SrcAddr: aA}, // violated (allowed flow)
+		// Holds: hB cannot initiate (default deny), and replies ride flows
+		// hA itself initiated.
+		inv.FlowIsolation{Dst: hA, SrcAddr: aB},
+	}
+	reports, err := v.VerifyAll(invs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Result.Outcome != inv.Violated || reports[1].Result.Outcome != inv.Holds {
+		t.Fatalf("unexpected verdicts: %v %v", reports[0].Result.Outcome, reports[1].Result.Outcome)
+	}
+	hits, misses := v.JourneyCacheStats()
+	if misses == 0 {
+		t.Fatal("first verification must populate the journey cache")
+	}
+	if hits == 0 {
+		t.Fatalf("second invariant over the same slice must hit the journey cache (hits=%d misses=%d)", hits, misses)
+	}
+
+	// A fresh verifier starts cold — the cache never crosses the frozen-
+	// network boundary.
+	v2, _ := NewVerifier(net, Options{Engine: EngineSAT})
+	if _, err := v2.VerifyInvariant(invs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := v2.JourneyCacheStats(); h != 0 {
+		t.Fatalf("fresh verifier must not inherit journey cache state (hits=%d)", h)
+	}
+}
+
+// TestVerifyAllParallelMatchesSequential pins InvWorkers determinism: the
+// parallel path must produce the identical report list.
+func TestVerifyAllParallelMatchesSequential(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	mk := func() []inv.Invariant {
+		return []inv.Invariant{
+			inv.SimpleIsolation{Dst: 1, SrcAddr: aA},
+			inv.SimpleIsolation{Dst: 0, SrcAddr: aB},
+			inv.Reachability{Dst: 1, SrcAddr: aA},
+			inv.FlowIsolation{Dst: 0, SrcAddr: aB},
+		}
+	}
+	run := func(workers int) []Report {
+		net, _, _, _ := pairNet(mbox.NewLearningFirewall("fw",
+			mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB))))
+		v, _ := NewVerifier(net, Options{Engine: EngineSAT, InvWorkers: workers})
+		rs, err := v.VerifyAll(mk(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq) != len(par) {
+		t.Fatalf("report count differs: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Invariant.Name() != par[i].Invariant.Name() ||
+			seq[i].Result.Outcome != par[i].Result.Outcome ||
+			seq[i].Satisfied != par[i].Satisfied ||
+			seq[i].Reused != par[i].Reused {
+			t.Fatalf("report %d differs: seq=%+v par=%+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -60,6 +60,9 @@ type Options struct {
 	// the entire network, formula size grows with network size instead of
 	// slice size.
 	GroundAllReadKeys bool
+	// Journeys, when non-nil, memoizes journey enumeration across Verify
+	// calls over one frozen network (see JourneyCache).
+	Journeys *JourneyCache
 }
 
 func (o Options) withDefaults() Options {
@@ -111,14 +114,34 @@ func Verify(p *inv.Problem, opts Options) (inv.Result, error) {
 		boxIdx[b.Node] = i
 	}
 
-	// Enumerate journeys per choice.
+	// Enumerate journeys per choice, sharing enumerations across
+	// invariants through the optional cache.
+	var keyPrefix []byte
+	if opts.Journeys != nil {
+		var ok bool
+		if keyPrefix, ok = appendProblemKey(nil, p, opts); !ok {
+			opts.Journeys = nil // unfingerprintable box: no memoization
+		}
+	}
 	var choices []choice
 	for _, s := range p.Samples {
 		for _, cls := range p.ClassAssignments() {
 			c := choice{sample: s, classes: cls}
+			var key string
+			if opts.Journeys != nil {
+				key = string(appendChoiceKey(append([]byte(nil), keyPrefix...), s, cls))
+				if paths, ok := opts.Journeys.get(key); ok {
+					c.paths = paths
+					choices = append(choices, c)
+					continue
+				}
+			}
 			paths, err := journeys(p, opts, boxIdx, s, cls)
 			if err != nil {
 				return inv.Result{}, err
+			}
+			if opts.Journeys != nil {
+				opts.Journeys.put(key, paths)
 			}
 			c.paths = paths
 			choices = append(choices, c)

@@ -1,0 +1,120 @@
+package encode
+
+// Journey-enumeration memoization. Enumerating a packet choice's journeys
+// (symbolic execution through the fabric and middleboxes, forking on state
+// reads) depends only on the failure scenario, the middlebox set and the
+// (sample, class assignment) pair — not on the invariant being checked.
+// Different invariants over the same slice therefore reground identical
+// journeys; a JourneyCache shares them across Verify calls. The incremental
+// verifier makes repeated same-slice solves the common case, which is what
+// this cache targets (see DESIGN.md).
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// JourneyCache memoizes journey enumeration across Verify calls over one
+// fixed topology (the lifetime scope of a core.Verifier, the intended
+// owner). Keys embed the transfer engine's behaviour fingerprint and the
+// configuration fingerprints of every middlebox, so forwarding-state or
+// configuration mutations between calls miss cleanly instead of returning
+// stale journeys; problems containing a middlebox without a configuration
+// fingerprint (no mbox.ConfigKeyer) skip memoization entirely. Safe for
+// concurrent use. Cached paths are handed out shared; Verify treats them
+// as immutable.
+type JourneyCache struct {
+	mu           sync.Mutex
+	m            map[string][]jpath
+	hits, misses int64
+}
+
+// NewJourneyCache creates an empty cache.
+func NewJourneyCache() *JourneyCache {
+	return &JourneyCache{m: map[string][]jpath{}}
+}
+
+// Stats reports cache hits and misses so far.
+func (c *JourneyCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *JourneyCache) get(key string) ([]jpath, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	paths, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return paths, ok
+}
+
+// maxJourneyEntries bounds the cache; overflow flushes it wholesale
+// (keys are content-addressed, so only warmth is lost).
+const maxJourneyEntries = 1 << 16
+
+func (c *JourneyCache) put(key string, paths []jpath) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxJourneyEntries {
+		c.m = map[string][]jpath{}
+	}
+	c.m[key] = paths
+}
+
+// appendProblemKey encodes the per-problem part of a journey key: the
+// transfer engine's behaviour fingerprint (forwarding state + failure
+// scenario), the hop bound, and the ordered middlebox node list with
+// per-box configuration fingerprints (p.Boxes is sorted by node for
+// sliced problems, and box order determines the keyRef box indices inside
+// jpaths, so the order must be part of the key). ok is false when some
+// box has no configuration fingerprint — such problems must not be
+// memoized, because a reconfiguration would not perturb the key.
+func appendProblemKey(b []byte, p *inv.Problem, opts Options) ([]byte, bool) {
+	b = binary.BigEndian.AppendUint64(b, p.TF.Fingerprint())
+	fail := p.Scenario.Nodes()
+	b = binary.AppendUvarint(b, uint64(len(fail)))
+	for _, n := range fail {
+		b = binary.AppendVarint(b, int64(n))
+	}
+	b = binary.AppendUvarint(b, uint64(opts.MaxHops))
+	b = binary.AppendUvarint(b, uint64(len(p.Boxes)))
+	var seg []byte
+	for _, box := range p.Boxes {
+		b = binary.AppendVarint(b, int64(box.Node))
+		ck, ok := box.Model.(mbox.ConfigKeyer)
+		if !ok {
+			return nil, false
+		}
+		seg = ck.AppendConfigKey(seg[:0])
+		b = binary.AppendUvarint(b, uint64(len(seg)))
+		b = append(b, seg...)
+	}
+	return b, true
+}
+
+// appendChoiceKey encodes the per-choice part: sender, full header, class
+// assignment.
+func appendChoiceKey(b []byte, s inv.Sample, cls pkt.ClassSet) []byte {
+	b = binary.AppendVarint(b, int64(s.Sender))
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Dst))
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Hdr.SrcPort))
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Hdr.DstPort))
+	b = append(b, byte(s.Hdr.Proto))
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Origin))
+	b = binary.BigEndian.AppendUint32(b, s.Hdr.ContentID)
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Tunnel))
+	return binary.BigEndian.AppendUint64(b, uint64(cls))
+}

@@ -17,6 +17,8 @@ package explore
 import (
 	"bytes"
 	"encoding/binary"
+
+	"github.com/netverify/vmn/internal/fnv64"
 )
 
 // flightKeySize is the fixed length of one encoded flight record.
@@ -79,18 +81,7 @@ func appendNodeKey(b, seg []byte, n *node) (key, segOut []byte) {
 }
 
 // hashKey is 64-bit FNV-1a over the encoded key.
-func hashKey(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
-}
+func hashKey(b []byte) uint64 { return fnv64.Sum(b) }
 
 // arena hands out stable byte slices for visited-set keys without one
 // allocation per key. Chunks are retained by the subslices handed out, so

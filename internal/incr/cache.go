@@ -1,0 +1,70 @@
+package incr
+
+// The verdict cache: canonical fingerprint → Report. Entries are hashed
+// with FNV-1a 64 (the fingerprint idiom shared with the explicit engine's
+// visited set) and verified against the full key on lookup, so a hash
+// collision degrades to a miss-equivalent re-solve, never a wrong verdict.
+
+import (
+	"bytes"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/fnv64"
+)
+
+// hashKey is 64-bit FNV-1a over the encoded key.
+func hashKey(b []byte) uint64 { return fnv64.Sum(b) }
+
+type cacheLine struct {
+	key    []byte
+	report core.Report
+}
+
+// verdictCache maps slice fingerprints to reports. Not safe for
+// concurrent use on its own: Session serializes access with its cache
+// mutex (the critical sections are map operations, negligible next to the
+// solves they avoid).
+type verdictCache struct {
+	m       map[uint64][]cacheLine
+	entries int
+	cap     int
+}
+
+// newVerdictCache builds a cache bounded to cap entries (0 = default).
+func newVerdictCache(cap int) *verdictCache {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &verdictCache{m: map[uint64][]cacheLine{}, cap: cap}
+}
+
+// get returns the cached report for key, if any.
+func (c *verdictCache) get(key []byte) (core.Report, bool) {
+	h := hashKey(key)
+	for _, line := range c.m[h] {
+		if bytes.Equal(line.key, key) {
+			return line.report, true
+		}
+	}
+	return core.Report{}, false
+}
+
+// put stores a report under key, replacing any previous entry. When the
+// cache exceeds its bound it is flushed wholesale — crude, but eviction
+// order is irrelevant for soundness and churn streams revisit recent
+// configurations, which repopulate quickly.
+func (c *verdictCache) put(key []byte, r core.Report) {
+	if c.entries >= c.cap {
+		c.m = map[uint64][]cacheLine{}
+		c.entries = 0
+	}
+	h := hashKey(key)
+	for i, line := range c.m[h] {
+		if bytes.Equal(line.key, key) {
+			c.m[h][i].report = r
+			return
+		}
+	}
+	c.m[h] = append(c.m[h], cacheLine{key: append([]byte(nil), key...), report: r})
+	c.entries++
+}

@@ -1,0 +1,148 @@
+// Package incr is VMN's incremental verification subsystem. It layers a
+// long-lived Session on top of internal/core: the caller submits
+// change-sets (node/link up or down, forwarding-state updates, middlebox
+// add/remove/reconfigure, policy-class relabels, invariant add/remove) and
+// the session re-verifies only the invariants a change can affect,
+// returning a full, fresh report set after every Apply.
+//
+// Three mechanisms make this cheap, all grounded in the paper's §4
+// machinery:
+//
+//   - A dependency index derived from slice provenance: each symmetry
+//     group's verdict depends only on the elements its computed slice
+//     touches (slice hosts and boxes plus every fabric node on any
+//     forwarding walk between them — slices.Touched). A change dirties
+//     exactly the groups whose footprint it intersects; symmetry groups
+//     stay collapsed, so a dirtied representative re-runs once for its
+//     whole group.
+//
+//   - A verdict cache keyed by a canonical slice fingerprint (FNV-1a 64
+//     over the invariant, scenario, slice membership, middlebox
+//     configurations and the forwarding entries of touched nodes, with
+//     full-key collision verification). A dirtied group whose slice
+//     fingerprint is unchanged — or reverts to a previously seen
+//     configuration — returns its cached report without re-solving.
+//
+//   - Parallel re-verification: dirtied groups are re-verified across a
+//     worker pool, composing with the explicit engine's intra-search
+//     parallelism and the SAT engine's journey memoization.
+package incr
+
+import (
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Kind classifies a Change.
+type Kind int8
+
+// Change kinds.
+const (
+	// KindNodeDown takes Node out of service (a link or element failure
+	// becoming real, not hypothetical). The repo models link state at node
+	// granularity: failing a switch removes its links from service,
+	// failing a middlebox triggers its fail-open/fail-closed behaviour.
+	KindNodeDown Kind = iota
+	// KindNodeUp returns Node to service.
+	KindNodeUp
+	// KindFIB reports a forwarding-state update: the session's FIB
+	// provider (swapped by FIBFor when non-nil) now returns different
+	// tables. Changed table owners are diffed automatically against the
+	// previous provider; Nodes may list additional owners explicitly.
+	KindFIB
+	// KindBoxAdd binds Model to the middlebox node Node.
+	KindBoxAdd
+	// KindBoxRemove unbinds the middlebox model at Node.
+	KindBoxRemove
+	// KindBoxReconfig reports that the model at Node was reconfigured —
+	// in place (Model nil) or by swapping in Model.
+	KindBoxReconfig
+	// KindRelabel sets Node's policy equivalence class to Class (empty
+	// Class makes the node a singleton again).
+	KindRelabel
+	// KindInvAdd adds Invariant to the verified set.
+	KindInvAdd
+	// KindInvRemove removes all invariants whose Name() equals Name.
+	KindInvRemove
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNodeDown:
+		return "node-down"
+	case KindNodeUp:
+		return "node-up"
+	case KindFIB:
+		return "fib"
+	case KindBoxAdd:
+		return "box-add"
+	case KindBoxRemove:
+		return "box-remove"
+	case KindBoxReconfig:
+		return "box-reconfig"
+	case KindRelabel:
+		return "relabel"
+	case KindInvAdd:
+		return "inv-add"
+	default:
+		return "inv-remove"
+	}
+}
+
+// Change is one element of a change-set. Use the constructors below.
+type Change struct {
+	Kind      Kind
+	Node      topo.NodeID
+	Nodes     []topo.NodeID
+	FIBFor    func(topo.FailureScenario) tf.FIB
+	Model     mbox.Model
+	Class     string
+	Invariant inv.Invariant
+	Name      string
+}
+
+// NodeDown takes a node out of service.
+func NodeDown(n topo.NodeID) Change { return Change{Kind: KindNodeDown, Node: n} }
+
+// NodeUp returns a node to service.
+func NodeUp(n topo.NodeID) Change { return Change{Kind: KindNodeUp, Node: n} }
+
+// FIBUpdate swaps the session's forwarding-state provider; changed table
+// owners are discovered by diffing the old provider's tables against the
+// new one's. A nil fibFor means the existing provider changed behind the
+// session's back (it closes over mutated tables) — diffing cannot see the
+// old state then, so nodes MUST list every owner whose table changed.
+func FIBUpdate(fibFor func(topo.FailureScenario) tf.FIB, nodes ...topo.NodeID) Change {
+	return Change{Kind: KindFIB, FIBFor: fibFor, Nodes: nodes}
+}
+
+// BoxAdd binds model to the middlebox node n.
+func BoxAdd(n topo.NodeID, model mbox.Model) Change {
+	return Change{Kind: KindBoxAdd, Node: n, Model: model}
+}
+
+// BoxRemove unbinds the middlebox model at n.
+func BoxRemove(n topo.NodeID) Change { return Change{Kind: KindBoxRemove, Node: n} }
+
+// BoxReconfig reports an in-place reconfiguration of the model at n (its
+// ACL or other configuration was mutated by the caller).
+func BoxReconfig(n topo.NodeID) Change { return Change{Kind: KindBoxReconfig, Node: n} }
+
+// BoxSwap replaces the model at n.
+func BoxSwap(n topo.NodeID, model mbox.Model) Change {
+	return Change{Kind: KindBoxReconfig, Node: n, Model: model}
+}
+
+// Relabel sets n's policy equivalence class.
+func Relabel(n topo.NodeID, class string) Change {
+	return Change{Kind: KindRelabel, Node: n, Class: class}
+}
+
+// AddInvariant adds i to the verified set.
+func AddInvariant(i inv.Invariant) Change { return Change{Kind: KindInvAdd, Invariant: i} }
+
+// RemoveInvariant removes all invariants named name.
+func RemoveInvariant(name string) Change { return Change{Kind: KindInvRemove, Name: name} }

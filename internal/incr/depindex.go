@@ -1,0 +1,74 @@
+package incr
+
+// Dependency bookkeeping: translating a change-set into the set of network
+// elements whose configuration or liveness it alters ("affected
+// elements"), so the session can dirty exactly the symmetry groups whose
+// touched footprint (slices.Touched) intersects it.
+//
+// The soundness argument is the determinism of the transfer function
+// combined with complete read sets: tf.Engine.Consulted reports every
+// node whose table OR liveness a walk reads (visited nodes, failed rule
+// targets routed around, neighbors examined by implicit-default choices),
+// so a change at a node outside every footprint of a group cannot alter
+// any walk, the slice closure, the grounded problem, or the verdict. A
+// liveness toggle at n therefore dirties exactly the groups whose
+// footprint contains n — with one widening: per-scenario forwarding state
+// (FIBFor) can itself depend on the failure scenario, so liveness toggles
+// and provider swaps are diffed, and every node whose rule list differs
+// between the old and new tables of any effective scenario is affected
+// too.
+
+import (
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// elemSet is a set of network elements.
+type elemSet map[topo.NodeID]bool
+
+func (s elemSet) add(n topo.NodeID) { s[n] = true }
+
+func (s elemSet) addAll(nodes []topo.NodeID) {
+	for _, n := range nodes {
+		s[n] = true
+	}
+}
+
+// intersects reports whether any of nodes is in the set.
+func (s elemSet) intersects(nodes []topo.NodeID) bool {
+	for _, n := range nodes {
+		if s[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// diffFIBs adds to out every node whose rule list differs between a and b.
+// Rule order matters (equal-priority ties break on table order), so the
+// comparison is positional.
+func diffFIBs(a, b tf.FIB, out elemSet) {
+	for n, ra := range a {
+		rb, ok := b[n]
+		if !ok || !rulesEqual(ra, rb) {
+			out.add(n)
+		}
+	}
+	for n := range b {
+		if _, ok := a[n]; !ok {
+			out.add(n)
+		}
+	}
+}
+
+func rulesEqual(a, b []tf.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

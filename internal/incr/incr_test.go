@@ -1,0 +1,479 @@
+package incr_test
+
+// The incremental soundness property: after every Apply, the session's
+// report set must be verdict-identical to a from-scratch VerifyAll over
+// the same mutated network — same invariants in the same order, same
+// outcomes, same satisfied bits, same symmetry reuse. The randomized
+// streams below drive every change kind (liveness toggles, FIB updates,
+// middlebox reconfiguration, relabels, invariant add/remove) over two
+// bench scenarios, with both the re-verification pool and VerifyAll's
+// invariant-level parallelism enabled so `go test -race` exercises the
+// concurrent paths.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// baseline runs a fresh, non-incremental VerifyAll over the network's
+// current state under the session's effective scenarios.
+func baseline(t *testing.T, s *incr.Session, opts core.Options, useSymmetry bool) []core.Report {
+	t.Helper()
+	opts.Scenarios = s.EffectiveScenarios()
+	v, err := core.NewVerifier(s.Network(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := v.VerifyAll(s.Invariants(), useSymmetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+func compareReports(t *testing.T, step string, got, want []core.Report) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: report count mismatch: session %d, from-scratch %d", step, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Invariant.Name() != w.Invariant.Name() {
+			t.Fatalf("%s: report %d invariant mismatch: %q vs %q", step, i, g.Invariant.Name(), w.Invariant.Name())
+		}
+		if g.Scenario.Key() != w.Scenario.Key() {
+			t.Fatalf("%s: report %d (%s) scenario mismatch: %q vs %q",
+				step, i, g.Invariant.Name(), g.Scenario.Key(), w.Scenario.Key())
+		}
+		if g.Result.Outcome != w.Result.Outcome || g.Satisfied != w.Satisfied {
+			t.Fatalf("%s: report %d (%s, scenario %q) verdict mismatch: session %v/%v, from-scratch %v/%v (cached=%v reused=%v)",
+				step, i, g.Invariant.Name(), g.Scenario.Key(),
+				g.Result.Outcome, g.Satisfied, w.Result.Outcome, w.Satisfied, g.Cached, g.Reused)
+		}
+		if g.Reused != w.Reused {
+			t.Fatalf("%s: report %d (%s) symmetry-reuse mismatch: session %v, from-scratch %v",
+				step, i, g.Invariant.Name(), g.Reused, w.Reused)
+		}
+	}
+}
+
+// overlayFIBFor layers extra rules over a base provider; each call to
+// build returns an independent snapshot closure so the session's FIB
+// diffing sees genuinely old vs new tables.
+func overlayFIBFor(base func(topo.FailureScenario) tf.FIB, overlay map[topo.NodeID][]tf.Rule) func(topo.FailureScenario) tf.FIB {
+	snap := map[topo.NodeID][]tf.Rule{}
+	for n, rs := range overlay {
+		snap[n] = append([]tf.Rule(nil), rs...)
+	}
+	return func(sc topo.FailureScenario) tf.FIB {
+		fib := base(sc)
+		if len(snap) == 0 {
+			return fib
+		}
+		out := tf.FIB{}
+		for n, rs := range fib {
+			out[n] = rs
+		}
+		for n, rs := range snap {
+			out[n] = append(append([]tf.Rule(nil), rs...), out[n]...)
+		}
+		return out
+	}
+}
+
+func TestSessionSoundnessDatacenter(t *testing.T) {
+	const G = 4
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := d.AllIsolationInvariants()
+	// Traversal holds a Vias slice (an uncomparable invariant type):
+	// exercises the by-position representative skip and the 't'
+	// fingerprint branch.
+	invs = append(invs, d.TraversalInvariant(0, 1), d.TraversalInvariant(2, 3))
+	opts := core.Options{Engine: core.EngineSAT, InvWorkers: 2}
+	baseFIB := d.Net.FIBFor
+
+	sess, reports, err := incr.NewSession(d.Net, opts, invs, incr.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, true))
+
+	rng := rand.New(rand.NewSource(42))
+	overlay := map[topo.NodeID][]tf.Rule{}
+	hostDown := map[topo.NodeID]bool{}
+	fresh := 0
+
+	for step := 0; step < 10; step++ {
+		var changes []incr.Change
+		kind := step % 5
+		switch kind {
+		case 0: // host liveness toggle
+			h := d.Hosts[rng.Intn(G)][0]
+			if hostDown[h] {
+				delete(hostDown, h)
+				changes = append(changes, incr.NodeUp(h))
+			} else {
+				hostDown[h] = true
+				changes = append(changes, incr.NodeDown(h))
+			}
+		case 1: // primary firewall liveness toggle (reroutes via backup)
+			if step%2 == 1 {
+				changes = append(changes, incr.NodeDown(d.FW1))
+			} else {
+				changes = append(changes, incr.NodeUp(d.FW1))
+			}
+		case 2: // relabel a host into a fresh singleton class
+			fresh++
+			h := d.Hosts[rng.Intn(G)][0]
+			changes = append(changes, incr.Relabel(h, fmt.Sprintf("fresh-%d", fresh)))
+		case 3: // delete a random inter-group deny rule from both firewalls
+			aff := d.DeleteRandomDenyRules(rng, 1)
+			changes = append(changes, incr.BoxReconfig(d.FW1), incr.BoxReconfig(d.FW2))
+			// DeleteRandomDenyRules already isolated the affected groups'
+			// policy classes in place; announce those relabels.
+			for _, pair := range aff {
+				for _, g := range pair {
+					for _, h := range d.Hosts[g] {
+						changes = append(changes, incr.Relabel(h, d.Net.PolicyClass[h]))
+					}
+				}
+			}
+		case 4: // rack-local forwarding update (shadow rule toggle)
+			g := rng.Intn(G)
+			tor := d.ToR[g]
+			if len(overlay[tor]) > 0 {
+				delete(overlay, tor)
+			} else {
+				overlay[tor] = []tf.Rule{{
+					Match:    pkt.HostPrefix(bench.HostAddr(g, 0)),
+					In:       topo.NodeNone,
+					Out:      d.Hosts[g][0],
+					Priority: 35,
+				}}
+			}
+			changes = append(changes, incr.FIBUpdate(overlayFIBFor(baseFIB, overlay)))
+		}
+
+		step := fmt.Sprintf("step %d (kind %d)", step, kind)
+		reports, err := sess.Apply(changes)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		compareReports(t, step, reports, baseline(t, sess, opts, true))
+	}
+	if tot := sess.TotalStats(); tot.Solves >= tot.TotalInvs {
+		t.Fatalf("incremental path never saved work: %+v", tot)
+	}
+}
+
+func TestSessionSoundnessDatacenterCaches(t *testing.T) {
+	const G = 3
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1, WithCaches: true})
+	var invs []inv.Invariant
+	for g := 0; g < G; g++ {
+		invs = append(invs, d.DataIsolationInvariant(g))
+	}
+	invs = append(invs, d.IsolationInvariant(0, 1), d.IsolationInvariant(1, 0))
+	opts := core.Options{Engine: core.EngineSAT, InvWorkers: 2}
+
+	sess, reports, err := incr.NewSession(d.Net, opts, invs, incr.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, true))
+
+	savedACL := append([]mbox.ACLEntry(nil), d.CacheBoxes[0].ACL...)
+	steps := []struct {
+		name    string
+		changes func() []incr.Change
+	}{
+		{"break cache 0", func() []incr.Change {
+			d.DeleteCacheACLs(0, 0)
+			return []incr.Change{incr.BoxReconfig(d.Caches[0])}
+		}},
+		{"relabel guest (origin-agnostic dirty-all)", func() []incr.Change {
+			return []incr.Change{incr.Relabel(d.Guests[1], "suspect-guest")}
+		}},
+		{"restore cache 0", func() []incr.Change {
+			d.CacheBoxes[0].ACL = append([]mbox.ACLEntry(nil), savedACL...)
+			return []incr.Change{incr.BoxReconfig(d.Caches[0])}
+		}},
+		{"cache 0 down (fail-open)", func() []incr.Change {
+			return []incr.Change{incr.NodeDown(d.Caches[0])}
+		}},
+		{"cache 0 back up", func() []incr.Change {
+			return []incr.Change{incr.NodeUp(d.Caches[0])}
+		}},
+	}
+	for _, st := range steps {
+		reports, err := sess.Apply(st.changes())
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		compareReports(t, st.name, reports, baseline(t, sess, opts, true))
+	}
+}
+
+func TestSessionSoundnessMultiTenant(t *testing.T) {
+	const T = 3
+	m := bench.NewMultiTenant(bench.MTConfig{Tenants: T, PubPerTenant: 2, PrivPerTenant: 2})
+	var invs []inv.Invariant
+	for a := 0; a < T; a++ {
+		for b := 0; b < T; b++ {
+			if a != b {
+				invs = append(invs, m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+			}
+		}
+	}
+	opts := core.Options{InvWorkers: 2, Workers: 2} // auto engine
+
+	sess, reports, err := incr.NewSession(m.Net, opts, invs, incr.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, true))
+
+	// Make classes per-tenant so symmetry groups are fine-grained and the
+	// firewall edits below genuinely propagate.
+	var relabels []incr.Change
+	for tn := 0; tn < T; tn++ {
+		for _, vm := range m.PubVMs[tn] {
+			relabels = append(relabels, incr.Relabel(vm, fmt.Sprintf("pub-%d", tn)))
+		}
+		for _, vm := range m.PrivVMs[tn] {
+			relabels = append(relabels, incr.Relabel(vm, fmt.Sprintf("priv-%d", tn)))
+		}
+	}
+	savedACL := append([]mbox.ACLEntry(nil), m.Firewalls[0].ACL...)
+	steps := []struct {
+		name    string
+		changes func() []incr.Change
+	}{
+		{"per-tenant classes", func() []incr.Change { return relabels }},
+		{"open tenant-0 private group", func() []incr.Change {
+			m.Firewalls[0].ACL = append([]mbox.ACLEntry{
+				mbox.AllowEntry(pkt.Prefix{}, bench.TenantPrivPrefix(0)),
+			}, m.Firewalls[0].ACL...)
+			return []incr.Change{incr.BoxReconfig(m.VSwitchFW[0])}
+		}},
+		{"inv add/remove", func() []incr.Change {
+			return []incr.Change{
+				incr.AddInvariant(inv.Reachability{Dst: m.PrivVMs[0][1], SrcAddr: bench.PubVMAddr(1, 0), Label: "probe"}),
+				incr.RemoveInvariant(m.PrivPubInvariant(2, 1).Name()),
+			}
+		}},
+		{"restore tenant-0 policy", func() []incr.Change {
+			m.Firewalls[0].ACL = append([]mbox.ACLEntry(nil), savedACL...)
+			return []incr.Change{incr.BoxReconfig(m.VSwitchFW[0])}
+		}},
+		{"tenant-1 firewall down (fail-closed)", func() []incr.Change {
+			return []incr.Change{incr.NodeDown(m.VSwitchFW[1])}
+		}},
+		{"tenant-1 firewall up", func() []incr.Change {
+			return []incr.Change{incr.NodeUp(m.VSwitchFW[1])}
+		}},
+	}
+	for _, st := range steps {
+		reports, err := sess.Apply(st.changes())
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		compareReports(t, st.name, reports, baseline(t, sess, opts, true))
+	}
+}
+
+func TestSessionSoundnessExplicitEngine(t *testing.T) {
+	const G = 3
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := []inv.Invariant{
+		d.IsolationInvariant(0, 1), d.IsolationInvariant(1, 0), d.IsolationInvariant(1, 2),
+	}
+	opts := core.Options{Engine: core.EngineExplicit, MaxSends: 2, Workers: 2, InvWorkers: 2}
+
+	sess, reports, err := incr.NewSession(d.Net, opts, invs, incr.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, true))
+
+	rng := rand.New(rand.NewSource(3))
+	aff := d.DeleteRandomDenyRules(rng, 1)
+	changes := []incr.Change{incr.BoxReconfig(d.FW1), incr.BoxReconfig(d.FW2)}
+	for _, pair := range aff {
+		for _, g := range pair {
+			for _, h := range d.Hosts[g] {
+				changes = append(changes, incr.Relabel(h, d.Net.PolicyClass[h]))
+			}
+		}
+	}
+	reports, err = sess.Apply(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "break", reports, baseline(t, sess, opts, true))
+
+	reports, err = sess.Apply([]incr.Change{incr.NodeDown(d.IDS1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "ids down", reports, baseline(t, sess, opts, true))
+}
+
+func TestSessionNoSymmetry(t *testing.T) {
+	// PolicyTiers 1 makes every host the same class, so class-based
+	// signatures collide across distinct invariants — exactly the setting
+	// NoSymmetry exists for, and the regression trap for entry keying: a
+	// removal must not shift surviving invariants onto neighbours'
+	// cached entries.
+	const G = 3
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1, PolicyTiers: 1})
+	invs := d.AllIsolationInvariants()
+	opts := core.Options{Engine: core.EngineSAT}
+
+	sess, reports, err := incr.NewSession(d.Net, opts, invs, incr.Options{Workers: 2, NoSymmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, false))
+
+	reports, err = sess.Apply([]incr.Change{incr.NodeDown(d.FW1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "fw down", reports, baseline(t, sess, opts, false))
+
+	// Make verdicts asymmetric across same-signature invariants, then
+	// remove one invariant: survivors must keep their own entries (no
+	// re-verification needed, and no inherited neighbour verdicts).
+	d.FWBackup.ACL = deleteDeny(d.FWBackup.ACL, 0, 1)
+	reports, err = sess.Apply([]incr.Change{incr.BoxReconfig(d.FW2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "backup hole", reports, baseline(t, sess, opts, false))
+
+	reports, err = sess.Apply([]incr.Change{incr.RemoveInvariant(invs[0].Name())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.LastApply(); st.DirtyInvariants != 0 {
+		t.Fatalf("pure removal must not dirty survivors (keys shifted?): %+v", st)
+	}
+	compareReports(t, "remove", reports, baseline(t, sess, opts, false))
+}
+
+// deleteDeny removes the deny entry for client traffic srcGroup->dstGroup.
+func deleteDeny(acl []mbox.ACLEntry, srcGroup, dstGroup int) []mbox.ACLEntry {
+	src, dst := bench.ClientPrefix(srcGroup), bench.ClientPrefix(dstGroup)
+	kept := acl[:0]
+	for _, e := range acl {
+		if e.Action == mbox.Deny && e.Src == src && e.Dst == dst {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return kept
+}
+
+// TestSessionDirtyScope pins the dependency index's precision: a
+// rack-local change must not dirty invariants over unrelated racks.
+func TestSessionDirtyScope(t *testing.T) {
+	const G = 4
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := d.AllIsolationInvariants() // 12 invariants, all singleton groups
+	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT}, invs, incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.LastApply(); st.DirtyInvariants != len(invs) {
+		t.Fatalf("initial apply must verify everything: %+v", st)
+	}
+
+	// Relabeling group 0's host touches only invariants referencing it:
+	// 2*(G-1) of G*(G-1).
+	if _, err := sess.Apply([]incr.Change{incr.Relabel(d.Hosts[0][0], "isolated-0")}); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.LastApply()
+	want := 2 * (G - 1)
+	if st.DirtyInvariants != want {
+		t.Fatalf("relabel dirtied %d invariants, want %d (stats %+v)", st.DirtyInvariants, want, st)
+	}
+	if st.DirtyInvariants == len(invs) {
+		t.Fatal("dependency index dirtied everything for a rack-local change")
+	}
+}
+
+// TestSessionVerdictCacheRevert pins the verdict cache: reverting a
+// configuration change must be answered from cache, without re-solving.
+func TestSessionVerdictCacheRevert(t *testing.T) {
+	const G = 3
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := d.AllIsolationInvariants()
+	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT}, invs, incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saved := append([]mbox.ACLEntry(nil), d.FWPrimary.ACL...)
+	d.FWPrimary.ACL = d.FWPrimary.ACL[1:] // drop one deny entry
+	if _, err := sess.Apply([]incr.Change{incr.BoxReconfig(d.FW1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.LastApply(); st.CacheHits != 0 || st.CacheMisses == 0 {
+		t.Fatalf("novel configuration must re-solve: %+v", st)
+	}
+
+	d.FWPrimary.ACL = append([]mbox.ACLEntry(nil), saved...)
+	if _, err := sess.Apply([]incr.Change{incr.BoxReconfig(d.FW1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.LastApply(); st.CacheMisses != 0 || st.CacheHits != st.DirtyGroups {
+		t.Fatalf("reverted configuration must be served from cache: %+v", st)
+	}
+}
+
+// TestSessionUncacheableInvariant: an invariant type the fingerprint does
+// not know stays correct (it just always re-solves).
+type opaqueInvariant struct{ inv.SimpleIsolation }
+
+func (o opaqueInvariant) Name() string { return "opaque-" + o.SimpleIsolation.Name() }
+
+func TestSessionUncacheableInvariant(t *testing.T) {
+	const G = 3
+	d := bench.NewDatacenter(bench.DCConfig{Groups: G, HostsPerGroup: 1})
+	si := d.IsolationInvariant(0, 1).(inv.SimpleIsolation)
+	invs := []inv.Invariant{opaqueInvariant{si}}
+	opts := core.Options{Engine: core.EngineSAT}
+
+	sess, reports, err := incr.NewSession(d.Net, opts, invs, incr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "init", reports, baseline(t, sess, opts, true))
+	// Dirty it twice with the same configuration: must re-solve (no cache)
+	// yet stay correct.
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Apply([]incr.Change{incr.BoxReconfig(d.FW1)}); err != nil {
+			t.Fatal(err)
+		}
+		if st := sess.LastApply(); st.CacheHits != 0 {
+			t.Fatalf("opaque invariant must never cache-hit: %+v", st)
+		}
+	}
+	reports, err = sess.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "refresh", reports, baseline(t, sess, opts, true))
+}

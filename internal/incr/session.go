@@ -1,0 +1,613 @@
+package incr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/slices"
+	"github.com/netverify/vmn/internal/symmetry"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Options tune a Session.
+type Options struct {
+	// Workers bounds the re-verification pool (0 = GOMAXPROCS). Composes
+	// with core.Options.Workers (explicit-engine intra-search workers).
+	Workers int
+	// NoSymmetry disables §4.2 grouping: every invariant is its own
+	// group. With symmetry on (default), a dirtied representative re-runs
+	// once for its whole group.
+	NoSymmetry bool
+	// CacheCap bounds verdict-cache entries (0 = 65536).
+	CacheCap int
+}
+
+// ApplyStats describes one Apply call.
+type ApplyStats struct {
+	Seq             int
+	Changes         int
+	Groups          int
+	Invariants      int
+	DirtyGroups     int
+	DirtyInvariants int
+	CacheHits       int
+	CacheMisses     int
+	Duration        time.Duration
+}
+
+// Totals accumulates session-lifetime counters.
+type Totals struct {
+	Applies    int
+	Solves     int // (invariant, scenario) checks actually run
+	CacheHits  int // checks answered from the verdict cache
+	DirtyInvs  int // invariants dirtied across all applies
+	TotalInvs  int // invariant count summed across all applies
+	ReusedInvs int // invariant reports inherited via symmetry
+}
+
+// groupEntry is the session's memory of one symmetry group: the
+// representative's reports (one per effective scenario, position-aligned
+// with the configured scenario list) and the union dependency footprint of
+// its slices.
+type groupEntry struct {
+	reports []core.Report
+	touched []topo.NodeID
+}
+
+// Session is a long-lived incremental verifier. It owns the network it was
+// created over: between Apply calls the caller must not mutate the
+// network except through Changes (in-place middlebox reconfiguration is
+// allowed when announced with BoxReconfig in the same change-set).
+// Sessions are safe for concurrent Apply calls (they serialize).
+type Session struct {
+	mu sync.Mutex
+
+	net   *core.Network
+	opts  core.Options
+	sopts Options
+
+	invs []inv.Invariant
+	down map[topo.NodeID]bool
+
+	// verifier lives as long as the session: all its caches (compiled
+	// engines, SAT journey memoization) are content-fingerprinted, so
+	// network mutations are picked up without rebuilding — and journey
+	// enumerations survive across Applies, which is where the incremental
+	// path's repeated same-slice solves cash in.
+	verifier *core.Verifier
+	needFull bool
+	groups   []symmetry.Group
+	keys     []string
+	entries  map[string]*groupEntry
+
+	cmu   sync.Mutex
+	cache *verdictCache
+
+	seq    int
+	last   ApplyStats
+	totals Totals
+}
+
+// NewSession builds a session and runs the initial full verification,
+// returning its reports (ordered exactly as core.VerifyAll orders them).
+func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopts Options) (*Session, []core.Report, error) {
+	v, err := core.NewVerifier(net, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Session{
+		net:      net,
+		opts:     opts,
+		sopts:    sopts,
+		invs:     append([]inv.Invariant(nil), invs...),
+		down:     map[topo.NodeID]bool{},
+		verifier: v,
+		needFull: true,
+		entries:  map[string]*groupEntry{},
+		cache:    newVerdictCache(sopts.CacheCap),
+	}
+	reports, err := s.Apply(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, reports, nil
+}
+
+// Network returns the session's network (for constructing changes; do not
+// mutate outside the Change protocol).
+func (s *Session) Network() *core.Network { return s.net }
+
+// Invariants returns the current invariant set (copy).
+func (s *Session) Invariants() []inv.Invariant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]inv.Invariant(nil), s.invs...)
+}
+
+// EffectiveScenarios returns the failure scenarios currently verified
+// under: every configured scenario unioned with the nodes taken down via
+// NodeDown changes.
+func (s *Session) EffectiveScenarios() []topo.FailureScenario {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.effectiveScenarios()
+}
+
+func (s *Session) effectiveScenarios() []topo.FailureScenario {
+	base := s.opts.Scenarios
+	if len(base) == 0 {
+		base = []topo.FailureScenario{topo.NoFailures()}
+	}
+	if len(s.down) == 0 {
+		return append([]topo.FailureScenario(nil), base...)
+	}
+	out := make([]topo.FailureScenario, len(base))
+	for i, sc := range base {
+		nodes := sc.Nodes()
+		for n := range s.down {
+			if !sc.Failed(n) {
+				nodes = append(nodes, n)
+			}
+		}
+		out[i] = topo.Failures(nodes...)
+	}
+	return out
+}
+
+// LastApply returns statistics for the most recent Apply.
+func (s *Session) LastApply() ApplyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// TotalStats returns session-lifetime counters.
+func (s *Session) TotalStats() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// grouping partitions the current invariant set. With symmetry, groups
+// and keys are the §4.2 signature groups. Without, every invariant is its
+// own group, keyed by its canonical parameter encoding (plus an
+// occurrence index for exact duplicates) — NOT by list position or
+// class-based signature, either of which would shift across invariant
+// removal or coarse labels and hand a surviving invariant a neighbour's
+// cached entry.
+func (s *Session) grouping() ([]symmetry.Group, []string) {
+	cls := symmetry.Classifier{HostClass: s.net.PolicyClass, Topo: s.net.Topo}
+	if s.sopts.NoSymmetry {
+		groups := make([]symmetry.Group, 0, len(s.invs))
+		keys := make([]string, 0, len(s.invs))
+		seen := map[string]int{}
+		for _, i := range s.invs {
+			var base string
+			if ik, ok := appendInvariantKey(nil, i); ok {
+				base = "k:" + string(ik)
+			} else {
+				base = "o:" + cls.Signature(i) + "|" + i.Name()
+			}
+			n := seen[base]
+			seen[base] = n + 1
+			groups = append(groups, symmetry.Group{
+				Signature:      cls.Signature(i),
+				Representative: i,
+				Members:        []inv.Invariant{i},
+			})
+			keys = append(keys, fmt.Sprintf("%s#%d", base, n))
+		}
+		return groups, keys
+	}
+	groups := symmetry.Groups(cls, s.invs)
+	keys := make([]string, len(groups))
+	for gi, g := range groups {
+		keys[gi] = g.Signature
+	}
+	return groups, keys
+}
+
+// hasOriginAgnosticBox reports whether any middlebox in the network is
+// origin-agnostic — the network-global flag that makes slice computation
+// depend on the policy-class map (§4.1 representatives), and hence makes
+// relabels dirty everything.
+func (s *Session) hasOriginAgnosticBox() bool {
+	for _, b := range s.net.Boxes {
+		if b.Model.Discipline() == mbox.OriginAgnostic {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Session) findBox(n topo.NodeID) int {
+	for i, b := range s.net.Boxes {
+		if b.Node == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Session) validNode(n topo.NodeID) error {
+	if n < 0 || int(n) >= s.net.Topo.NumNodes() {
+		return fmt.Errorf("incr: unknown node id %d", n)
+	}
+	return nil
+}
+
+// invalidate drops all incremental state so the next Apply re-verifies
+// everything — the recovery path after a failed Apply left mutations
+// half-applied. The verifier survives (its caches are content-validated).
+func (s *Session) invalidate() {
+	s.needFull = true
+	s.entries = map[string]*groupEntry{}
+	s.groups = nil
+	s.keys = nil
+}
+
+// Apply atomically applies a change-set, re-verifies exactly the
+// invariants the changes can affect, and returns a complete report set
+// for the current invariant set — byte-for-byte the verdicts a fresh
+// core.VerifyAll over the mutated network would produce, in the same
+// order. An empty change-set is a cheap refresh (no re-verification).
+// If Apply returns an error the session drops its incremental state and
+// the next Apply re-verifies from scratch.
+func (s *Session) Apply(changes []Change) ([]core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	s.seq++
+
+	dirtyAll := s.needFull
+	mutated := len(changes) > 0 || s.needFull
+	affected := elemSet{}
+	relabeled := false
+
+	// Snapshot old forwarding state for diffing before mutating.
+	needFIBDiff := false
+	for _, ch := range changes {
+		switch ch.Kind {
+		case KindNodeDown, KindNodeUp, KindFIB:
+			needFIBDiff = true
+		}
+	}
+	var oldFIBs []tf.FIB
+	if needFIBDiff {
+		for _, sc := range s.effectiveScenarios() {
+			oldFIBs = append(oldFIBs, s.net.FIBFor(sc))
+		}
+	}
+
+	// Phase 1: mutate the network and collect affected elements.
+	for _, ch := range changes {
+		switch ch.Kind {
+		case KindNodeDown:
+			if err := s.validNode(ch.Node); err != nil {
+				s.invalidate()
+				return nil, err
+			}
+			if !s.down[ch.Node] {
+				s.down[ch.Node] = true
+				affected.add(ch.Node)
+			}
+		case KindNodeUp:
+			if err := s.validNode(ch.Node); err != nil {
+				s.invalidate()
+				return nil, err
+			}
+			if s.down[ch.Node] {
+				delete(s.down, ch.Node)
+				affected.add(ch.Node)
+			}
+		case KindFIB:
+			if ch.FIBFor != nil {
+				s.net.FIBFor = ch.FIBFor
+			}
+			affected.addAll(ch.Nodes)
+		case KindBoxAdd:
+			if err := s.validNode(ch.Node); err != nil {
+				s.invalidate()
+				return nil, err
+			}
+			if ch.Model == nil {
+				s.invalidate()
+				return nil, fmt.Errorf("incr: box-add at %s needs a model", s.net.Topo.Node(ch.Node).Name)
+			}
+			if s.findBox(ch.Node) >= 0 {
+				s.invalidate()
+				return nil, fmt.Errorf("incr: node %s already has a middlebox model", s.net.Topo.Node(ch.Node).Name)
+			}
+			s.net.Boxes = append(s.net.Boxes, mbox.Instance{Node: ch.Node, Model: ch.Model})
+			if ch.Model.Discipline() != mbox.FlowParallel {
+				// A new origin-agnostic box changes the class-representative
+				// rule of every slice; a new General box widens every slice
+				// to the whole network. Neither is visible in stale
+				// footprints, so dirty everything.
+				dirtyAll = true
+			}
+			affected.add(ch.Node)
+		case KindBoxRemove:
+			bi := s.findBox(ch.Node)
+			if bi < 0 {
+				s.invalidate()
+				return nil, fmt.Errorf("incr: no middlebox model at node %d", ch.Node)
+			}
+			if s.net.Boxes[bi].Model.Discipline() == mbox.OriginAgnostic {
+				// Losing the last origin-agnostic box shrinks every slice.
+				dirtyAll = true
+			}
+			s.net.Boxes = append(s.net.Boxes[:bi], s.net.Boxes[bi+1:]...)
+			affected.add(ch.Node)
+		case KindBoxReconfig:
+			bi := s.findBox(ch.Node)
+			if bi < 0 {
+				s.invalidate()
+				return nil, fmt.Errorf("incr: no middlebox model at node %d", ch.Node)
+			}
+			if ch.Model != nil {
+				oldD := s.net.Boxes[bi].Model.Discipline()
+				newD := ch.Model.Discipline()
+				if oldD != newD && (oldD == mbox.OriginAgnostic || newD == mbox.OriginAgnostic || newD == mbox.General) {
+					dirtyAll = true
+				}
+				s.net.Boxes[bi].Model = ch.Model
+			}
+			affected.add(ch.Node)
+		case KindRelabel:
+			if err := s.validNode(ch.Node); err != nil {
+				s.invalidate()
+				return nil, err
+			}
+			if s.net.PolicyClass == nil {
+				s.net.PolicyClass = map[topo.NodeID]string{}
+			}
+			if ch.Class == "" {
+				delete(s.net.PolicyClass, ch.Node)
+			} else {
+				s.net.PolicyClass[ch.Node] = ch.Class
+			}
+			affected.add(ch.Node)
+			relabeled = true
+		case KindInvAdd:
+			if ch.Invariant == nil {
+				s.invalidate()
+				return nil, fmt.Errorf("incr: inv-add needs an invariant")
+			}
+			s.invs = append(s.invs, ch.Invariant)
+		case KindInvRemove:
+			kept := s.invs[:0]
+			for _, i := range s.invs {
+				if i.Name() != ch.Name {
+					kept = append(kept, i)
+				}
+			}
+			s.invs = kept
+		default:
+			s.invalidate()
+			return nil, fmt.Errorf("incr: unknown change kind %d", ch.Kind)
+		}
+	}
+
+	if relabeled && s.hasOriginAgnosticBox() {
+		// Slice computation consults the class map for §4.1 representatives
+		// whenever an origin-agnostic box exists anywhere, so a relabel can
+		// grow any slice.
+		dirtyAll = true
+	}
+
+	// Phase 2: compile one engine per effective scenario (EngineFor
+	// dedups against the verifier's content-addressed cache, so an
+	// unchanged scenario reuses its warm engine) and diff forwarding
+	// state.
+	scens := s.effectiveScenarios()
+	var engs []*tf.Engine
+	var fibs []tf.FIB
+	if mutated {
+		for _, sc := range scens {
+			eng := s.verifier.EngineFor(sc)
+			engs = append(engs, eng)
+			fibs = append(fibs, eng.FIB())
+		}
+	}
+	if needFIBDiff {
+		// Liveness toggles themselves dirty via the footprints (Consulted
+		// records every liveness read); what needs diffing is the
+		// scenario-dependence of FIBFor, whose tables may change wholesale
+		// when the effective scenario changes.
+		for i := range scens {
+			if i < len(oldFIBs) {
+				diffFIBs(oldFIBs[i], fibs[i], affected)
+			}
+		}
+	}
+
+	// Phase 3: regroup and decide what is dirty.
+	groups, keys := s.grouping()
+	newEntries := make(map[string]*groupEntry, len(groups))
+	var dirty []int
+	for gi := range groups {
+		old, ok := s.entries[keys[gi]]
+		switch {
+		case !ok, dirtyAll, affected.intersects(old.touched):
+			dirty = append(dirty, gi)
+		default:
+			newEntries[keys[gi]] = old
+		}
+	}
+
+	stats := ApplyStats{
+		Seq:         s.seq,
+		Changes:     len(changes),
+		Groups:      len(groups),
+		Invariants:  len(s.invs),
+		DirtyGroups: len(dirty),
+	}
+	for _, gi := range dirty {
+		stats.DirtyInvariants += len(groups[gi].Members)
+	}
+
+	// Phase 4: re-verify dirty groups across the worker pool.
+	if len(dirty) > 0 {
+		results := make([]*groupEntry, len(dirty))
+		hits := make([]int, len(dirty))
+		misses := make([]int, len(dirty))
+		workers := s.sopts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(dirty) {
+			workers = len(dirty)
+		}
+		var firstErr error
+		var errMu sync.Mutex
+		run := func(di int) {
+			e, h, m, err := s.verifyGroup(groups[dirty[di]].Representative, scens, engs, fibs)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[di], hits[di], misses[di] = e, h, m
+		}
+		if workers <= 1 {
+			for di := range dirty {
+				run(di)
+				if firstErr != nil {
+					break
+				}
+			}
+		} else {
+			work := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for di := range work {
+						run(di)
+					}
+				}()
+			}
+			for di := range dirty {
+				work <- di
+			}
+			close(work)
+			wg.Wait()
+		}
+		if firstErr != nil {
+			s.invalidate()
+			return nil, firstErr
+		}
+		for di, gi := range dirty {
+			newEntries[keys[gi]] = results[di]
+			stats.CacheHits += hits[di]
+			stats.CacheMisses += misses[di]
+		}
+	}
+
+	// Phase 5: commit and assemble the full report set.
+	s.groups, s.keys, s.entries = groups, keys, newEntries
+	s.needFull = false
+	out := s.assemble(scens)
+
+	stats.Duration = time.Since(start)
+	s.last = stats
+	s.totals.Applies++
+	s.totals.Solves += stats.CacheMisses
+	s.totals.CacheHits += stats.CacheHits
+	s.totals.DirtyInvs += stats.DirtyInvariants
+	s.totals.TotalInvs += stats.Invariants
+	s.totals.ReusedInvs += len(out) - len(s.groups)*len(scens)
+	return out, nil
+}
+
+// verifyGroup re-verifies one representative under every effective
+// scenario, consulting and feeding the verdict cache. The per-scenario
+// engines were compiled once in Apply phase 2 and are shared by every
+// dirty group and pool worker.
+func (s *Session) verifyGroup(rep inv.Invariant, scens []topo.FailureScenario, engs []*tf.Engine, fibs []tf.FIB) (*groupEntry, int, int, error) {
+	e := &groupEntry{}
+	touched := elemSet{}
+	hits, misses := 0, 0
+	for si, sc := range scens {
+		sl, err := s.verifier.SliceOn(rep, engs[si])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		tn := slices.Touched(s.net.Topo, engs[si], sl)
+		fp, cacheable := fingerprint(rep, sc, sl, tn, fibs[si], s.net.Topo, s.opts)
+		var r core.Report
+		hit := false
+		if cacheable {
+			s.cmu.Lock()
+			r, hit = s.cache.get(fp)
+			s.cmu.Unlock()
+		}
+		if hit {
+			r.Invariant = rep
+			r.Scenario = sc
+			r.Cached = true
+			r.Duration = 0
+			hits++
+		} else {
+			r, err = s.verifier.VerifyOneOn(rep, sc, engs[si])
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			misses++
+			if cacheable {
+				s.cmu.Lock()
+				s.cache.put(fp, r)
+				s.cmu.Unlock()
+			}
+		}
+		e.reports = append(e.reports, r)
+		touched.addAll(tn)
+	}
+	e.touched = make([]topo.NodeID, 0, len(touched))
+	for n := range touched {
+		e.touched = append(e.touched, n)
+	}
+	sort.Slice(e.touched, func(i, j int) bool { return e.touched[i] < e.touched[j] })
+	return e, hits, misses, nil
+}
+
+// assemble renders the complete report set in core.VerifyAll order:
+// group-major, representative reports first, then symmetry copies per
+// member. Scenario fields are rewritten to the current effective
+// scenarios (entries reused across a liveness toggle carried stale ones;
+// verdicts are position-aligned with the configured scenario list).
+func (s *Session) assemble(scens []topo.FailureScenario) []core.Report {
+	var out []core.Report
+	for gi, g := range s.groups {
+		e := s.entries[s.keys[gi]]
+		for si, r := range e.reports {
+			r.Invariant = g.Representative
+			r.Scenario = scens[si]
+			out = append(out, r)
+		}
+		// Members[0] is the representative (skip by position: invariants
+		// may be uncomparable types, so interface equality would panic).
+		for _, m := range g.Members[1:] {
+			for si, r := range e.reports {
+				r.Invariant = m
+				r.Scenario = scens[si]
+				r.Reused = true
+				r.Duration = 0
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

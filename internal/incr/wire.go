@@ -1,0 +1,361 @@
+package incr
+
+// The newline-delimited JSON wire protocol of cmd/vmnd. Each input line is
+// one change-set: either a single change object or an array of them,
+// applied atomically. Each output line is one Result. Nodes are referenced
+// by topology name, addresses in dotted-quad form, prefixes in CIDR form.
+//
+//	{"op":"node_down","node":"fw1"}
+//	[{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"},
+//	 {"op":"relabel","node":"h0-0","class":"broken-0"}]
+//	{"op":"inv_add","invariant":{"type":"simple_isolation","dst":"h1-0",
+//	  "src_addr":"10.0.0.1","label":"iso g0->g1"}}
+//
+// Supported ops: node_down, node_up, relabel, box_remove, box_reconfig,
+// fw_allow, fw_deny, fw_del (prepend/delete a firewall ACL entry and
+// announce the reconfiguration), inv_add, inv_remove, noop.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// WireChange is the JSON form of one change.
+type WireChange struct {
+	Op        string         `json:"op"`
+	Node      string         `json:"node,omitempty"`
+	Class     string         `json:"class,omitempty"`
+	Src       string         `json:"src,omitempty"` // CIDR prefix
+	Dst       string         `json:"dst,omitempty"` // CIDR prefix
+	Invariant *WireInvariant `json:"invariant,omitempty"`
+	Name      string         `json:"name,omitempty"`
+}
+
+// WireInvariant is the JSON form of an invariant.
+type WireInvariant struct {
+	Type      string   `json:"type"` // simple_isolation | flow_isolation | data_isolation | reachability | traversal
+	Dst       string   `json:"dst"`  // node name
+	SrcAddr   string   `json:"src_addr,omitempty"`
+	Origin    string   `json:"origin,omitempty"`
+	SrcPrefix string   `json:"src_prefix,omitempty"`
+	Vias      []string `json:"vias,omitempty"` // node names
+	Label     string   `json:"label,omitempty"`
+}
+
+// WireReport is the JSON form of one core.Report.
+type WireReport struct {
+	Invariant  string   `json:"invariant"`
+	Scenario   []string `json:"scenario,omitempty"` // failed node names
+	Outcome    string   `json:"outcome"`
+	Satisfied  bool     `json:"satisfied"`
+	Engine     string   `json:"engine"`
+	SliceHosts int      `json:"slice_hosts"`
+	SliceBoxes int      `json:"slice_boxes"`
+	Whole      bool     `json:"whole,omitempty"`
+	Reused     bool     `json:"reused,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
+	DurationNs int64    `json:"duration_ns"`
+}
+
+// WireResult is the JSON form of one Apply outcome.
+type WireResult struct {
+	Seq             int          `json:"seq"`
+	Changes         int          `json:"changes"`
+	Invariants      int          `json:"invariants"`
+	Groups          int          `json:"groups"`
+	DirtyGroups     int          `json:"dirty_groups"`
+	DirtyInvariants int          `json:"dirty_invariants"`
+	CacheHits       int          `json:"cache_hits"`
+	CacheMisses     int          `json:"cache_misses"`
+	DurationNs      int64        `json:"duration_ns"`
+	Unsatisfied     int          `json:"unsatisfied"`
+	Reports         []WireReport `json:"reports"`
+}
+
+// WireError is the JSON form of a rejected change-set.
+type WireError struct {
+	Seq   int    `json:"seq"`
+	Error string `json:"error"`
+}
+
+func parsePrefix(s string) (pkt.Prefix, error) {
+	if s == "" || s == "*" {
+		return pkt.Prefix{}, nil
+	}
+	addrStr, lenStr, ok := strings.Cut(s, "/")
+	if !ok {
+		a, err := pkt.ParseAddr(s)
+		if err != nil {
+			return pkt.Prefix{}, err
+		}
+		return pkt.HostPrefix(a), nil
+	}
+	a, err := pkt.ParseAddr(addrStr)
+	if err != nil {
+		return pkt.Prefix{}, err
+	}
+	n, err := strconv.Atoi(lenStr)
+	if err != nil || n < 0 || n > 32 {
+		return pkt.Prefix{}, fmt.Errorf("incr: malformed prefix length in %q", s)
+	}
+	return pkt.Prefix{Addr: a, Len: n}, nil
+}
+
+func nodeByName(t *topo.Topology, name string) (topo.NodeID, error) {
+	n, ok := t.ByName(name)
+	if !ok {
+		return topo.NodeNone, fmt.Errorf("incr: no node named %q", name)
+	}
+	return n.ID, nil
+}
+
+// DecodeInvariant resolves a WireInvariant against the topology.
+func DecodeInvariant(t *topo.Topology, w *WireInvariant) (inv.Invariant, error) {
+	dst, err := nodeByName(t, w.Dst)
+	if err != nil {
+		return nil, err
+	}
+	switch w.Type {
+	case "simple_isolation", "flow_isolation", "reachability":
+		a, err := pkt.ParseAddr(w.SrcAddr)
+		if err != nil {
+			return nil, err
+		}
+		switch w.Type {
+		case "simple_isolation":
+			return inv.SimpleIsolation{Dst: dst, SrcAddr: a, Label: w.Label}, nil
+		case "flow_isolation":
+			return inv.FlowIsolation{Dst: dst, SrcAddr: a, Label: w.Label}, nil
+		default:
+			return inv.Reachability{Dst: dst, SrcAddr: a, Label: w.Label}, nil
+		}
+	case "data_isolation":
+		o, err := pkt.ParseAddr(w.Origin)
+		if err != nil {
+			return nil, err
+		}
+		return inv.DataIsolation{Dst: dst, Origin: o, Label: w.Label}, nil
+	case "traversal":
+		p, err := parsePrefix(w.SrcPrefix)
+		if err != nil {
+			return nil, err
+		}
+		var srcAddr pkt.Addr
+		if w.SrcAddr != "" {
+			if srcAddr, err = pkt.ParseAddr(w.SrcAddr); err != nil {
+				return nil, err
+			}
+		}
+		var vias []topo.NodeID
+		for _, name := range w.Vias {
+			id, err := nodeByName(t, name)
+			if err != nil {
+				return nil, err
+			}
+			vias = append(vias, id)
+		}
+		return inv.Traversal{Dst: dst, SrcPrefix: p, SrcAddr: srcAddr, Vias: vias, Label: w.Label}, nil
+	default:
+		return nil, fmt.Errorf("incr: unknown invariant type %q", w.Type)
+	}
+}
+
+// DecodeChange resolves one wire change against the session's network.
+// Firewall ops mutate the targeted LearningFirewall in place and return
+// the matching BoxReconfig change, per the Session change protocol. For
+// multi-change lines use DecodeChangeSet, which defers all in-place
+// mutations until the whole set has validated (atomicity).
+func DecodeChange(net *core.Network, w WireChange) (Change, error) {
+	ch, mutate, err := decodeChange(net, w)
+	if err != nil {
+		return Change{}, err
+	}
+	if mutate != nil {
+		mutate()
+	}
+	return ch, nil
+}
+
+// decodeChange validates one wire change and returns it plus a deferred
+// in-place mutation (nil for ops that mutate nothing themselves). No
+// network state is touched until the returned closure runs.
+func decodeChange(net *core.Network, w WireChange) (Change, func(), error) {
+	t := net.Topo
+	switch w.Op {
+	case "node_down":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return NodeDown(n), nil, nil
+	case "node_up":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return NodeUp(n), nil, nil
+	case "relabel":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return Relabel(n, w.Class), nil, nil
+	case "box_remove":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return BoxRemove(n), nil, nil
+	case "box_reconfig":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return BoxReconfig(n), nil, nil
+	case "fw_allow", "fw_deny", "fw_del":
+		n, err := nodeByName(t, w.Node)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		var fw *mbox.LearningFirewall
+		for _, b := range net.Boxes {
+			if b.Node == n {
+				var ok bool
+				if fw, ok = b.Model.(*mbox.LearningFirewall); !ok {
+					return Change{}, nil, fmt.Errorf("incr: node %q is not a learning firewall", w.Node)
+				}
+				break
+			}
+		}
+		if fw == nil {
+			return Change{}, nil, fmt.Errorf("incr: no middlebox model at %q", w.Node)
+		}
+		src, err := parsePrefix(w.Src)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		dst, err := parsePrefix(w.Dst)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		op := w.Op
+		mutate := func() {
+			switch op {
+			case "fw_allow":
+				fw.ACL = append([]mbox.ACLEntry{mbox.AllowEntry(src, dst)}, fw.ACL...)
+			case "fw_deny":
+				fw.ACL = append([]mbox.ACLEntry{mbox.DenyEntry(src, dst)}, fw.ACL...)
+			default: // fw_del: remove every entry with these prefixes
+				kept := fw.ACL[:0]
+				for _, e := range fw.ACL {
+					if e.Src != src || e.Dst != dst {
+						kept = append(kept, e)
+					}
+				}
+				fw.ACL = kept
+			}
+		}
+		return BoxReconfig(n), mutate, nil
+	case "inv_add":
+		if w.Invariant == nil {
+			return Change{}, nil, fmt.Errorf("incr: inv_add needs an invariant")
+		}
+		i, err := DecodeInvariant(t, w.Invariant)
+		if err != nil {
+			return Change{}, nil, err
+		}
+		return AddInvariant(i), nil, nil
+	case "inv_remove":
+		return RemoveInvariant(w.Name), nil, nil
+	default:
+		return Change{}, nil, fmt.Errorf("incr: unknown op %q", w.Op)
+	}
+}
+
+// DecodeChangeSet parses one wire line — a single change object or an
+// array — into a change-set. The "noop" op yields an empty set (a cheap
+// report refresh). The whole line validates before any in-place mutation
+// runs: a decode error on the third change leaves the network untouched
+// by the first two, preserving the documented apply-atomically semantics.
+func DecodeChangeSet(net *core.Network, line []byte) ([]Change, error) {
+	trimmed := strings.TrimSpace(string(line))
+	if trimmed == "" {
+		return nil, nil
+	}
+	var wires []WireChange
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(line, &wires); err != nil {
+			return nil, fmt.Errorf("incr: malformed change-set: %w", err)
+		}
+	} else {
+		var w WireChange
+		if err := json.Unmarshal(line, &w); err != nil {
+			return nil, fmt.Errorf("incr: malformed change: %w", err)
+		}
+		wires = []WireChange{w}
+	}
+	var out []Change
+	var mutations []func()
+	for _, w := range wires {
+		if w.Op == "noop" || w.Op == "" {
+			continue
+		}
+		ch, mutate, err := decodeChange(net, w)
+		if err != nil {
+			return nil, err
+		}
+		if mutate != nil {
+			mutations = append(mutations, mutate)
+		}
+		out = append(out, ch)
+	}
+	for _, mutate := range mutations {
+		mutate()
+	}
+	return out, nil
+}
+
+// EncodeResult renders an Apply outcome on the wire.
+func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) WireResult {
+	res := WireResult{
+		Seq:             stats.Seq,
+		Changes:         stats.Changes,
+		Invariants:      stats.Invariants,
+		Groups:          stats.Groups,
+		DirtyGroups:     stats.DirtyGroups,
+		DirtyInvariants: stats.DirtyInvariants,
+		CacheHits:       stats.CacheHits,
+		CacheMisses:     stats.CacheMisses,
+		DurationNs:      stats.Duration.Nanoseconds(),
+	}
+	for _, r := range reports {
+		wr := WireReport{
+			Invariant:  r.Invariant.Name(),
+			Outcome:    r.Result.Outcome.String(),
+			Satisfied:  r.Satisfied,
+			Engine:     r.Engine,
+			SliceHosts: r.SliceHosts,
+			SliceBoxes: r.SliceBoxes,
+			Whole:      r.Whole,
+			Reused:     r.Reused,
+			Cached:     r.Cached,
+			DurationNs: r.Duration.Nanoseconds(),
+		}
+		for _, n := range r.Scenario.Nodes() {
+			wr.Scenario = append(wr.Scenario, t.Node(n).Name)
+		}
+		if !r.Satisfied {
+			res.Unsatisfied++
+		}
+		res.Reports = append(res.Reports, wr)
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package mbox
+
+// Middlebox configuration fingerprints. While AppendKey (key.go)
+// fingerprints a box's mutable *state*, AppendConfigKey fingerprints its
+// *configuration* — the ACLs, address pools and class sets that Process
+// consults but never mutates. The incremental verifier (internal/incr)
+// folds these segments into its verdict-cache key so that reconfiguring a
+// box invalidates exactly the cached verdicts whose slices contain it.
+// Encodings are length-framed and tagged by model type, so two distinct
+// configurations can never collide; ACL entries are encoded in evaluation
+// order because first-match-wins semantics make order significant.
+
+import (
+	"encoding/binary"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+// ConfigKeyer is implemented by middlebox models whose configuration has a
+// canonical binary fingerprint. Models that do not implement it (e.g.
+// interpreted MDL models) are simply never verdict-cached — a sound
+// fallback, not an error.
+type ConfigKeyer interface {
+	// AppendConfigKey appends a canonical encoding of the model's
+	// configuration to b. Equal configurations ⇔ equal bytes.
+	AppendConfigKey(b []byte) []byte
+}
+
+func appendPrefix(b []byte, p pkt.Prefix) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Addr))
+	return append(b, byte(p.Len))
+}
+
+func appendACL(b []byte, acl []ACLEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(acl)))
+	for _, e := range acl {
+		b = appendPrefix(b, e.Src)
+		b = appendPrefix(b, e.Dst)
+		b = append(b, byte(e.Action))
+	}
+	return b
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (f *LearningFirewall) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'F')
+	b = appendACL(b, f.ACL)
+	if f.DefaultAllow {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (n *NAT) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'N')
+	b = binary.BigEndian.AppendUint32(b, uint32(n.NATAddr))
+	return binary.BigEndian.AppendUint16(b, uint16(n.PortBase))
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (c *ContentCache) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'C')
+	b = appendACL(b, c.ACL)
+	if c.DefaultServe {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (d *IDPS) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'I')
+	b = binary.BigEndian.AppendUint32(b, uint32(d.Scrubber))
+	b = binary.AppendUvarint(b, uint64(len(d.Watched)))
+	for _, p := range d.Watched {
+		b = appendPrefix(b, p)
+	}
+	if d.HasClass {
+		b = append(b, 1, byte(d.MalClass))
+	} else {
+		b = append(b, 0, 0)
+	}
+	return b
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (s *Scrubber) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'S')
+	if s.HasClass {
+		return append(b, 1, byte(s.AttackClass))
+	}
+	return append(b, 0, 0)
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (l *LoadBalancer) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'L')
+	b = binary.BigEndian.AppendUint32(b, uint32(l.VIP))
+	b = binary.AppendUvarint(b, uint64(len(l.Backends)))
+	for _, a := range l.Backends {
+		b = binary.BigEndian.AppendUint32(b, uint32(a))
+	}
+	return b
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (p *Passthrough) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'P')
+	return appendString(b, p.TypeName)
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (f *AppFirewall) AppendConfigKey(b []byte) []byte {
+	b = append(b, 'A')
+	return binary.BigEndian.AppendUint64(b, uint64(f.Blocked))
+}
+
+// AppendConfigKey implements ConfigKeyer.
+func (w *WANOptimizer) AppendConfigKey(b []byte) []byte {
+	return append(b, 'W')
+}
+
+// ServiceAddrs reports the NAT's public address: rewritten and return
+// traffic is routed on it, so touched-element enumeration
+// (internal/slices.Touched) must walk the fabric toward it.
+func (n *NAT) ServiceAddrs() []pkt.Addr { return []pkt.Addr{n.NATAddr} }
+
+// ServiceAddrs reports the load balancer's virtual IP and backend pool for
+// touched-element enumeration.
+func (l *LoadBalancer) ServiceAddrs() []pkt.Addr {
+	return append([]pkt.Addr{l.VIP}, l.Backends...)
+}

@@ -57,6 +57,90 @@ type AuxAddrs interface {
 	AuxAddrs() []pkt.Addr
 }
 
+// ServiceAddrs is implemented by middlebox models that emit packets routed
+// toward addresses that are not slice host addresses and not auxiliary
+// service targets pulled in by AuxAddrs — a NAT's public address, a load
+// balancer's virtual IP and backend pool. Touched-element enumeration
+// (Touched) walks the fabric toward these addresses too, so that
+// forwarding-state changes affecting rewritten traffic dirty the right
+// invariants.
+type ServiceAddrs interface {
+	ServiceAddrs() []pkt.Addr
+}
+
+// Touched enumerates every network element the verification of slice r can
+// consult: the slice's host and middlebox nodes, plus every fabric node on
+// any forwarding walk from a slice edge member toward any slice-relevant
+// destination address (slice host addresses, middlebox auxiliary addresses
+// and service addresses). For whole-network slices every node is returned.
+// The result is sorted and duplicate-free.
+//
+// This is the dependency footprint incremental verification (internal/incr)
+// dirties on: a configuration change at an element outside this set cannot
+// change the slice, the problem the engines solve, or the verdict — walks
+// are deterministic and only read the tables of nodes they visit, slice
+// closure only walks paths between slice members, and middlebox semantics
+// only involve boxes inside the slice.
+func Touched(t *topo.Topology, eng *tf.Engine, r Result) []topo.NodeID {
+	if r.Whole {
+		all := make([]topo.NodeID, t.NumNodes())
+		for i := range all {
+			all[i] = topo.NodeID(i)
+		}
+		return all
+	}
+	seen := map[topo.NodeID]bool{}
+	var members []topo.NodeID
+	add := func(id topo.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	for _, h := range r.Hosts {
+		add(h)
+	}
+	addrSeen := map[pkt.Addr]bool{}
+	var addrs []pkt.Addr
+	addAddr := func(a pkt.Addr) {
+		if a != pkt.AddrNone && !addrSeen[a] {
+			addrSeen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for _, h := range r.Hosts {
+		addAddr(t.Node(h).Addr)
+	}
+	for _, b := range r.Boxes {
+		add(b.Node)
+		if aux, ok := b.Model.(AuxAddrs); ok {
+			for _, a := range aux.AuxAddrs() {
+				addAddr(a)
+			}
+		}
+		if svc, ok := b.Model.(ServiceAddrs); ok {
+			for _, a := range svc.ServiceAddrs() {
+				addAddr(a)
+			}
+		}
+	}
+	touched := map[topo.NodeID]bool{}
+	for _, from := range members {
+		touched[from] = true
+		for _, a := range addrs {
+			for _, n := range eng.Consulted(from, a) {
+				touched[n] = true
+			}
+		}
+	}
+	out := make([]topo.NodeID, 0, len(touched))
+	for id := range touched {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Compute builds a slice per §4.1.
 func Compute(in Input) (Result, error) {
 	boxByNode := map[topo.NodeID]mbox.Instance{}

@@ -73,7 +73,9 @@ type Group struct {
 }
 
 // Groups partitions invariants into symmetry groups, preserving first-seen
-// order of groups and members.
+// order of groups and members. The representative is always Members[0];
+// consumers skip it by position rather than by interface equality, since
+// invariants may be uncomparable types (Traversal holds a slice).
 func Groups(c Classifier, invs []inv.Invariant) []Group {
 	index := map[string]int{}
 	var out []Group

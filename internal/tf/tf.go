@@ -11,11 +11,13 @@
 package tf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"github.com/netverify/vmn/internal/fnv64"
 	"github.com/netverify/vmn/internal/pkt"
 	"github.com/netverify/vmn/internal/topo"
 )
@@ -51,10 +53,15 @@ type Engine struct {
 
 	sorted map[topo.NodeID][]Rule
 
-	// memo caches Next results; guarded by mu so the explicit-state
-	// engine's parallel search workers can share one Engine.
-	mu   sync.RWMutex
-	memo map[memoKey]memoVal
+	// memo caches Next results (and consulted caches Consulted results);
+	// guarded by mu so the explicit-state engine's parallel search workers
+	// can share one Engine.
+	mu        sync.RWMutex
+	memo      map[memoKey]memoVal
+	consulted map[memoKey][]topo.NodeID
+
+	fpKey []byte
+	fp    uint64
 }
 
 type memoKey struct {
@@ -72,8 +79,9 @@ type memoVal struct {
 // scenario. The FIB is not copied; callers must not mutate it afterwards.
 func New(t *topo.Topology, fib FIB, fail topo.FailureScenario) *Engine {
 	e := &Engine{topo: t, fib: fib, fail: fail,
-		sorted: make(map[topo.NodeID][]Rule, len(fib)),
-		memo:   map[memoKey]memoVal{},
+		sorted:    make(map[topo.NodeID][]Rule, len(fib)),
+		memo:      map[memoKey]memoVal{},
+		consulted: map[memoKey][]topo.NodeID{},
 	}
 	for n, rules := range fib {
 		rs := append([]Rule(nil), rules...)
@@ -90,16 +98,75 @@ func New(t *topo.Topology, fib FIB, fail topo.FailureScenario) *Engine {
 		})
 		e.sorted[n] = rs
 	}
+	e.computeFingerprint()
 	return e
 }
 
+// computeFingerprint encodes the engine's behaviour-determining state —
+// the failure scenario and the priority-sorted tables, which fix every
+// hop decision — into a canonical byte key and its FNV-1a 64 hash. Two
+// engines over the same topology with equal keys are behaviourally
+// identical, which is what lets callers share compiled engines (and their
+// warm memoization) across verification calls while still picking up
+// forwarding-state mutations.
+func (e *Engine) computeFingerprint() {
+	b := make([]byte, 0, 256)
+	fail := e.fail.Nodes()
+	b = binary.AppendUvarint(b, uint64(len(fail)))
+	for _, n := range fail {
+		b = binary.AppendVarint(b, int64(n))
+	}
+	nodes := make([]topo.NodeID, 0, len(e.sorted))
+	for n := range e.sorted {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	b = binary.AppendUvarint(b, uint64(len(nodes)))
+	for _, n := range nodes {
+		b = binary.AppendVarint(b, int64(n))
+		rules := e.sorted[n]
+		b = binary.AppendUvarint(b, uint64(len(rules)))
+		for _, r := range rules {
+			b = binary.BigEndian.AppendUint32(b, uint32(r.Match.Addr))
+			b = append(b, byte(r.Match.Len))
+			b = binary.AppendVarint(b, int64(r.In))
+			b = binary.AppendVarint(b, int64(r.Out))
+			b = binary.AppendVarint(b, int64(r.Priority))
+		}
+	}
+	e.fpKey = b
+	e.fp = fnv64.Sum(b)
+}
+
+// Fingerprint returns the FNV-1a 64 hash of the engine's canonical
+// behaviour key (scenario + sorted tables).
+func (e *Engine) Fingerprint() uint64 { return e.fp }
+
+// FingerprintKey returns the full canonical behaviour key for collision
+// verification. Callers must not mutate it.
+func (e *Engine) FingerprintKey() []byte { return e.fpKey }
+
 // Failure returns the engine's failure scenario.
 func (e *Engine) Failure() topo.FailureScenario { return e.fail }
+
+// FIB returns the forwarding state the engine was compiled from (not
+// copied; callers must not mutate it).
+func (e *Engine) FIB() FIB { return e.fib }
 
 // hop picks the next hop at node `at` for a packet to dst that arrived from
 // `prev`. The boolean result is false when the packet is dropped
 // (no applicable rule and no implicit default).
 func (e *Engine) hop(at, prev topo.NodeID, dst pkt.Addr) (topo.NodeID, bool) {
+	return e.hopConsult(at, prev, dst, nil)
+}
+
+// hopConsult is hop with an optional probe: consult is invoked for every
+// node whose LIVENESS the decision reads beyond the nodes the walk itself
+// visits — failed rule targets that are routed around, and every neighbor
+// examined by the implicit-default ambiguity check. Together with the
+// visited nodes this is the complete read set of the decision, which is
+// what makes Consulted a sound dependency footprint (see Consulted).
+func (e *Engine) hopConsult(at, prev topo.NodeID, dst pkt.Addr, consult func(topo.NodeID)) (topo.NodeID, bool) {
 	for _, r := range e.sorted[at] {
 		if r.In != topo.NodeNone && r.In != prev {
 			continue
@@ -108,14 +175,21 @@ func (e *Engine) hop(at, prev topo.NodeID, dst pkt.Addr) (topo.NodeID, bool) {
 			continue
 		}
 		if e.fail.Failed(r.Out) && e.topo.Node(r.Out).Kind == topo.Switch {
+			if consult != nil {
+				consult(r.Out) // liveness read: skipped because failed
+			}
 			continue // route around failed fabric elements
 		}
 		return r.Out, true
 	}
-	// Implicit default for edge nodes with a single live link.
+	// Implicit default for edge nodes with a single live link. The choice
+	// reads the liveness of every neighbor.
 	if e.topo.Node(at).IsEdge() {
 		var candidate topo.NodeID = topo.NodeNone
 		for _, nb := range e.topo.Neighbors(at) {
+			if consult != nil {
+				consult(nb)
+			}
 			if e.fail.Failed(nb) && e.topo.Node(nb).Kind == topo.Switch {
 				continue
 			}
@@ -173,6 +247,60 @@ func (e *Engine) walk(from topo.NodeID, dst pkt.Addr) (topo.NodeID, bool, error)
 		visited[nxt] = true
 		prev, cur = cur, nxt
 	}
+}
+
+// Consulted returns every node whose forwarding state OR liveness the
+// transfer function reads when carrying a packet from edge node `from`
+// toward dst: the starting node, every fabric node the packet crosses,
+// the edge node where it surfaces, every failed rule target the walk
+// routes around, and every neighbor examined by an implicit-default
+// choice. A packet dropped mid-fabric still consulted the table of the
+// node that dropped it, and a looping walk consulted every node on the
+// cycle, so both are included — Consulted never errors. The result is the
+// complete read set of the walk and hence the dependency footprint
+// incremental verification dirties and fingerprints on: a forwarding-state
+// or liveness change at any node NOT in this set cannot alter the walk
+// (the walk is deterministic, and every table or liveness bit it reads
+// belongs to a node in the set). Consulted is memoized and safe for
+// concurrent use; callers must not mutate the returned slice.
+func (e *Engine) Consulted(from topo.NodeID, dst pkt.Addr) []topo.NodeID {
+	k := memoKey{from, dst}
+	e.mu.RLock()
+	v, hit := e.consulted[k]
+	e.mu.RUnlock()
+	if hit {
+		return v
+	}
+	seen := map[topo.NodeID]bool{from: true}
+	nodes := []topo.NodeID{from}
+	add := func(n topo.NodeID) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if e.topo.Node(from).IsEdge() {
+		prev := topo.NodeNone
+		cur := from
+		visited := map[topo.NodeID]bool{}
+		for {
+			nxt, ok := e.hopConsult(cur, prev, dst, add)
+			if !ok {
+				break
+			}
+			stop := e.topo.Node(nxt).IsEdge() || visited[nxt]
+			add(nxt)
+			if stop {
+				break
+			}
+			visited[nxt] = true
+			prev, cur = cur, nxt
+		}
+	}
+	e.mu.Lock()
+	e.consulted[k] = nodes
+	e.mu.Unlock()
+	return nodes
 }
 
 // Entry is one row of the compiled pseudo-switch: packets at From destined

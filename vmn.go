@@ -26,6 +26,7 @@ package vmn
 import (
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/hsa"
+	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/logic"
 	"github.com/netverify/vmn/internal/mbox"
@@ -61,6 +62,46 @@ const (
 func NewVerifier(net *Network, opts Options) (*Verifier, error) {
 	return core.NewVerifier(net, opts)
 }
+
+// Incremental verification (internal/incr): a long-lived Session absorbs
+// change-sets and re-verifies only what each change can affect, using a
+// slice-derived dependency index, a fingerprint-keyed verdict cache and a
+// parallel re-verification pool. See also cmd/vmnd, the JSON-over-stdin
+// service built on Session.
+type (
+	// Session is a long-lived incremental verifier over one Network.
+	Session = incr.Session
+	// SessionOptions tune a Session (pool size, symmetry, cache bound).
+	SessionOptions = incr.Options
+	// Change is one element of a change-set.
+	Change = incr.Change
+	// ApplyStats describes one Session.Apply (dirty and cache counters).
+	ApplyStats = incr.ApplyStats
+)
+
+// NewSession builds a session over net, verifies invs once, and returns
+// the session plus the initial reports.
+func NewSession(net *Network, opts Options, invs []Invariant, sopts SessionOptions) (*Session, []Report, error) {
+	return incr.NewSession(net, opts, invs, sopts)
+}
+
+// Change constructors. NodeDown/NodeUp model link and element failures
+// becoming real (node granularity); FIBUpdate announces recomputed
+// forwarding state; BoxAdd/BoxRemove/BoxReconfig/BoxSwap manage middlebox
+// bindings and configurations; Relabel moves a node between policy
+// equivalence classes; AddInvariant/RemoveInvariant edit the verified set.
+var (
+	NodeDown        = incr.NodeDown
+	NodeUp          = incr.NodeUp
+	FIBUpdate       = incr.FIBUpdate
+	BoxAdd          = incr.BoxAdd
+	BoxRemove       = incr.BoxRemove
+	BoxReconfig     = incr.BoxReconfig
+	BoxSwap         = incr.BoxSwap
+	Relabel         = incr.Relabel
+	AddInvariant    = incr.AddInvariant
+	RemoveInvariant = incr.RemoveInvariant
+)
 
 // Invariants (§3.3 of the paper).
 type (
