@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench-json
+.PHONY: ci fmt vet build test race bench-smoke bench-json bench-multicore
 
 ci: fmt vet build race bench-smoke
 
@@ -31,3 +31,9 @@ bench-smoke:
 # Machine-readable series for benchmark trajectory tracking.
 bench-json:
 	$(GO) run ./cmd/vmnbench -fig 2,explicit -runs 5 -json
+
+# The figures whose numbers only mean something on a multi-core box: the
+# explicit-engine worker sweep and the SAT solver-reuse comparison. CI runs
+# this on the multi-core GitHub runner and uploads the JSON as an artifact.
+bench-multicore:
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr -runs 5 -json > bench-multicore.json

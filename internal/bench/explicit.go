@@ -36,10 +36,14 @@ func FigExplicit(workerCounts []int, runs int) Series {
 	return s
 }
 
-// statesCol renders the optional states/sec and churn columns of Print.
+// statesCol renders the optional states/sec, churn and solver-reuse
+// columns of Print.
 func statesCol(r Row) string {
 	if sps := r.StatesPerSec(); sps > 0 {
 		return fmt.Sprintf("%8.0f st/s", sps)
+	}
+	if r.Solves > 0 && r.Dirtied == 0 {
+		return fmt.Sprintf("enc hits %d, builds %d, conflicts %d", r.CacheHits, r.Solves, r.Conflicts)
 	}
 	if r.Invariants > 0 {
 		return fmt.Sprintf("dirty %d/%d, hits %d, solves %d", r.Dirtied, r.Invariants, r.CacheHits, r.Solves)

@@ -24,11 +24,17 @@ type Row struct {
 	X       int
 	Samples []time.Duration
 	States  int `json:",omitempty"`
-	// Churn accounting (see Churn).
+	// Churn accounting (see Churn). FigSATIncr reuses Invariants /
+	// CacheHits / Solves for its per-run invariant count, encoding-cache
+	// hits and encoding builds.
 	Invariants int `json:",omitempty"`
 	Dirtied    int `json:",omitempty"`
 	CacheHits  int `json:",omitempty"`
 	Solves     int `json:",omitempty"`
+	// Conflicts totals SAT-solver conflicts across the row's runs — the
+	// learnt-clause reuse signal of FigSATIncr (a warm shared encoding
+	// resolves later invariants with far fewer conflicts).
+	Conflicts int64 `json:",omitempty"`
 }
 
 // StatesPerSec derives the exploration throughput from the median sample;

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+// FigSATIncr measures the SAT engine's solver-reuse layer: VerifyAll over
+// multi-invariant sets with shared slice encodings + assumption solving
+// ("shared") against fresh-per-invariant encoding construction ("fresh",
+// core.Options.NoSolverReuse — the pre-reuse engine). Symmetry collapsing
+// is disabled so every invariant is solved, making the amortization per
+// solve visible. Each row records the invariant count, the encoding-cache
+// hits (invariants answered on a warm shared solver) and builds, and the
+// total solver conflicts — warm solves re-use learnt clauses, so the
+// shared rows burn measurably fewer conflicts per invariant. Samples are
+// whole VerifyAll wall times; divide by Invariants for the amortized
+// per-invariant solve time.
+func FigSATIncr(runs int) Series {
+	s := Series{Fig: "satincr", Title: "SAT solver reuse: shared encodings + assumption solving vs fresh per invariant"}
+
+	type workload struct {
+		name string
+		mk   func() (*core.Network, []inv.Invariant)
+	}
+	workloads := []workload{
+		{"datacenter", func() (*core.Network, []inv.Invariant) {
+			d := NewDatacenter(DCConfig{Groups: churnGroups, HostsPerGroup: 1})
+			return d.Net, d.AllIsolationInvariants() // 132 invariants
+		}},
+		{"multitenant", func() (*core.Network, []inv.Invariant) {
+			m := NewMultiTenant(MTConfig{Tenants: 6, PubPerTenant: 1, PrivPerTenant: 1})
+			var invs []inv.Invariant
+			for a := 0; a < 6; a++ {
+				for b := 0; b < 6; b++ {
+					if a != b {
+						invs = append(invs, m.PrivPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+					}
+				}
+			}
+			return m.Net, invs // 60 invariants
+		}},
+	}
+
+	for _, w := range workloads {
+		for _, mode := range []struct {
+			label string
+			fresh bool
+		}{{"shared", false}, {"fresh", true}} {
+			net, invs := w.mk()
+			row := Row{Label: fmt.Sprintf("%s/%s", w.name, mode.label), X: len(invs)}
+			for r := 0; r < runs; r++ {
+				v := mustVerifier(net, core.Options{
+					Engine: core.EngineSAT, Seed: int64(r), NoSolverReuse: mode.fresh,
+				})
+				var reports []core.Report
+				row.Samples = append(row.Samples, timeIt(func() {
+					var err error
+					reports, err = v.VerifyAll(invs, false)
+					if err != nil {
+						panic(err)
+					}
+				}))
+				row.Invariants = len(reports)
+				for _, rep := range reports {
+					row.Conflicts += rep.Result.SolverConflicts
+				}
+				if mode.fresh {
+					// NoSolverReuse bypasses the cache: every check
+					// builds its own encoding.
+					row.Solves += len(reports)
+				} else {
+					hits, misses := v.EncodingCacheStats()
+					row.CacheHits += int(hits)
+					row.Solves += int(misses)
+				}
+			}
+			s.Rows = append(s.Rows, row)
+		}
+	}
+	return s
+}

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/netverify/vmn/internal/encode"
@@ -91,6 +92,15 @@ type Options struct {
 	// value. Invariant-level parallelism composes with Workers, the
 	// explicit engine's intra-search parallelism.
 	InvWorkers int
+	// NoSolverReuse disables the SAT engine's incremental path (cached
+	// slice encodings solved per invariant under activation-literal
+	// assumptions): every check then builds and solves a fresh encoding.
+	// Verdicts and traces are identical either way — the engine extracts
+	// canonical witnesses — so the toggle exists for benchmarking and
+	// differential testing, not correctness. With a MaxConflicts budget,
+	// warm and cold solvers may spend it differently, so Unknown outcomes
+	// can differ between the two modes.
+	NoSolverReuse bool
 }
 
 // Report is the verdict for one (invariant, scenario) pair.
@@ -134,6 +144,23 @@ type Verifier struct {
 	engines     map[uint64][]*tf.Engine
 	engineCount int
 	journeys    *encode.JourneyCache
+	encodings   map[string]*encSlot
+	encHits     int64
+	encMisses   int64
+}
+
+// encSlot is one encoding-cache entry. The slot is inserted before the
+// encoding is built and the build runs under the once, so concurrent
+// first-touches of one key (InvWorkers, the incremental re-verification
+// pool) share a single construction instead of racing to build duplicates.
+// Build errors are cached too: they are deterministic functions of the
+// keyed content, and the auto-engine path treats them as "use the explicit
+// engine" consistently.
+type encSlot struct {
+	once sync.Once
+	enc  *encode.SliceEncoding
+	err  error
+	done atomic.Bool // set after the build completes (see cache flush)
 }
 
 // NewVerifier builds a verifier; opts zero value means defaults (auto
@@ -146,10 +173,11 @@ func NewVerifier(net *Network, opts Options) (*Verifier, error) {
 		net.Registry = pkt.NewRegistry()
 	}
 	return &Verifier{
-		net:      net,
-		opts:     opts,
-		engines:  map[uint64][]*tf.Engine{},
-		journeys: encode.NewJourneyCache(),
+		net:       net,
+		opts:      opts,
+		engines:   map[uint64][]*tf.Engine{},
+		journeys:  encode.NewJourneyCache(),
+		encodings: map[string]*encSlot{},
 	}, nil
 }
 
@@ -190,6 +218,69 @@ func (v *Verifier) JourneyCacheStats() (hits, misses int64) {
 	return v.journeys.Stats()
 }
 
+// EncodingCacheStats reports the SAT engine's slice-encoding cache hits
+// (invariants solved on a previously built shared encoding) and misses
+// (encodings built) accumulated by this verifier.
+func (v *Verifier) EncodingCacheStats() (hits, misses int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.encHits, v.encMisses
+}
+
+// maxCachedEncodings bounds the slice-encoding cache of a long-lived
+// Verifier; overflowing flushes it wholesale (warm solver state is lost,
+// correctness is not — encodings are content-addressed and witnesses are
+// canonical).
+const maxCachedEncodings = 128
+
+// verifySAT runs one check through the SAT engine, reusing a cached slice
+// encoding when the problem's content key matches one already built: the
+// invariant is then decided by an assumption solve on the shared solver,
+// inheriting learnt clauses, phases and activity from every previous
+// invariant over that slice. Problems without content keys (a middlebox
+// lacking a configuration fingerprint) and NoSolverReuse mode fall back to
+// a fresh encoding per check.
+func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options) (inv.Result, error) {
+	if v.opts.NoSolverReuse {
+		return encode.Verify(p, encOpts)
+	}
+	key, ok := encode.AppendEncodingKey(nil, p, encOpts)
+	if !ok {
+		return encode.Verify(p, encOpts)
+	}
+	ks := string(key)
+	v.mu.Lock()
+	slot, found := v.encodings[ks]
+	if found {
+		v.encHits++
+	} else {
+		if len(v.encodings) >= maxCachedEncodings {
+			// Flush finished entries wholesale but keep slots whose build
+			// is still in flight: dropping them would let a concurrent
+			// request for the same key start a duplicate construction.
+			kept := map[string]*encSlot{}
+			for k, s := range v.encodings {
+				if !s.done.Load() {
+					kept[k] = s
+				}
+			}
+			v.encodings = kept
+		}
+		slot = &encSlot{}
+		v.encodings[ks] = slot
+		v.encMisses++
+	}
+	v.mu.Unlock()
+	slot.once.Do(func() {
+		slot.enc, slot.err = encode.NewSliceEncoding(p, encOpts)
+		slot.done.Store(true)
+	})
+	if slot.err != nil {
+		return inv.Result{}, slot.err
+	}
+	return slot.enc.Verify(p, encOpts)
+}
+
 // Network returns the verifier's network.
 func (v *Verifier) Network() *Network { return v.net }
 
@@ -203,9 +294,25 @@ func (v *Verifier) scenarios() []topo.FailureScenario {
 // VerifyInvariant verifies one invariant under every configured failure
 // scenario and returns one report per scenario.
 func (v *Verifier) VerifyInvariant(i inv.Invariant) ([]Report, error) {
+	return v.verifyInvariantOn(i, nil)
+}
+
+// verifyInvariantOn runs one invariant under every configured scenario,
+// against pre-compiled per-scenario engines when given (position-aligned
+// with scenarios()). VerifyAll compiles each scenario's engine once and
+// passes it down — recompiling per invariant used to be a visible slice of
+// multi-invariant runs even with the content-addressed engine cache, since
+// deduplication still rebuilds the forwarding tables to fingerprint them.
+func (v *Verifier) verifyInvariantOn(i inv.Invariant, engines []*tf.Engine) ([]Report, error) {
 	var out []Report
-	for _, sc := range v.scenarios() {
-		r, err := v.verifyOne(i, sc)
+	for si, sc := range v.scenarios() {
+		var eng *tf.Engine
+		if si < len(engines) {
+			eng = engines[si]
+		} else {
+			eng = v.EngineFor(sc)
+		}
+		r, err := v.verifyOn(i, sc, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -230,9 +337,16 @@ func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, 
 		}
 	}
 
+	// One engine per scenario for the whole batch; the network is frozen
+	// for the duration of a VerifyAll by contract.
+	engines := make([]*tf.Engine, 0, len(v.scenarios()))
+	for _, sc := range v.scenarios() {
+		engines = append(engines, v.EngineFor(sc))
+	}
+
 	perGroup := make([][]Report, len(groups))
 	verify := func(gi int) error {
-		rs, err := v.VerifyInvariant(groups[gi].Representative)
+		rs, err := v.verifyInvariantOn(groups[gi].Representative, engines)
 		if err != nil {
 			return err
 		}
@@ -412,14 +526,14 @@ func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
 	expOpts := explore.Options{MaxStates: v.opts.MaxStates, Workers: v.opts.Workers}
 	switch v.opts.Engine {
 	case EngineSAT:
-		r, err := encode.Verify(p, encOpts)
+		r, err := v.verifySAT(p, encOpts)
 		return r, "sat", err
 	case EngineExplicit:
 		r, err := explore.Verify(p, expOpts)
 		return r, "explicit", err
 	default:
 		if encodable(p) {
-			r, err := encode.Verify(p, encOpts)
+			r, err := v.verifySAT(p, encOpts)
 			if err == nil {
 				return r, "sat", nil
 			}

@@ -11,12 +11,14 @@ import (
 // TestJourneyMemoAcrossInvariants pins the SAT engine's cross-invariant
 // journey memoization: two invariants over the same slice share the same
 // packet alphabet, so the second verification must reuse the first's
-// journey enumerations.
+// journey enumerations. NoSolverReuse isolates the journey layer — with
+// solver reuse on, the encoding cache absorbs same-slice re-solves one
+// level higher (see TestEncodingReuseAcrossInvariants).
 func TestJourneyMemoAcrossInvariants(t *testing.T) {
 	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
 	net, hA, hB, _ := pairNet(mbox.NewLearningFirewall("fw",
 		mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB))))
-	v, err := NewVerifier(net, Options{Engine: EngineSAT})
+	v, err := NewVerifier(net, Options{Engine: EngineSAT, NoSolverReuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,12 +45,66 @@ func TestJourneyMemoAcrossInvariants(t *testing.T) {
 
 	// A fresh verifier starts cold — the cache never crosses the frozen-
 	// network boundary.
-	v2, _ := NewVerifier(net, Options{Engine: EngineSAT})
+	v2, _ := NewVerifier(net, Options{Engine: EngineSAT, NoSolverReuse: true})
 	if _, err := v2.VerifyInvariant(invs[0]); err != nil {
 		t.Fatal(err)
 	}
 	if h, _ := v2.JourneyCacheStats(); h != 0 {
 		t.Fatalf("fresh verifier must not inherit journey cache state (hits=%d)", h)
+	}
+}
+
+// TestEncodingReuseAcrossInvariants pins the solver-reuse layer: invariants
+// over the same slice (same alphabet, schedule bound and solver options)
+// must share one SliceEncoding, with later checks decided by assumption
+// solves on the warm solver — and the verdicts must match the fresh path.
+func TestEncodingReuseAcrossInvariants(t *testing.T) {
+	aA, aB := pkt.MustParseAddr("10.0.0.1"), pkt.MustParseAddr("10.0.0.2")
+	net, hA, hB, _ := pairNet(mbox.NewLearningFirewall("fw",
+		mbox.AllowEntry(pkt.HostPrefix(aA), pkt.HostPrefix(aB))))
+	v, err := NewVerifier(net, Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := []inv.Invariant{
+		inv.SimpleIsolation{Dst: hB, SrcAddr: aA}, // violated (allowed flow)
+		inv.SimpleIsolation{Dst: hA, SrcAddr: aB}, // holds (default deny)
+		inv.FlowIsolation{Dst: hA, SrcAddr: aB},   // holds
+		inv.SimpleIsolation{Dst: hB, SrcAddr: aA}, // repeat: reuses its activation literal
+	}
+	reports, err := v.VerifyAll(invs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := v.EncodingCacheStats()
+	if misses != 1 {
+		t.Fatalf("same-slice invariants must share one encoding build, got %d builds", misses)
+	}
+	if hits != int64(len(invs)-1) {
+		t.Fatalf("later invariants must hit the encoding cache: hits=%d", hits)
+	}
+
+	// The shared-encoding verdicts and traces must be bit-identical to
+	// fresh-per-invariant solving.
+	vf, _ := NewVerifier(net, Options{Engine: EngineSAT, NoSolverReuse: true})
+	fresh, err := vf.VerifyAll(invs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		if reports[i].Result.Outcome != fresh[i].Result.Outcome {
+			t.Fatalf("invariant %d: shared %v vs fresh %v", i, reports[i].Result.Outcome, fresh[i].Result.Outcome)
+		}
+		if len(reports[i].Result.Trace) != len(fresh[i].Result.Trace) {
+			t.Fatalf("invariant %d: trace lengths differ: %d vs %d", i,
+				len(reports[i].Result.Trace), len(fresh[i].Result.Trace))
+		}
+		for j := range reports[i].Result.Trace {
+			if reports[i].Result.Trace[j] != fresh[i].Result.Trace[j] {
+				t.Fatalf("invariant %d: trace event %d differs: %v vs %v", i, j,
+					reports[i].Result.Trace[j], fresh[i].Result.Trace[j])
+			}
+		}
 	}
 }
 

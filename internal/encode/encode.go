@@ -37,8 +37,6 @@ import (
 	"github.com/netverify/vmn/internal/logic"
 	"github.com/netverify/vmn/internal/mbox"
 	"github.com/netverify/vmn/internal/pkt"
-	"github.com/netverify/vmn/internal/sat"
-	"github.com/netverify/vmn/internal/smt"
 	"github.com/netverify/vmn/internal/topo"
 )
 
@@ -99,199 +97,17 @@ type choice struct {
 	paths   []jpath
 }
 
-// Verify encodes and solves the bounded verification problem.
+// Verify encodes and solves the bounded verification problem on a fresh
+// encoding. Callers checking many invariants over one slice should build a
+// SliceEncoding once (or go through core.Verifier, which caches them) and
+// call its Verify per invariant instead — verdicts and traces are
+// identical either way, witness extraction being canonical.
 func Verify(p *inv.Problem, opts Options) (inv.Result, error) {
-	opts = opts.withDefaults()
-	if p.MaxSends <= 0 {
-		return inv.Result{}, fmt.Errorf("encode: MaxSends must be positive")
+	enc, err := NewSliceEncoding(p, opts)
+	if err != nil {
+		return inv.Result{}, err
 	}
-	boxIdx := map[topo.NodeID]int{}
-	for i, b := range p.Boxes {
-		if _, ok := mbox.SetStateKeys(b.Model.InitState()); !ok {
-			return inv.Result{}, fmt.Errorf("encode: middlebox %s has non-boolean state (%T); use the explicit engine",
-				p.Topo.Node(b.Node).Name, b.Model.InitState())
-		}
-		boxIdx[b.Node] = i
-	}
-
-	// Enumerate journeys per choice, sharing enumerations across
-	// invariants through the optional cache.
-	var keyPrefix []byte
-	if opts.Journeys != nil {
-		var ok bool
-		if keyPrefix, ok = appendProblemKey(nil, p, opts); !ok {
-			opts.Journeys = nil // unfingerprintable box: no memoization
-		}
-	}
-	var choices []choice
-	for _, s := range p.Samples {
-		for _, cls := range p.ClassAssignments() {
-			c := choice{sample: s, classes: cls}
-			var key string
-			if opts.Journeys != nil {
-				key = string(appendChoiceKey(append([]byte(nil), keyPrefix...), s, cls))
-				if paths, ok := opts.Journeys.get(key); ok {
-					c.paths = paths
-					choices = append(choices, c)
-					continue
-				}
-			}
-			paths, err := journeys(p, opts, boxIdx, s, cls)
-			if err != nil {
-				return inv.Result{}, err
-			}
-			if opts.Journeys != nil {
-				opts.Journeys.put(key, paths)
-			}
-			c.paths = paths
-			choices = append(choices, c)
-		}
-	}
-
-	// Build the formula.
-	ctx := smt.NewCtx()
-	ctx.Solver().SetSeed(opts.Seed)
-	ctx.Solver().SetRandomBranchFreq(opts.RandomBranchFreq)
-	if opts.MaxConflicts > 0 {
-		ctx.Solver().SetMaxConflicts(opts.MaxConflicts)
-	}
-	K := p.MaxSends
-
-	// Selector variables: sel[t][c] plus an implicit "none" choice.
-	sel := make([][]smt.Form, K)
-	for t := 0; t < K; t++ {
-		sel[t] = make([]smt.Form, len(choices)+1)
-		for c := range sel[t] {
-			sel[t][c] = ctx.BoolVar(fmt.Sprintf("sel|%d|%d", t, c))
-		}
-		ctx.AssertExactlyOne(sel[t])
-	}
-
-	// State bits. Universe = all refs mentioned by any path.
-	universe := map[keyRef]bool{}
-	for _, c := range choices {
-		for _, pth := range c.paths {
-			for _, cond := range pth.conds {
-				universe[cond.ref] = true
-			}
-			for _, s := range pth.sets {
-				universe[s] = true
-			}
-		}
-	}
-	if opts.GroundAllReadKeys {
-		for bi, b := range p.Boxes {
-			reader, ok := b.Model.(mbox.KeyReader)
-			if !ok {
-				continue
-			}
-			for _, c := range choices {
-				in := mbox.Input{From: c.sample.Sender, Hdr: c.sample.Hdr, Classes: c.classes}
-				for _, k := range reader.ReadKeys(in) {
-					universe[keyRef{bi, k}] = true
-				}
-			}
-		}
-	}
-	bit := func(r keyRef, t int) smt.Form {
-		return ctx.BoolVar(fmt.Sprintf("S|%d|%s|%d", r.box, r.key, t))
-	}
-	for r := range universe {
-		ctx.Assert(ctx.Not(bit(r, 0))) // boot state: empty sets
-	}
-
-	guardOf := func(ci int, pth jpath, t int) smt.Form {
-		parts := []smt.Form{sel[t][ci]}
-		for _, cond := range pth.conds {
-			b := bit(cond.ref, t)
-			if !cond.val {
-				b = ctx.Not(b)
-			}
-			parts = append(parts, b)
-		}
-		return ctx.And(parts...)
-	}
-
-	// Frame/transition axioms.
-	for r := range universe {
-		for t := 0; t < K; t++ {
-			var setters []smt.Form
-			for ci, c := range choices {
-				for _, pth := range c.paths {
-					for _, s := range pth.sets {
-						if s == r {
-							setters = append(setters, guardOf(ci, pth, t))
-							break
-						}
-					}
-				}
-			}
-			next := bit(r, t+1)
-			ctx.Assert(ctx.Iff(next, ctx.Or(append([]smt.Form{bit(r, t)}, setters...)...)))
-		}
-	}
-
-	// Events per step with guards.
-	type guardedEvent struct {
-		ev    logic.Event
-		guard smt.Form
-	}
-	eventsAt := make([][]guardedEvent, K)
-	for t := 0; t < K; t++ {
-		for ci, c := range choices {
-			for _, pth := range c.paths {
-				g := guardOf(ci, pth, t)
-				for _, ev := range pth.events {
-					eventsAt[t] = append(eventsAt[t], guardedEvent{ev, g})
-				}
-			}
-		}
-	}
-
-	// Ground the invariant's bad formula over the schedule.
-	bad := p.Invariant.Bad(p)
-	grounded := logic.Ground(ctx, bad, K, func(a *logic.Atom, t int) smt.Form {
-		var hits []smt.Form
-		for _, ge := range eventsAt[t] {
-			if a.Pred(ge.ev) {
-				hits = append(hits, ge.guard)
-			}
-		}
-		return ctx.Or(hits...)
-	})
-	ctx.Assert(ctx.Or(grounded...))
-
-	switch ctx.Solve() {
-	case sat.Sat:
-		trace := extractTrace(ctx, choices, sel, guardOf, K)
-		return inv.Result{
-			Outcome:         inv.Violated,
-			Trace:           trace,
-			SolverConflicts: ctx.Solver().Stats().Conflicts,
-		}, nil
-	case sat.Unsat:
-		return inv.Result{Outcome: inv.Holds, SolverConflicts: ctx.Solver().Stats().Conflicts}, nil
-	default:
-		return inv.Result{Outcome: inv.Unknown, SolverConflicts: ctx.Solver().Stats().Conflicts}, nil
-	}
-}
-
-func extractTrace(ctx *smt.Ctx, choices []choice, sel [][]smt.Form, guardOf func(int, jpath, int) smt.Form, K int) []logic.Event {
-	var out []logic.Event
-	for t := 0; t < K; t++ {
-		for ci, c := range choices {
-			if ctx.EvalForm(sel[t][ci]) != sat.True {
-				continue
-			}
-			for _, pth := range c.paths {
-				if ctx.EvalForm(guardOf(ci, pth, t)) == sat.True {
-					out = append(out, pth.events...)
-					break
-				}
-			}
-		}
-	}
-	return out
+	return enc.Verify(p, opts)
 }
 
 // journeys symbolically executes the packet's journey, forking on state

@@ -1,0 +1,453 @@
+package encode
+
+// SliceEncoding: the build-once / solve-many split of the SAT engine.
+//
+// The paper leans on Z3's incremental interface so that the many invariants
+// checked over one slice amortize a single solver context. This file is
+// that mechanism for VMN's built-in solver: everything the encoding shares
+// between invariants — selector variables, state bits, frame/transition
+// axioms, the guarded event sets — is built exactly once per
+// (slice × samples × schedule bound), and each invariant then only grounds
+// its own "bad" formula, asserts it under an activation literal and decides
+// it with SolveAssuming. Learnt clauses, saved phases and VSIDS activity
+// persist across those solves, so invariant k+1 starts from everything the
+// solver discovered about the shared structure while solving invariants
+// 1..k, and a re-verification of a previously seen invariant reuses its
+// activation literal outright.
+//
+// Violation witnesses are canonical: on Sat the engine extracts the
+// lexicographically least violating schedule (fixing one step at a time
+// with incremental assumption solves), which is a function of the formula
+// alone. A warm shared encoding and a cold fresh one therefore return
+// bit-identical traces — solver history can never leak into results, which
+// is what keeps core's encoding cache and the incremental layer
+// verdict-transparent.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/logic"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/sat"
+	"github.com/netverify/vmn/internal/smt"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// guardedEvent is one trace event and the condition under which its path
+// runs at a given step.
+type guardedEvent struct {
+	ev    logic.Event
+	guard smt.Form
+}
+
+// maxEncodingInvariants bounds the activation literals kept live on one
+// encoding; overflowing releases all of them (their guarded clauses and any
+// learnt clauses conditioned on them are garbage-collected) and later
+// solves re-assert from the persistent Tseitin gates, which is cheap.
+const maxEncodingInvariants = 512
+
+// SliceEncoding is the invariant-independent part of a bounded
+// verification problem, grounded once and solved many times. It is valid
+// for exactly the problem content captured by AppendEncodingKey: the
+// transfer engine's behaviour fingerprint, failure scenario, hop bound,
+// ordered middlebox configurations, packet alphabet, schedule bound and
+// solver options. Verify calls are serialized internally, so one encoding
+// may be shared by concurrent verifications (core's InvWorkers, the
+// incremental layer's re-verification pool).
+type SliceEncoding struct {
+	mu   sync.Mutex
+	ctx  *smt.Ctx
+	opts Options
+
+	// K is the schedule bound; choices the (sample, class) alphabet with
+	// enumerated journeys.
+	K       int
+	choices []choice
+	nPaths  int   // total journey paths across all choices
+	pathOff []int // per choice: offset of its first path in flat order
+
+	// sel[t][c] selects choice c at step t; index len(choices) is the
+	// scheduler's "do nothing" option.
+	sel [][]smt.Form
+	// refs is the sorted state-bit universe; bits[ri][t] is S[refs[ri], t].
+	refs []keyRef
+	bits [][]smt.Form
+	// guards[t*nPaths+gp] memoizes the path condition of global path gp at
+	// step t (selector ∧ assumed state bits) — shared by the frame axioms,
+	// event grounding and trace extraction, which previously each rebuilt
+	// identical And nodes.
+	guards   []smt.Form
+	eventsAt [][]guardedEvent
+
+	// acts maps a grounded bad formula (by interned ID, which is identical
+	// for structurally identical formulas) to its activation literal, so
+	// re-verifying an invariant reuses its assertion and the learnt clauses
+	// conditioned on it.
+	acts map[smt.FormID]smt.Form
+
+	hitsBuf []smt.Form // scratch for atom grounding
+	solves  int64
+}
+
+// NewSliceEncoding enumerates the problem's journeys (through
+// opts.Journeys when set) and grounds the invariant-independent axioms:
+// selector constraints, boot state, frame/transition axioms and the
+// guarded event sets. The returned encoding serves any invariant whose
+// problem has identical AppendEncodingKey content.
+func NewSliceEncoding(p *inv.Problem, opts Options) (*SliceEncoding, error) {
+	opts = opts.withDefaults()
+	if p.MaxSends <= 0 {
+		return nil, fmt.Errorf("encode: MaxSends must be positive")
+	}
+	boxIdx := map[topo.NodeID]int{}
+	for i, b := range p.Boxes {
+		if _, ok := mbox.SetStateKeys(b.Model.InitState()); !ok {
+			return nil, fmt.Errorf("encode: middlebox %s has non-boolean state (%T); use the explicit engine",
+				p.Topo.Node(b.Node).Name, b.Model.InitState())
+		}
+		boxIdx[b.Node] = i
+	}
+	choices, err := enumerateChoices(p, opts, boxIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := smt.NewCtx()
+	ctx.Solver().SetSeed(opts.Seed)
+	ctx.Solver().SetRandomBranchFreq(opts.RandomBranchFreq)
+	e := &SliceEncoding{
+		ctx:     ctx,
+		opts:    opts,
+		K:       p.MaxSends,
+		choices: choices,
+		acts:    map[smt.FormID]smt.Form{},
+	}
+	for _, c := range choices {
+		e.pathOff = append(e.pathOff, e.nPaths)
+		e.nPaths += len(c.paths)
+	}
+
+	// Selector variables: sel[t][c] plus an implicit "none" choice.
+	e.sel = make([][]smt.Form, e.K)
+	for t := 0; t < e.K; t++ {
+		row := make([]smt.Form, len(choices)+1)
+		for c := range row {
+			row[c] = ctx.FreshBool()
+		}
+		e.sel[t] = row
+		ctx.AssertExactlyOne(row)
+	}
+
+	// State bits. Universe = all refs mentioned by any path, in sorted
+	// order so variable numbering is deterministic per build.
+	universe := map[keyRef]bool{}
+	for _, c := range choices {
+		for _, pth := range c.paths {
+			for _, cond := range pth.conds {
+				universe[cond.ref] = true
+			}
+			for _, s := range pth.sets {
+				universe[s] = true
+			}
+		}
+	}
+	if opts.GroundAllReadKeys {
+		for bi, b := range p.Boxes {
+			reader, ok := b.Model.(mbox.KeyReader)
+			if !ok {
+				continue
+			}
+			for _, c := range choices {
+				in := mbox.Input{From: c.sample.Sender, Hdr: c.sample.Hdr, Classes: c.classes}
+				for _, k := range reader.ReadKeys(in) {
+					universe[keyRef{bi, k}] = true
+				}
+			}
+		}
+	}
+	e.refs = make([]keyRef, 0, len(universe))
+	for r := range universe {
+		e.refs = append(e.refs, r)
+	}
+	sort.Slice(e.refs, func(i, j int) bool {
+		if e.refs[i].box != e.refs[j].box {
+			return e.refs[i].box < e.refs[j].box
+		}
+		return e.refs[i].key < e.refs[j].key
+	})
+	refIdx := make(map[keyRef]int32, len(e.refs))
+	e.bits = make([][]smt.Form, len(e.refs))
+	for ri, r := range e.refs {
+		refIdx[r] = int32(ri)
+		row := make([]smt.Form, e.K+1)
+		for t := range row {
+			row[t] = ctx.FreshBool()
+		}
+		e.bits[ri] = row
+		ctx.Assert(ctx.Not(row[0])) // boot state: empty sets
+	}
+
+	// Path guards, memoized per (step, path): selector ∧ assumed bits.
+	e.guards = make([]smt.Form, e.K*e.nPaths)
+	parts := make([]smt.Form, 0, 8)
+	for t := 0; t < e.K; t++ {
+		for ci, c := range choices {
+			for pi, pth := range c.paths {
+				parts = parts[:0]
+				parts = append(parts, e.sel[t][ci])
+				for _, cond := range pth.conds {
+					b := e.bits[refIdx[cond.ref]][t]
+					if !cond.val {
+						b = ctx.Not(b)
+					}
+					parts = append(parts, b)
+				}
+				e.guards[t*e.nPaths+e.pathOff[ci]+pi] = ctx.And(parts...)
+			}
+		}
+	}
+
+	// Frame/transition axioms, from a per-ref setter index instead of the
+	// old full rescan of every path per (ref, step).
+	setters := make([][]int32, len(e.refs))
+	for ci, c := range choices {
+		for pi, pth := range c.paths {
+			gp := int32(e.pathOff[ci] + pi)
+			for _, s := range pth.sets {
+				ri := refIdx[s]
+				setters[ri] = append(setters[ri], gp)
+			}
+		}
+	}
+	disj := make([]smt.Form, 0, 8)
+	for ri := range e.refs {
+		for t := 0; t < e.K; t++ {
+			disj = disj[:0]
+			disj = append(disj, e.bits[ri][t])
+			for _, gp := range setters[ri] {
+				disj = append(disj, e.guards[t*e.nPaths+int(gp)])
+			}
+			next := e.bits[ri][t+1]
+			ctx.Assert(ctx.Iff(next, ctx.Or(disj...)))
+		}
+	}
+
+	// Events per step with guards.
+	nEvents := 0
+	for _, c := range choices {
+		for _, pth := range c.paths {
+			nEvents += len(pth.events)
+		}
+	}
+	e.eventsAt = make([][]guardedEvent, e.K)
+	for t := 0; t < e.K; t++ {
+		evs := make([]guardedEvent, 0, nEvents)
+		for ci, c := range choices {
+			for pi, pth := range c.paths {
+				g := e.guards[t*e.nPaths+e.pathOff[ci]+pi]
+				for _, ev := range pth.events {
+					evs = append(evs, guardedEvent{ev, g})
+				}
+			}
+		}
+		e.eventsAt[t] = evs
+	}
+	return e, nil
+}
+
+// enumerateChoices expands the (sample, class assignment) alphabet and
+// enumerates each choice's journeys, sharing enumerations across
+// invariants and encodings through the optional cache.
+func enumerateChoices(p *inv.Problem, opts Options, boxIdx map[topo.NodeID]int) ([]choice, error) {
+	var keyPrefix []byte
+	if opts.Journeys != nil {
+		var ok bool
+		if keyPrefix, ok = appendProblemKey(nil, p, opts); !ok {
+			opts.Journeys = nil // unfingerprintable box: no memoization
+		}
+	}
+	var choices []choice
+	for _, s := range p.Samples {
+		for _, cls := range p.ClassAssignments() {
+			c := choice{sample: s, classes: cls}
+			var key string
+			if opts.Journeys != nil {
+				key = string(appendChoiceKey(append([]byte(nil), keyPrefix...), s, cls))
+				if paths, ok := opts.Journeys.get(key); ok {
+					c.paths = paths
+					choices = append(choices, c)
+					continue
+				}
+			}
+			paths, err := journeys(p, opts, boxIdx, s, cls)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Journeys != nil {
+				opts.Journeys.put(key, paths)
+			}
+			c.paths = paths
+			choices = append(choices, c)
+		}
+	}
+	return choices, nil
+}
+
+// Solves reports how many invariant checks this encoding has served.
+func (e *SliceEncoding) Solves() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.solves
+}
+
+// SolverStats exposes the shared solver's accumulated work counters.
+func (e *SliceEncoding) SolverStats() sat.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctx.Solver().Stats()
+}
+
+// Verify decides one invariant on the shared encoding: it grounds the
+// invariant's bad formula over the schedule (hash-consed, so repeats are
+// nearly free), asserts it under a per-formula activation literal and
+// solves under that assumption. Result.SolverConflicts counts only this
+// call's work. Safe for concurrent use; calls serialize on the encoding.
+func (e *SliceEncoding) Verify(p *inv.Problem, opts Options) (inv.Result, error) {
+	opts = opts.withDefaults()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx := e.ctx
+	e.solves++
+
+	bad := p.Invariant.Bad(p)
+	grounded := logic.Ground(ctx, bad, e.K, func(a *logic.Atom, t int) smt.Form {
+		hits := e.hitsBuf[:0]
+		for _, ge := range e.eventsAt[t] {
+			if a.Pred(ge.ev) {
+				hits = append(hits, ge.guard)
+			}
+		}
+		e.hitsBuf = hits // Or copies what it keeps; reuse the scratch
+		return ctx.Or(hits...)
+	})
+	badForm := ctx.Or(grounded...)
+	if badForm.IsFalse() {
+		// bad is unreachable within the bound: holds without solving (and
+		// without poisoning the shared solver with an empty clause, which
+		// is what asserting false on a fresh context used to do).
+		return inv.Result{Outcome: inv.Holds}, nil
+	}
+
+	act, ok := e.acts[badForm.ID()]
+	if !ok {
+		if len(e.acts) >= maxEncodingInvariants {
+			rel := make([]smt.Form, 0, len(e.acts))
+			for _, a := range e.acts {
+				rel = append(rel, a)
+			}
+			ctx.ReleaseGuard(rel...)
+			e.acts = map[smt.FormID]smt.Form{}
+		}
+		act = ctx.FreshBool()
+		ctx.AssertGuarded(act, badForm)
+		e.acts[badForm.ID()] = act
+	}
+
+	// Neutralize selector phase memory from earlier invariants: with
+	// cold-like phases the first model lands near the lexicographic
+	// minimum, so canonical witness extraction needs few (often zero)
+	// refinement solves on warm encodings too.
+	if e.solves > 1 {
+		for t := 0; t < e.K; t++ {
+			for _, s := range e.sel[t] {
+				ctx.PreferPhase(ctx.Not(s))
+			}
+		}
+	}
+
+	// The conflict budget is per Solve call on the shared solver; witness
+	// extraction below runs unbudgeted (the verdict is already in hand).
+	ctx.Solver().SetMaxConflicts(opts.MaxConflicts)
+	start := ctx.Solver().Stats().Conflicts
+	st := ctx.SolveAssuming(act)
+	res := inv.Result{}
+	switch st {
+	case sat.Sat:
+		res.Outcome = inv.Violated
+		ctx.Solver().SetMaxConflicts(0)
+		res.Trace = e.extractTrace(act)
+	case sat.Unsat:
+		res.Outcome = inv.Holds
+	default:
+		res.Outcome = inv.Unknown
+	}
+	res.SolverConflicts = ctx.Solver().Stats().Conflicts - start
+	return res, nil
+}
+
+// extractTrace derives the canonical violating schedule after a Sat
+// verdict: the lexicographically least (step-major, choices in alphabet
+// order, "do nothing" last) selector assignment satisfying the active bad
+// formula, found by fixing one step at a time with incremental assumption
+// solves seeded from the current model. The schedule fully determines the
+// state bits (the frame axioms are equivalences from an all-false boot
+// state), so the extracted trace is a function of the formula alone —
+// independent of solver history, learnt state or which engine path built
+// the encoding.
+func (e *SliceEncoding) extractTrace(act smt.Form) []logic.Event {
+	ctx := e.ctx
+	none := len(e.choices)
+	cur := make([]int, e.K)
+	e.readSchedule(cur)
+	assume := make([]smt.Form, 0, e.K+1)
+	assume = append(assume, act)
+	refined := false
+	for t := 0; t < e.K; t++ {
+		for c := 0; c < cur[t]; c++ {
+			refined = true
+			if ctx.SolveAssuming(append(assume, e.sel[t][c])...) == sat.Sat {
+				e.readSchedule(cur) // improves later steps too
+				break
+			}
+		}
+		assume = append(assume, e.sel[t][cur[t]])
+	}
+	// Rematerialize the canonical schedule's model (refinement solves
+	// discarded it); when the first model was already lex-minimal, it is
+	// still current and no extra solve is needed. The assumptions are
+	// satisfiable by construction.
+	if refined && ctx.SolveAssuming(assume...) != sat.Sat {
+		return nil // unreachable
+	}
+	var out []logic.Event
+	for t := 0; t < e.K; t++ {
+		ci := cur[t]
+		if ci == none {
+			continue
+		}
+		base := t*e.nPaths + e.pathOff[ci]
+		for pi := range e.choices[ci].paths {
+			if ctx.EvalForm(e.guards[base+pi]) == sat.True {
+				out = append(out, e.choices[ci].paths[pi].events...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// readSchedule reads the selected choice per step from the current model.
+func (e *SliceEncoding) readSchedule(cur []int) {
+	for t := 0; t < e.K; t++ {
+		cur[t] = len(e.choices)
+		for c := 0; c <= len(e.choices); c++ {
+			if e.ctx.EvalForm(e.sel[t][c]) == sat.True {
+				cur[t] = c
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package encode
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/testnet"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// sameResult compares outcome and trace bit-for-bit.
+func sameResult(t *testing.T, label string, got, want inv.Result) {
+	t.Helper()
+	if got.Outcome != want.Outcome {
+		t.Fatalf("%s: outcome %v, want %v", label, got.Outcome, want.Outcome)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace length %d, want %d (%v vs %v)", label, len(got.Trace), len(want.Trace), got.Trace, want.Trace)
+	}
+	for i := range got.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Fatalf("%s: trace event %d: %v, want %v", label, i, got.Trace[i], want.Trace[i])
+		}
+	}
+}
+
+// TestSliceEncodingSharedSolvesMatchFresh drives one shared encoding
+// through a sequence of distinct and repeated invariants and checks every
+// verdict and trace against a fresh-per-invariant solve of the same
+// problem. Canonical witness extraction makes the comparison exact even
+// though the shared solver is warm and the fresh one cold.
+func TestSliceEncodingSharedSolvesMatchFresh(t *testing.T) {
+	fw := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f := testnet.NewFirewallPair(fw)
+	mk := func(i inv.Invariant) *inv.Problem {
+		return f.Problem(i, topo.NoFailures())
+	}
+	seq := []inv.Invariant{
+		inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, // violated (default allow)
+		inv.FlowIsolation{Dst: f.HA, SrcAddr: f.AddrB},   // violated
+		inv.Reachability{Dst: f.HB, SrcAddr: f.AddrA},    // "violated" = reachable
+		inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, // repeat: activation reuse
+		inv.SimpleIsolation{Dst: f.HB, SrcAddr: f.AddrA}, // violated the other way
+	}
+	for _, seed := range []int64{0, 7, 991} {
+		opts := Options{Seed: seed, RandomBranchFreq: 0.05}
+		enc, err := NewSliceEncoding(mk(seq[0]), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, iv := range seq {
+			p := mk(iv)
+			shared, err := enc.Verify(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Verify(mk(iv), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, iv.Name(), shared, fresh)
+			if i > 0 && shared.Outcome == inv.Violated && len(shared.Trace) == 0 {
+				t.Fatalf("%s: violated without a trace", iv.Name())
+			}
+		}
+		if enc.Solves() != int64(len(seq)) {
+			t.Fatalf("encoding served %d solves, want %d", enc.Solves(), len(seq))
+		}
+	}
+}
+
+// TestSliceEncodingHoldsDoNotPoison checks that a trivially-unreachable
+// bad formula (grounded to false) is answered without touching the shared
+// solver — a later satisfiable invariant must still solve on the same
+// encoding.
+func TestSliceEncodingHoldsDoNotPoison(t *testing.T) {
+	fw := &mbox.LearningFirewall{InstanceName: "fw", DefaultAllow: true}
+	f := testnet.NewFirewallPair(fw)
+	p := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	enc, err := NewSliceEncoding(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An isolation invariant about an address no alphabet packet carries:
+	// its grounded bad is the empty disjunction.
+	ghost := inv.SimpleIsolation{Dst: f.HA, SrcAddr: pkt.MustParseAddr("203.0.113.9")}
+	pg := f.Problem(ghost, topo.NoFailures())
+	pg.Samples = p.Samples // same alphabet, so the encoding stays valid
+	r, err := enc.Verify(pg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != inv.Holds {
+		t.Fatalf("unreachable bad must hold, got %v", r.Outcome)
+	}
+	r, err = enc.Verify(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != inv.Violated {
+		t.Fatalf("shared solver must stay usable after a trivial hold, got %v", r.Outcome)
+	}
+}
+
+// TestEncodingKeyDistinguishesContent: problems differing in schedule
+// bound, seed or samples must not share an encoding key; identical
+// problems must.
+func TestEncodingKeyDistinguishesContent(t *testing.T) {
+	fw := mbox.NewLearningFirewall("fw")
+	f := testnet.NewFirewallPair(fw)
+	base := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	key := func(p *inv.Problem, o Options) string {
+		b, ok := AppendEncodingKey(nil, p, o)
+		if !ok {
+			t.Fatal("fixture boxes must be fingerprintable")
+		}
+		return string(b)
+	}
+	k0 := key(base, Options{})
+	if k1 := key(f.Problem(inv.FlowIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures()), Options{}); k1 != k0 {
+		t.Fatal("the invariant itself must not enter the encoding key")
+	}
+	bumped := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	bumped.MaxSends++
+	if key(bumped, Options{}) == k0 {
+		t.Fatal("schedule bound must perturb the key")
+	}
+	if key(base, Options{Seed: 3}) == k0 {
+		t.Fatal("solver seed must perturb the key")
+	}
+	fewer := f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.NoFailures())
+	fewer.Samples = fewer.Samples[:len(fewer.Samples)-1]
+	if key(fewer, Options{}) == k0 {
+		t.Fatal("the packet alphabet must perturb the key")
+	}
+	if key(f.Problem(inv.SimpleIsolation{Dst: f.HA, SrcAddr: f.AddrB}, topo.Failures(f.FW)), Options{}) == k0 {
+		t.Fatal("the failure scenario must perturb the key")
+	}
+}

@@ -11,6 +11,7 @@ package encode
 
 import (
 	"encoding/binary"
+	"math"
 	"sync"
 
 	"github.com/netverify/vmn/internal/inv"
@@ -104,9 +105,49 @@ func appendProblemKey(b []byte, p *inv.Problem, opts Options) ([]byte, bool) {
 	return b, true
 }
 
-// appendChoiceKey encodes the per-choice part: sender, full header, class
-// assignment.
-func appendChoiceKey(b []byte, s inv.Sample, cls pkt.ClassSet) []byte {
+// AppendEncodingKey appends the canonical content key of the build-once
+// slice encoding for p: everything NewSliceEncoding's output is a function
+// of — the journey problem key (transfer-engine behaviour fingerprint,
+// failure scenario, hop bound, ordered middleboxes with configuration
+// fingerprints), the schedule bound, the solver options baked into the
+// encoding, and the full ordered (sample, class assignment) alphabet.
+// Like the journey keys it assumes one fixed topology per cache (the
+// core.Verifier scope, whose address→host mapping is invariant). ok is
+// false when some middlebox lacks a configuration fingerprint; such
+// encodings must not be reused, since a reconfiguration would not perturb
+// the key.
+func AppendEncodingKey(b []byte, p *inv.Problem, opts Options) ([]byte, bool) {
+	opts = opts.withDefaults()
+	b, ok := appendProblemKey(b, p, opts)
+	if !ok {
+		return nil, false
+	}
+	b = binary.AppendUvarint(b, uint64(p.MaxSends))
+	b = binary.AppendVarint(b, opts.Seed)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(opts.RandomBranchFreq))
+	b = binary.AppendVarint(b, opts.MaxConflicts)
+	if opts.GroundAllReadKeys {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	// The choice alphabet is the samples × class-assignments cross product
+	// in deterministic nested order, so keying the two lists separately
+	// (S+C entries) captures exactly the content of the S*C choices.
+	b = binary.AppendUvarint(b, uint64(len(p.Samples)))
+	for _, s := range p.Samples {
+		b = appendSampleKey(b, s)
+	}
+	cls := p.ClassAssignments()
+	b = binary.AppendUvarint(b, uint64(len(cls)))
+	for _, cl := range cls {
+		b = binary.BigEndian.AppendUint64(b, uint64(cl))
+	}
+	return b, true
+}
+
+// appendSampleKey encodes one sample: sender plus full header.
+func appendSampleKey(b []byte, s inv.Sample) []byte {
 	b = binary.AppendVarint(b, int64(s.Sender))
 	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Src))
 	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Dst))
@@ -115,6 +156,12 @@ func appendChoiceKey(b []byte, s inv.Sample, cls pkt.ClassSet) []byte {
 	b = append(b, byte(s.Hdr.Proto))
 	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Origin))
 	b = binary.BigEndian.AppendUint32(b, s.Hdr.ContentID)
-	b = binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Tunnel))
+	return binary.BigEndian.AppendUint32(b, uint32(s.Hdr.Tunnel))
+}
+
+// appendChoiceKey encodes the per-choice part: the sample plus the class
+// assignment.
+func appendChoiceKey(b []byte, s inv.Sample, cls pkt.ClassSet) []byte {
+	b = appendSampleKey(b, s)
 	return binary.BigEndian.AppendUint64(b, uint64(cls))
 }

@@ -4,6 +4,10 @@ package incr
 // with FNV-1a 64 (the fingerprint idiom shared with the explicit engine's
 // visited set) and verified against the full key on lookup, so a hash
 // collision degrades to a miss-equivalent re-solve, never a wrong verdict.
+// Eviction is LRU: under sustained churn the fingerprints that keep
+// answering (hot slices, configurations that changes keep reverting to)
+// stay resident while one-off states age out, instead of the old
+// flush-on-full policy that periodically threw the working set away.
 
 import (
 	"bytes"
@@ -17,17 +21,22 @@ func hashKey(b []byte) uint64 { return fnv64.Sum(b) }
 
 type cacheLine struct {
 	key    []byte
+	hash   uint64
 	report core.Report
+
+	// Intrusive recency list: prev is toward most-recent.
+	prev, next *cacheLine
 }
 
-// verdictCache maps slice fingerprints to reports. Not safe for
-// concurrent use on its own: Session serializes access with its cache
-// mutex (the critical sections are map operations, negligible next to the
-// solves they avoid).
+// verdictCache maps slice fingerprints to reports with LRU eviction. Not
+// safe for concurrent use on its own: Session serializes access with its
+// cache mutex (the critical sections are map and list operations,
+// negligible next to the solves they avoid).
 type verdictCache struct {
-	m       map[uint64][]cacheLine
-	entries int
-	cap     int
+	m          map[uint64][]*cacheLine
+	entries    int
+	cap        int
+	head, tail *cacheLine // head = most recently used
 }
 
 // newVerdictCache builds a cache bounded to cap entries (0 = default).
@@ -35,36 +44,95 @@ func newVerdictCache(cap int) *verdictCache {
 	if cap <= 0 {
 		cap = 1 << 16
 	}
-	return &verdictCache{m: map[uint64][]cacheLine{}, cap: cap}
+	return &verdictCache{m: map[uint64][]*cacheLine{}, cap: cap}
 }
 
-// get returns the cached report for key, if any.
+// unlink removes line from the recency list.
+func (c *verdictCache) unlink(line *cacheLine) {
+	if line.prev != nil {
+		line.prev.next = line.next
+	} else {
+		c.head = line.next
+	}
+	if line.next != nil {
+		line.next.prev = line.prev
+	} else {
+		c.tail = line.prev
+	}
+	line.prev, line.next = nil, nil
+}
+
+// pushFront makes line the most recently used.
+func (c *verdictCache) pushFront(line *cacheLine) {
+	line.next = c.head
+	if c.head != nil {
+		c.head.prev = line
+	}
+	c.head = line
+	if c.tail == nil {
+		c.tail = line
+	}
+}
+
+// touch moves an existing line to the front.
+func (c *verdictCache) touch(line *cacheLine) {
+	if c.head == line {
+		return
+	}
+	c.unlink(line)
+	c.pushFront(line)
+}
+
+// get returns the cached report for key, if any, refreshing its recency.
 func (c *verdictCache) get(key []byte) (core.Report, bool) {
 	h := hashKey(key)
 	for _, line := range c.m[h] {
 		if bytes.Equal(line.key, key) {
+			c.touch(line)
 			return line.report, true
 		}
 	}
 	return core.Report{}, false
 }
 
-// put stores a report under key, replacing any previous entry. When the
-// cache exceeds its bound it is flushed wholesale — crude, but eviction
-// order is irrelevant for soundness and churn streams revisit recent
-// configurations, which repopulate quickly.
+// put stores a report under key, replacing any previous entry; when full,
+// the least recently used entry is evicted.
 func (c *verdictCache) put(key []byte, r core.Report) {
-	if c.entries >= c.cap {
-		c.m = map[uint64][]cacheLine{}
-		c.entries = 0
-	}
 	h := hashKey(key)
-	for i, line := range c.m[h] {
+	for _, line := range c.m[h] {
 		if bytes.Equal(line.key, key) {
-			c.m[h][i].report = r
+			line.report = r
+			c.touch(line)
 			return
 		}
 	}
-	c.m[h] = append(c.m[h], cacheLine{key: append([]byte(nil), key...), report: r})
+	if c.entries >= c.cap {
+		c.evict(c.tail)
+	}
+	line := &cacheLine{key: append([]byte(nil), key...), hash: h, report: r}
+	c.m[h] = append(c.m[h], line)
+	c.pushFront(line)
 	c.entries++
+}
+
+// evict drops one line from the list and its hash bucket.
+func (c *verdictCache) evict(line *cacheLine) {
+	if line == nil {
+		return
+	}
+	c.unlink(line)
+	bucket := c.m[line.hash]
+	for i, l := range bucket {
+		if l == line {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.m, line.hash)
+	} else {
+		c.m[line.hash] = bucket
+	}
+	c.entries--
 }

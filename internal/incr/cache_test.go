@@ -1,0 +1,89 @@
+package incr
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+func ck(i int) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(i))
+}
+
+func rep(i int) core.Report {
+	return core.Report{Result: inv.Result{StatesExplored: i}}
+}
+
+// TestVerdictCacheLRUKeepsHotEntries streams far more distinct
+// fingerprints than the cache holds while re-touching a small hot set
+// every step: the hot fingerprints must survive the sustained churn (the
+// old flush-on-full policy dropped them at every overflow).
+func TestVerdictCacheLRUKeepsHotEntries(t *testing.T) {
+	const cap, hot, churn = 32, 4, 1000
+	c := newVerdictCache(cap)
+	for i := 0; i < hot; i++ {
+		c.put(ck(i), rep(i))
+	}
+	for i := 0; i < churn; i++ {
+		for h := 0; h < hot; h++ {
+			if _, ok := c.get(ck(h)); !ok {
+				t.Fatalf("hot fingerprint %d evicted at churn step %d", h, i)
+			}
+		}
+		c.put(ck(1000+i), rep(i))
+		if c.entries > cap {
+			t.Fatalf("cache exceeded its bound: %d > %d", c.entries, cap)
+		}
+	}
+	for h := 0; h < hot; h++ {
+		r, ok := c.get(ck(h))
+		if !ok {
+			t.Fatalf("hot fingerprint %d missing after churn", h)
+		}
+		if r.Result.StatesExplored != h {
+			t.Fatalf("hot fingerprint %d returned wrong report: %d", h, r.Result.StatesExplored)
+		}
+	}
+	// The most recent cold keys are resident, the oldest are not.
+	if _, ok := c.get(ck(1000 + churn - 1)); !ok {
+		t.Fatal("most recent insertion must be resident")
+	}
+	if _, ok := c.get(ck(1000)); ok {
+		t.Fatal("oldest cold insertion should have been evicted")
+	}
+}
+
+// TestVerdictCacheUpdateInPlace: re-putting an existing key must replace
+// the report without growing the cache.
+func TestVerdictCacheUpdateInPlace(t *testing.T) {
+	c := newVerdictCache(8)
+	c.put(ck(1), rep(1))
+	c.put(ck(1), rep(2))
+	if c.entries != 1 {
+		t.Fatalf("duplicate put grew the cache: %d entries", c.entries)
+	}
+	r, ok := c.get(ck(1))
+	if !ok || r.Result.StatesExplored != 2 {
+		t.Fatalf("update not visible: ok=%v report=%v", ok, r.Result.StatesExplored)
+	}
+}
+
+// TestVerdictCacheEvictionOrder: with no touches, eviction is insertion
+// order (the least recently used end).
+func TestVerdictCacheEvictionOrder(t *testing.T) {
+	c := newVerdictCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(ck(i), rep(i))
+	}
+	c.put(ck(3), rep(3)) // evicts 0
+	if _, ok := c.get(ck(0)); ok {
+		t.Fatal("oldest entry must be evicted first")
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ok := c.get(ck(i)); !ok {
+			t.Fatalf("entry %d should be resident", i)
+		}
+	}
+}

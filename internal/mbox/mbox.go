@@ -203,9 +203,13 @@ func (s *setState) has(k string) bool {
 
 func (s *setState) len() int { return len(s.keys) }
 
-// flowKey is the canonical string for a bidirectional flow.
+// flowKey is the canonical string for a bidirectional flow. It renders
+// through the allocation-lean appenders (one allocation for the final
+// string) — journey enumeration and explicit search derive state keys per
+// packet event, and this used to be a fmt.Sprintf chain.
 func flowKey(h pkt.Header) string {
-	return pkt.FlowOf(h).Canonical().String()
+	var buf [64]byte // worst-case rendering is 49 bytes
+	return string(pkt.FlowOf(h).Canonical().AppendString(buf[:0]))
 }
 
 // checkState panics with a clear message when a model receives a foreign

@@ -45,7 +45,20 @@ func MustParseAddr(s string) Addr {
 
 // String renders the address as a dotted quad.
 func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	return string(a.AppendString(make([]byte, 0, 15)))
+}
+
+// AppendString appends the dotted-quad rendering to b without the fmt
+// machinery — address and flow strings key middlebox state tables, making
+// this a hot path of journey enumeration and explicit search.
+func (a Addr) AppendString(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(byte(a>>24)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(a>>16)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(a>>8)), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(byte(a)), 10)
 }
 
 // Prefix is an address prefix used by forwarding rules and ACLs.
@@ -147,7 +160,14 @@ func (e Endpoint) LessThan(o Endpoint) bool {
 }
 
 // String renders "addr:port".
-func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+func (e Endpoint) String() string { return string(e.AppendString(make([]byte, 0, 21))) }
+
+// AppendString appends "addr:port" to b (see Addr.AppendString).
+func (e Endpoint) AppendString(b []byte) []byte {
+	b = e.Addr.AppendString(b)
+	b = append(b, ':')
+	return strconv.AppendUint(b, uint64(e.Port), 10)
+}
 
 // Flow is a directional transport flow (src endpoint, dst endpoint, proto).
 type Flow struct {
@@ -216,5 +236,15 @@ func mix(x uint64) uint64 {
 
 // String renders "src->dst/proto".
 func (f Flow) String() string {
-	return fmt.Sprintf("%s->%s/%s", f.Src, f.Dst, f.Proto)
+	return string(f.AppendString(make([]byte, 0, 64)))
+}
+
+// AppendString appends the "src->dst/proto" rendering to b, byte-identical
+// to String but without per-component allocations.
+func (f Flow) AppendString(b []byte) []byte {
+	b = f.Src.AppendString(b)
+	b = append(b, '-', '>')
+	b = f.Dst.AppendString(b)
+	b = append(b, '/')
+	return append(b, f.Proto.String()...)
 }

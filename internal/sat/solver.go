@@ -1,7 +1,8 @@
 package sat
 
 import (
-	"math/rand"
+	"math/rand/v2"
+	"slices"
 	"sort"
 )
 
@@ -75,8 +76,11 @@ type Solver struct {
 	model     []Tribool
 	maxLearnt float64
 
-	// budget; 0 means unlimited
+	// budget; 0 means unlimited. conflBase is the conflict count at the
+	// start of the current Solve call, so the budget is per call rather
+	// than cumulative across an incrementally reused instance.
 	maxConflicts int64
+	conflBase    int64
 
 	stats Stats
 }
@@ -90,27 +94,52 @@ func New() *Solver {
 		claDecay: 0.999,
 		randFreq: 0.0,
 		ok:       true,
-		rng:      rand.New(rand.NewSource(91648253)),
+		rng:      newRng(91648253),
 	}
 	s.order = newVarOrder(&s.activity)
 	return s
 }
 
+// newRng builds the branching rng. PCG has two words of state, so seeding
+// is free — the legacy math/rand source initialized a 607-word table per
+// solver, which showed up as real time when an encoding cache constructs
+// many solver instances.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15))
+}
+
 // SetSeed reseeds the random source used for randomized branching. Distinct
 // seeds give the run-to-run variance that the paper observes across Z3 runs.
-func (s *Solver) SetSeed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+func (s *Solver) SetSeed(seed int64) { s.rng = newRng(seed) }
 
 // SetRandomBranchFreq sets the fraction of decisions taken at random
 // instead of by VSIDS activity (0 disables; typical values are <= 0.05).
 func (s *Solver) SetRandomBranchFreq(f float64) { s.randFreq = f }
 
-// SetMaxConflicts bounds the number of conflicts explored by the next Solve
-// calls; when exceeded, Solve returns Unknown. Zero means unlimited. This
-// mirrors the timeout discipline the paper describes for SMT solvers.
+// SetMaxConflicts bounds the number of conflicts explored by each
+// subsequent Solve call; when a call exceeds the budget it returns Unknown.
+// Zero means unlimited. The budget is per call — not cumulative — so a
+// solver instance reused across many queries (the incremental encoding
+// path) gives every query the same allowance. This mirrors the timeout
+// discipline the paper describes for SMT solvers.
 func (s *Solver) SetMaxConflicts(n int64) { s.maxConflicts = n }
+
+// budgetExceeded reports whether the current Solve call burned through its
+// conflict allowance.
+func (s *Solver) budgetExceeded() bool {
+	return s.maxConflicts > 0 && s.stats.Conflicts-s.conflBase >= s.maxConflicts
+}
 
 // Stats returns a copy of the work counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// PreferPhase biases future branching on l's variable toward the phase
+// that makes l true, overriding the saved phase. Callers reusing one
+// solver across many queries use this to neutralize phase memory from
+// earlier queries where a cold-start-like search is preferable (e.g.
+// canonical witness extraction benefits from first models close to the
+// lexicographic minimum).
+func (s *Solver) PreferPhase(l Lit) { s.polarity[l.Var()] = l.Sign() }
 
 // NumVars returns the number of variables allocated so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
@@ -164,8 +193,18 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		panic("sat: AddClause called above decision level 0")
 	}
 	// Sort, dedupe, drop level-0 false literals, detect tautology/satisfied.
+	// Clauses are overwhelmingly short, so insertion sort beats the
+	// reflection-based sort.Slice that used to dominate clause loading.
 	ls := append([]Lit(nil), lits...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	if len(ls) <= 16 {
+		for i := 1; i < len(ls); i++ {
+			for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+				ls[j], ls[j-1] = ls[j-1], ls[j]
+			}
+		}
+	} else {
+		slices.Sort(ls)
+	}
 	out := ls[:0]
 	var prev Lit = LitUndef
 	for _, l := range ls {
@@ -430,7 +469,7 @@ func (s *Solver) cancelUntil(level int) {
 func (s *Solver) pickBranchLit() Lit {
 	// Occasional random decision for search diversity.
 	if s.randFreq > 0 && s.rng.Float64() < s.randFreq && !s.order.empty() {
-		v := s.order.heap[s.rng.Intn(len(s.order.heap))]
+		v := s.order.heap[s.rng.IntN(len(s.order.heap))]
 		if s.assigns[v] == Undef {
 			return MkLit(v, s.polarity[v])
 		}
@@ -533,7 +572,7 @@ func (s *Solver) search(nConflicts int64, assumps []Lit) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if s.maxConflicts > 0 && s.stats.Conflicts >= s.maxConflicts {
+		if s.budgetExceeded() {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -608,11 +647,19 @@ func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
 
 // SolveAssuming decides the formula under the given assumption literals.
 // When the result is Unsat, ConflictLits reports which assumptions clash.
+//
+// Solver state — learnt clauses, variable activity, saved phases — persists
+// across calls, and learnt clauses are always implied by the problem
+// clauses alone (assumptions enter conflict analysis as decisions, so any
+// learnt clause that depends on an assumption contains its negation as a
+// literal). Callers may therefore interleave SolveAssuming calls for many
+// related queries on one instance and each query warms up the next.
 func (s *Solver) SolveAssuming(assumps []Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
 	s.model = s.model[:0]
+	s.conflBase = s.stats.Conflicts
 	s.maxLearnt = float64(len(s.clauses))/3 + 100
 	var restarts int64
 	for {
@@ -622,13 +669,70 @@ func (s *Solver) SolveAssuming(assumps []Lit) Status {
 			s.cancelUntil(0)
 			return st
 		}
-		if s.maxConflicts > 0 && s.stats.Conflicts >= s.maxConflicts {
+		if s.budgetExceeded() {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		restarts++
 		s.stats.Restarts++
 		s.maxLearnt *= 1.05
+	}
+}
+
+// Release permanently asserts the given literals (typically negated
+// activation literals of retired queries) and garbage-collects every
+// clause they satisfy. An activation-literal discipline — assert query
+// clauses as (¬a ∨ C), solve with assumption a — combined with
+// Release(¬a) removes a retired query's clauses, and any learnt clauses
+// conditioned on it, from the clause database for good. Must be called
+// between Solve calls (at decision level 0). Returns false if the solver
+// became inconsistent.
+func (s *Solver) Release(lits ...Lit) bool {
+	for _, l := range lits {
+		if !s.AddClause(l) {
+			return false
+		}
+	}
+	s.gcSatisfied()
+	return s.ok
+}
+
+// gcSatisfied removes all clauses satisfied at decision level 0 from the
+// clause database. Watch lists drop their watchers lazily (propagation
+// skips and discards deleted clauses), matching reduceDB's mechanism.
+func (s *Solver) gcSatisfied() {
+	if s.decisionLevel() != 0 {
+		panic("sat: gcSatisfied called above decision level 0")
+	}
+	satisfied := func(c *clause) bool {
+		for _, l := range c.lits {
+			if s.litValue(l) == True {
+				return true
+			}
+		}
+		return false
+	}
+	sweep := func(cls []*clause) []*clause {
+		keep := cls[:0]
+		for _, c := range cls {
+			if satisfied(c) {
+				c.deleted = true
+				s.stats.DeletedCls++
+				continue
+			}
+			keep = append(keep, c)
+		}
+		return keep
+	}
+	s.clauses = sweep(s.clauses)
+	s.learnts = sweep(s.learnts)
+	// Level-0 assignments are permanent facts; clear reason pointers into
+	// deleted clauses (conflict analysis never resolves on level-0
+	// variables, so the reasons are unused anyway).
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil && r.deleted {
+			s.reason[l.Var()] = nil
+		}
 	}
 }
 

@@ -358,6 +358,104 @@ func TestMaxConflictsGivesUnknown(t *testing.T) {
 	}
 }
 
+// guardedPigeonhole adds pigeonhole clauses for n+1 pigeons in n holes that
+// only bite under assumption `guard` (every pigeon-placement clause carries
+// ¬guard).
+func guardedPigeonhole(s *Solver, guard Var, n int) {
+	vars := make([][]Var, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := []Lit{NegLit(guard)}
+		for h := 0; h < n; h++ {
+			cl = append(cl, PosLit(vars[p][h]))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestMaxConflictsIsPerSolveCall(t *testing.T) {
+	// A reused instance must give every Solve call a fresh budget: after a
+	// budget-exhausted hard query, an easy query on the same instance must
+	// still be decided rather than starved by the accumulated conflicts.
+	s := New()
+	guard := s.NewVar()
+	guardedPigeonhole(s, guard, 8)
+	s.SetMaxConflicts(20)
+	if got := s.SolveAssuming([]Lit{PosLit(guard)}); got != Unknown {
+		t.Fatalf("hard query: got %v, want Unknown", got)
+	}
+	if s.Stats().Conflicts < 20 {
+		t.Fatalf("hard query should have burned its budget, conflicts=%d", s.Stats().Conflicts)
+	}
+	// Deactivated, the formula is easy — with a cumulative budget this call
+	// would be starved and report Unknown.
+	if got := s.SolveAssuming([]Lit{NegLit(guard)}); got != Sat {
+		t.Fatalf("easy query after an exhausted one must get its own budget, got %v", got)
+	}
+}
+
+func TestReleaseRetiresActivationClauses(t *testing.T) {
+	// Activation-literal lifecycle: clauses (¬a ∨ x) and (¬a ∨ ¬y) are
+	// active only under assumption a; releasing ¬a permanently satisfies
+	// and garbage-collects them.
+	s := newSolverWithVars(3) // a=1, x=2, y=3
+	s.AddClause(lit(-1), lit(2))
+	s.AddClause(lit(-1), lit(-3))
+	if got := s.SolveAssuming([]Lit{lit(1)}); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if s.Value(1) != True || s.Value(2) != False {
+		t.Fatalf("assumption a must force x and ¬y: x=%v y=%v", s.Value(1), s.Value(2))
+	}
+	before := s.NumClauses()
+	if !s.Release(lit(-1)) {
+		t.Fatal("release must keep the solver consistent")
+	}
+	if got := s.NumClauses(); got >= before {
+		t.Fatalf("release must garbage-collect satisfied clauses: %d -> %d", before, got)
+	}
+	// With a retired, x and y are unconstrained again.
+	if got := s.SolveAssuming([]Lit{lit(-2), lit(3)}); got != Sat {
+		t.Fatalf("retired query must no longer constrain x/y, got %v", got)
+	}
+}
+
+func TestReleaseDropsConditionedLearnts(t *testing.T) {
+	// Learnt clauses derived under an activation assumption contain its
+	// negation and must be collected when the activation is released.
+	s := New()
+	a := s.NewVar()
+	guardedPigeonhole(s, a, 6)
+	if got := s.SolveAssuming([]Lit{PosLit(a)}); got != Unsat {
+		t.Fatalf("guarded pigeonhole under a: got %v, want Unsat", got)
+	}
+	if !s.Release(NegLit(a)) {
+		t.Fatal("release must keep the solver consistent")
+	}
+	for _, c := range s.learnts {
+		for _, l := range c.lits {
+			if l.Var() == a {
+				t.Fatal("learnt clause conditioned on released activation survived GC")
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula without activation must be Sat, got %v", got)
+	}
+}
+
 func TestLuby(t *testing.T) {
 	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
 	for i, w := range want {

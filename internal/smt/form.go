@@ -1,8 +1,8 @@
 package smt
 
 import (
-	"fmt"
-	"sort"
+	"encoding/binary"
+	"slices"
 
 	satpkg "github.com/netverify/vmn/internal/sat"
 )
@@ -39,6 +39,11 @@ type formKey struct {
 	sig  string
 }
 
+// ID returns the formula's intern identifier. Hash-consing makes it a
+// content address: within one Ctx, structurally identical formulas always
+// share one ID, so it can key per-formula state (e.g. activation literals).
+func (f Form) ID() FormID { return f.id }
+
 // False returns the constant-false formula.
 func (c *Ctx) False() Form { return Form{0, c} }
 
@@ -63,12 +68,17 @@ func (c *Ctx) atomLit(l satpkg.Lit) Form {
 	return Form{id, c}
 }
 
-func childSig(kind formKind, ch []FormID) formKey {
-	sig := ""
+// childSig builds the hash-consing key of an n-ary node. The signature is
+// the varint encoding of the (sorted) child IDs into a reusable scratch
+// buffer — formula construction is the encoder's hot path, so this must
+// not go through fmt.
+func (c *Ctx) childSig(kind formKind, ch []FormID) formKey {
+	b := c.sigBuf[:0]
 	for _, id := range ch {
-		sig += fmt.Sprintf("%d,", id)
+		b = binary.AppendVarint(b, int64(id))
 	}
-	return formKey{kind: kind, sig: sig}
+	c.sigBuf = b
+	return formKey{kind: kind, sig: string(b)}
 }
 
 func (c *Ctx) mkNary(kind formKind, fs []Form) Form {
@@ -77,15 +87,17 @@ func (c *Ctx) mkNary(kind formKind, fs []Form) Form {
 		neutral, absorbing = c.False(), c.True()
 	}
 	// Flatten, drop neutral elements, detect absorbing elements and
-	// complementary pairs.
-	var flat []FormID
-	seen := map[FormID]bool{}
+	// complementary pairs. The child set is collected into a reusable
+	// scratch buffer with linear dedup/complement scans — formula
+	// construction is the encoder's hot path, and the per-call map plus
+	// reflection-based sort this used to do dominated encoding builds.
+	flat := c.naryBuf[:0]
 	var add func(Form) bool // returns false if result collapses to absorbing
 	add = func(f Form) bool {
 		if f.ctx != nil && f.ctx != c {
 			panic("smt: mixing formulas from different contexts")
 		}
-		n := c.forms[f.id]
+		n := &c.forms[f.id]
 		switch {
 		case f.id == absorbing.id:
 			return false
@@ -99,48 +111,46 @@ func (c *Ctx) mkNary(kind formKind, fs []Form) Form {
 			}
 			return true
 		}
-		if seen[f.id] {
-			return true
-		}
-		// Complement detection: ¬x with x present (or vice versa).
-		if n.kind == formNot && seen[n.children[0]] {
-			return false
-		}
-		for id := range seen {
-			cn := c.forms[id]
-			if cn.kind == formNot && cn.children[0] == f.id {
+		for _, id := range flat {
+			if id == f.id {
+				return true // duplicate
+			}
+			g := &c.forms[id]
+			// Complements: ¬x with x present (either orientation), and
+			// complementary raw atoms.
+			if g.kind == formNot && g.children[0] == f.id {
+				return false
+			}
+			if n.kind == formNot && n.children[0] == id {
+				return false
+			}
+			if n.kind == formAtom && g.kind == formAtom && g.lit == n.lit.Neg() {
 				return false
 			}
 		}
-		// Complementary raw atoms.
-		if n.kind == formAtom {
-			k := formKey{kind: formAtom, lit: n.lit.Neg()}
-			if nid, ok := c.formCache[k]; ok && seen[nid] {
-				return false
-			}
-		}
-		seen[f.id] = true
 		flat = append(flat, f.id)
 		return true
 	}
 	for _, f := range fs {
 		if !add(f) {
+			c.naryBuf = flat
 			return absorbing
 		}
 	}
+	c.naryBuf = flat
 	switch len(flat) {
 	case 0:
 		return neutral
 	case 1:
 		return Form{flat[0], c}
 	}
-	sort.Slice(flat, func(i, j int) bool { return flat[i] < flat[j] })
-	k := childSig(kind, flat)
+	slices.Sort(flat)
+	k := c.childSig(kind, flat)
 	if id, ok := c.formCache[k]; ok {
 		return Form{id, c}
 	}
 	id := FormID(len(c.forms))
-	c.forms = append(c.forms, formNode{kind: kind, children: flat})
+	c.forms = append(c.forms, formNode{kind: kind, children: append([]FormID(nil), flat...)})
 	c.gateLits = append(c.gateLits, litNone)
 	c.formCache[k] = id
 	return Form{id, c}
@@ -167,7 +177,7 @@ func (c *Ctx) Not(f Form) Form {
 	if n.kind == formAtom {
 		return c.atomLit(n.lit.Neg())
 	}
-	k := childSig(formNot, []FormID{f.id})
+	k := c.childSig(formNot, []FormID{f.id})
 	if id, ok := c.formCache[k]; ok {
 		return Form{id, c}
 	}
@@ -318,6 +328,65 @@ func (c *Ctx) Assert(f Form) {
 	default:
 		c.solver.AddClause(c.lit(f))
 	}
+}
+
+// AssertGuarded adds f as a constraint active only while guard holds:
+// every emitted clause carries ¬guard, so solving with guard assumed
+// enforces f and solving without leaves f unconstrained. Combined with
+// ReleaseGuard this is the activation-literal discipline that lets one
+// context serve many retireable queries: top-level conjunctions are split
+// and disjunctions become plain guarded clauses (no Tseitin gate for the
+// outermost connective), exactly mirroring Assert.
+func (c *Ctx) AssertGuarded(guard, f Form) {
+	c.assertGuarded(c.lit(guard).Neg(), f)
+}
+
+func (c *Ctx) assertGuarded(notGuard satpkg.Lit, f Form) {
+	switch f.id {
+	case 1:
+		return
+	case 0:
+		// guard → false: the guard can simply never hold.
+		c.solver.AddClause(notGuard)
+		return
+	}
+	n := c.forms[f.id]
+	switch n.kind {
+	case formAnd:
+		for _, ch := range n.children {
+			c.assertGuarded(notGuard, Form{ch, c})
+		}
+	case formOr:
+		clause := make([]satpkg.Lit, 0, len(n.children)+1)
+		clause = append(clause, notGuard)
+		for _, ch := range n.children {
+			clause = append(clause, c.lit(Form{ch, c}))
+		}
+		c.solver.AddClause(clause...)
+	default:
+		c.solver.AddClause(notGuard, c.lit(f))
+	}
+}
+
+// PreferPhase biases the solver's branching toward making f true (f is
+// Tseitin-encoded if composite). See sat.Solver.PreferPhase.
+func (c *Ctx) PreferPhase(f Form) {
+	if f.id == 0 || f.id == 1 {
+		return
+	}
+	c.solver.PreferPhase(c.lit(f))
+}
+
+// ReleaseGuard permanently retires a guard used with AssertGuarded: ¬guard
+// becomes a level-0 fact and the underlying solver garbage-collects every
+// clause the guard carried (including learnt clauses conditioned on it).
+// The guard must never be assumed again.
+func (c *Ctx) ReleaseGuard(guards ...Form) {
+	lits := make([]satpkg.Lit, len(guards))
+	for i, g := range guards {
+		lits[i] = c.lit(g).Neg()
+	}
+	c.solver.Release(lits...)
 }
 
 // AssertAtMostK constrains at most k of the formulas to hold, using a

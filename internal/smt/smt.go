@@ -113,6 +113,8 @@ type Ctx struct {
 	formCache map[formKey]FormID
 	gateLits  []sat.Lit // Tseitin literal per form node; litNone if not made
 	consts    map[constKey]TermID
+	sigBuf    []byte   // scratch for childSig key encoding
+	naryBuf   []FormID // scratch for mkNary child collection
 }
 
 type constKey struct {

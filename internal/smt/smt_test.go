@@ -396,3 +396,74 @@ func TestMixedContextPanics(t *testing.T) {
 	q := c2.BoolVar("q")
 	c1.And(p, q)
 }
+
+func TestAssertGuardedActiveOnlyUnderGuard(t *testing.T) {
+	c := NewCtx()
+	x, y, g := c.BoolVar("x"), c.BoolVar("y"), c.FreshBool()
+	// g → (x ∧ (¬x ∨ y)): under g both x and y are forced.
+	c.AssertGuarded(g, c.And(x, c.Or(c.Not(x), y)))
+	if c.SolveAssuming(g) != sat.Sat {
+		t.Fatal("guarded formula should be satisfiable")
+	}
+	if c.EvalForm(x) != sat.True || c.EvalForm(y) != sat.True {
+		t.Fatalf("guard must activate the formula: x=%v y=%v", c.EvalForm(x), c.EvalForm(y))
+	}
+	// Without the guard assumed, x and y are unconstrained.
+	if c.SolveAssuming(c.Not(x), c.Not(y)) != sat.Sat {
+		t.Fatal("unguarded solve must leave the formula inactive")
+	}
+}
+
+func TestAssertGuardedSplitsConjunctions(t *testing.T) {
+	c := NewCtx()
+	g := c.FreshBool()
+	var atoms []Form
+	for i := 0; i < 4; i++ {
+		atoms = append(atoms, c.FreshBool())
+	}
+	before := c.Solver().NumClauses()
+	c.AssertGuarded(g, c.And(atoms...))
+	// One guarded clause per conjunct, no Tseitin gates for the top level.
+	if got := c.Solver().NumClauses() - before; got != len(atoms) {
+		t.Fatalf("guarded conjunction emitted %d clauses, want %d", got, len(atoms))
+	}
+	if c.SolveAssuming(g) != sat.Sat {
+		t.Fatal("should be satisfiable")
+	}
+	for i, a := range atoms {
+		if c.EvalForm(a) != sat.True {
+			t.Fatalf("conjunct %d not forced under guard", i)
+		}
+	}
+}
+
+func TestReleaseGuardRetiresFormula(t *testing.T) {
+	c := NewCtx()
+	x, g := c.BoolVar("x"), c.FreshBool()
+	c.AssertGuarded(g, x)
+	c.Assert(c.Or(x, c.Not(x))) // keep the instance non-trivial
+	if c.SolveAssuming(g) != sat.Sat || c.EvalForm(x) != sat.True {
+		t.Fatal("guard must force x")
+	}
+	before := c.Solver().NumClauses()
+	c.ReleaseGuard(g)
+	if got := c.Solver().NumClauses(); got >= before {
+		t.Fatalf("release must garbage-collect the guarded clause: %d -> %d", before, got)
+	}
+	// x free again, and the context remains usable.
+	if c.SolveAssuming(c.Not(x)) != sat.Sat {
+		t.Fatal("released guard must no longer constrain x")
+	}
+}
+
+func TestAssertGuardedFalseKillsGuardOnly(t *testing.T) {
+	c := NewCtx()
+	g := c.FreshBool()
+	c.AssertGuarded(g, c.False())
+	if c.SolveAssuming(g) != sat.Unsat {
+		t.Fatal("guard implying false must be unassumable")
+	}
+	if c.Solve() != sat.Sat {
+		t.Fatal("instance without the guard must stay satisfiable")
+	}
+}
