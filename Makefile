@@ -33,7 +33,9 @@ bench-json:
 	$(GO) run ./cmd/vmnbench -fig 2,explicit -runs 5 -json
 
 # The figures whose numbers only mean something on a multi-core box: the
-# explicit-engine worker sweep and the SAT solver-reuse comparison. CI runs
-# this on the multi-core GitHub runner and uploads the JSON as an artifact.
+# explicit-engine worker sweep, the SAT solver-reuse comparison and the
+# canonical-normalization comparison (class counts + encoding/verdict reuse
+# rates). CI runs this on the multi-core GitHub runner and uploads the JSON
+# as an artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon -runs 5 -json > bench-multicore.json

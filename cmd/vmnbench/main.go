@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,churn or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn or all")
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
 	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
@@ -73,10 +73,11 @@ func main() {
 	run("9c", func() bench.Series { return bench.Fig9c(6, mul(1, 2, 4, 6), *runs) })
 	run("explicit", func() bench.Series { return bench.FigExplicit([]int{1, 2, 4, 8}, *runs) })
 	run("satincr", func() bench.Series { return bench.FigSATIncr(*runs) })
+	run("canon", func() bench.Series { return bench.FigCanon(*runs) })
 	run("churn", func() bench.Series { return bench.Churn(8*sc, *runs) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,churn or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *asJSON {

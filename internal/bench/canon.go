@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+// FigCanon measures canonical slice normalization: VerifyAll over
+// multi-invariant sets with class-level solving and canonically keyed
+// encoding reuse ("canon", the default) against per-check solving
+// ("nocanon", core.Options.NoCanon — the PR 3 engine). Symmetry collapsing
+// is disabled so the canonical machinery, not the classifier heuristic,
+// does the work. Each row records the invariant count, the equivalence
+// classes formed (canon rows; Classes/runs is the per-run class count),
+// the checks served by witness translation (Shared), the encoding-cache
+// hits and builds (CacheHits/Solves — for canon rows Solves is the number
+// of encodings actually constructed per run × runs, the denominator of the
+// ISSUE's encoding-reuse target), and total solver conflicts. Samples are
+// whole VerifyAll wall times.
+//
+// The headline derived metric: encoding/verdict reuse rate =
+// 1 - Solves/(Invariants×runs) — the fraction of checks that never built
+// an encoding because their class representative (or an isomorphic slice's
+// warm encoding) answered for them. The multitenant nocanon row sits near
+// 25%; the canon row must clear 90%.
+func FigCanon(runs int) Series {
+	s := Series{Fig: "canon", Title: "canonical slice normalization: class-level solving + canonical encoding keys vs per-check solving"}
+
+	type workload struct {
+		name string
+		mk   func() (*core.Network, []inv.Invariant)
+	}
+	workloads := []workload{
+		{"datacenter", func() (*core.Network, []inv.Invariant) {
+			d := NewDatacenter(DCConfig{Groups: churnGroups, HostsPerGroup: 1})
+			return d.Net, d.AllIsolationInvariants() // 132 invariants
+		}},
+		{"multitenant", func() (*core.Network, []inv.Invariant) {
+			m := NewMultiTenant(MTConfig{Tenants: 6, PubPerTenant: 1, PrivPerTenant: 1})
+			var invs []inv.Invariant
+			for a := 0; a < 6; a++ {
+				for b := 0; b < 6; b++ {
+					if a != b {
+						invs = append(invs, m.PrivPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+					}
+				}
+			}
+			return m.Net, invs // 60 invariants
+		}},
+	}
+
+	for _, w := range workloads {
+		for _, mode := range []struct {
+			label   string
+			noCanon bool
+		}{{"canon", false}, {"nocanon", true}} {
+			net, invs := w.mk()
+			row := Row{Label: fmt.Sprintf("%s/%s", w.name, mode.label), X: len(invs)}
+			for r := 0; r < runs; r++ {
+				v := mustVerifier(net, core.Options{
+					Engine: core.EngineSAT, Seed: int64(r), NoCanon: mode.noCanon,
+				})
+				var reports []core.Report
+				row.Samples = append(row.Samples, timeIt(func() {
+					var err error
+					reports, err = v.VerifyAll(invs, false)
+					if err != nil {
+						panic(err)
+					}
+				}))
+				row.Invariants = len(reports)
+				for _, rep := range reports {
+					row.Conflicts += rep.Result.SolverConflicts
+				}
+				hits, misses := v.EncodingCacheStats()
+				row.CacheHits += int(hits)
+				row.Solves += int(misses)
+				classes, shared, _ := v.CanonStats()
+				row.Classes += int(classes)
+				row.Shared += int(shared)
+			}
+			s.Rows = append(s.Rows, row)
+		}
+	}
+	return s
+}

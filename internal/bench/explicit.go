@@ -36,11 +36,17 @@ func FigExplicit(workerCounts []int, runs int) Series {
 	return s
 }
 
-// statesCol renders the optional states/sec, churn and solver-reuse
-// columns of Print.
+// statesCol renders the optional states/sec, churn, solver-reuse and
+// canonicalization columns of Print.
 func statesCol(r Row) string {
 	if sps := r.StatesPerSec(); sps > 0 {
 		return fmt.Sprintf("%8.0f st/s", sps)
+	}
+	if r.Classes > 0 {
+		checks := r.Invariants * len(r.Samples) // Solves/Shared are run totals
+		reuse := 1 - float64(r.Solves)/float64(checks)
+		return fmt.Sprintf("classes %d, shared %d, enc builds %d, reuse %.0f%%",
+			r.Classes, r.Shared, r.Solves, 100*reuse)
 	}
 	if r.Solves > 0 && r.Dirtied == 0 {
 		return fmt.Sprintf("enc hits %d, builds %d, conflicts %d", r.CacheHits, r.Solves, r.Conflicts)

@@ -35,6 +35,11 @@ type Row struct {
 	// learnt-clause reuse signal of FigSATIncr (a warm shared encoding
 	// resolves later invariants with far fewer conflicts).
 	Conflicts int64 `json:",omitempty"`
+	// Canonicalization accounting (FigCanon): equivalence classes formed
+	// and checks served by witness translation, totalled across the row's
+	// runs.
+	Classes int `json:",omitempty"`
+	Shared  int `json:",omitempty"`
 }
 
 // StatesPerSec derives the exploration throughput from the median sample;

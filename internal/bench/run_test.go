@@ -59,6 +59,35 @@ func TestFigureRunnersSmoke(t *testing.T) {
 	}
 }
 
+// TestFigCanonReuseTarget pins the canonicalization acceptance target:
+// the multitenant encoding/verdict reuse rate — the fraction of checks
+// that never built an encoding because a class representative or an
+// isomorphic warm encoding answered for them — must exceed 90% in canon
+// mode (the nocanon baseline sits near 25%).
+func TestFigCanonReuseTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	s := FigCanon(1)
+	rates := map[string]float64{}
+	for _, r := range s.Rows {
+		if r.Invariants == 0 || len(r.Samples) == 0 {
+			t.Fatalf("row %q incomplete: %+v", r.Label, r)
+		}
+		checks := r.Invariants * len(r.Samples)
+		rates[r.Label] = 1 - float64(r.Solves)/float64(checks)
+	}
+	if got := rates["multitenant/canon"]; got < 0.9 {
+		t.Fatalf("multitenant canonical reuse rate %.2f below the 90%% target (rates %v)", got, rates)
+	}
+	if got := rates["multitenant/nocanon"]; got > 0.5 {
+		t.Fatalf("nocanon baseline unexpectedly high (%.2f): the comparison is no longer meaningful", got)
+	}
+	if got := rates["datacenter/canon"]; got < 0.9 {
+		t.Fatalf("datacenter canonical reuse rate %.2f below target", got)
+	}
+}
+
 // The headline scaling claim: slice verification time is independent of
 // network size while whole-network verification grows. Checked on the
 // enterprise sweep with a generous factor to stay robust on CI noise.

@@ -11,8 +11,10 @@ import (
 // multi-invariant sets with shared slice encodings + assumption solving
 // ("shared") against fresh-per-invariant encoding construction ("fresh",
 // core.Options.NoSolverReuse — the pre-reuse engine). Symmetry collapsing
-// is disabled so every invariant is solved, making the amortization per
-// solve visible. Each row records the invariant count, the encoding-cache
+// AND canonical normalization are disabled so every invariant is solved,
+// making the amortization per solve visible (FigCanon is the figure for
+// class-level solving; with canonicalization on, most of these checks
+// would never reach the solver at all). Each row records the invariant count, the encoding-cache
 // hits (invariants answered on a warm shared solver) and builds, and the
 // total solver conflicts — warm solves re-use learnt clauses, so the
 // shared rows burn measurably fewer conflicts per invariant. Samples are
@@ -54,6 +56,7 @@ func FigSATIncr(runs int) Series {
 			for r := 0; r < runs; r++ {
 				v := mustVerifier(net, core.Options{
 					Engine: core.EngineSAT, Seed: int64(r), NoSolverReuse: mode.fresh,
+					NoCanon: true,
 				})
 				var reports []core.Report
 				row.Samples = append(row.Samples, timeIt(func() {

@@ -48,6 +48,11 @@ func diffReports(t *testing.T, label string, shared, fresh []core.Report) {
 
 func runBoth(t *testing.T, net *core.Network, opts core.Options, invs []inv.Invariant, workers int, label string) {
 	t.Helper()
+	// Canonical normalization would collapse most of these checks before
+	// they reach the solver; disable it so the solver-reuse layer itself
+	// stays fully exercised (canonical mode has its own differential
+	// suite in canon_test.go).
+	opts.NoCanon = true
 	sharedOpts := opts
 	sharedOpts.InvWorkers = workers
 	vs, err := core.NewVerifier(net, sharedOpts)

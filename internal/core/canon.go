@@ -1,0 +1,381 @@
+package core
+
+// Canonical slice normalization (the §4 scaling machinery taken one step
+// further than the paper's classifier-based symmetry): every (invariant,
+// scenario) check canonicalizes its slice — a deterministic renaming of
+// addresses, endpoints, node IDs and middlebox configuration keys onto a
+// canonical alphabet (internal/slices.Canonizer) — and checks whose
+// canonical keys are equal are PROVABLY isomorphic: there is a bijection
+// under which the two bounded verification problems are byte-identical.
+// VerifyAll therefore solves one representative per equivalence class and
+// translates violation witnesses back through the inverse renamings for
+// every member; unlike §4.2 symmetry grouping this needs no assumption
+// that the network "is symmetric" — the key equality is the proof.
+//
+// Two canonical keys are built per check:
+//
+//   - the class key, seeded from the invariant's structural slots, keys
+//     verdict sharing (class-level solving here, the verdict cache in
+//     internal/incr);
+//   - the encoding key, seeded from the slice alone (invariant-
+//     independent), keys encode.SliceEncoding reuse, so an invariant over
+//     a symmetric-but-not-identical slice is translated into a warm
+//     encoding's namespace, solved there, and its witness translated back.
+
+import (
+	"math"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/slices"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// checkPlan is everything one (invariant, scenario) check needs before
+// dispatch: the computed slice, the assembled problem, and — when
+// canonicalization applies — the canonical class and encoding identities
+// with their renamings.
+type checkPlan struct {
+	inv    inv.Invariant
+	sc     topo.FailureScenario
+	engine *tf.Engine
+	sl     slices.Result
+	prob   *inv.Problem
+
+	// classKey groups checks into provably isomorphic classes; nil when
+	// the check is not canonicalizable (whole-network slice, a middlebox
+	// without canonical config keys, an unknown invariant type, or
+	// Options.NoCanon). ren is the slice's renaming, used to translate
+	// witnesses between class members.
+	classKey []byte
+	ren      *slices.Renaming
+
+	// encKey is the invariant-independent canonical identity of the
+	// slice's SAT encoding; encRen its renaming. nil under the same
+	// conditions as classKey.
+	encKey []byte
+	encRen *slices.Renaming
+}
+
+// buildPlan computes the slice and problem for one check and, unless
+// canonicalization is disabled or inapplicable, its canonical identities.
+func (v *Verifier) buildPlan(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (*checkPlan, error) {
+	keep := v.keepSet(i)
+	sl, err := v.sliceFor(keep, engine)
+	if err != nil {
+		return nil, err
+	}
+	p := &checkPlan{inv: i, sc: sc, engine: engine, sl: sl}
+	p.prob = &inv.Problem{
+		Topo:      v.net.Topo,
+		TF:        engine,
+		Boxes:     sl.Boxes,
+		Registry:  v.net.Registry,
+		Samples:   v.genSamples(i, sl, keep),
+		MaxSends:  v.maxSends(i, sl),
+		Scenario:  sc,
+		Invariant: i,
+	}
+	if v.opts.NoCanon || sl.Whole {
+		// Whole-network problems are excluded: their canonical keys would
+		// embed the full edge×address transfer matrix for no sharing
+		// opportunity worth the cost.
+		return p, nil
+	}
+	p.classKey, p.ren = v.canonClassKey(p)
+	if p.classKey != nil {
+		p.encKey, p.encRen = v.canonEncKey(p)
+	}
+	return p, nil
+}
+
+// putCanonOpts serializes the verification options a verdict is a function
+// of (mirroring the incremental layer's fingerprint prologue). Seed and
+// solver tuning are included because violation witnesses are canonical but
+// Unknown outcomes under a conflict budget are not.
+func (v *Verifier) putCanonOpts(c *slices.Canonizer) {
+	c.PutByte(byte(v.opts.Engine))
+	c.PutUint(uint64(v.opts.MaxSends))
+	if v.opts.NoSlices {
+		c.PutByte(1)
+	} else {
+		c.PutByte(0)
+	}
+	c.PutInt(v.opts.Seed)
+	c.PutU64(math.Float64bits(v.opts.RandomBranchFreq))
+	c.PutInt(v.opts.MaxConflicts)
+	c.PutUint(uint64(v.opts.MaxStates))
+}
+
+// putCanonSlice serializes the slice content: hosts with their addresses
+// (in slice order, which is also sample-generation order), the boxes'
+// auxiliary and service addresses (completing the address universe BEFORE
+// configurations are encoded, so dead-entry elimination in canonical
+// config keys sees every address a packet can carry), middleboxes with
+// canonical configuration keys, and the packet alphabet. It reports false
+// when a box has no canonical configuration key.
+func putCanonSlice(c *slices.Canonizer, p *checkPlan) bool {
+	c.PutByte('H')
+	c.PutUint(uint64(len(p.sl.Hosts)))
+	for _, h := range p.sl.Hosts {
+		c.PutNode(h)
+		c.PutAddr(p.prob.Topo.Node(h).Addr)
+	}
+	c.PutByte('A')
+	for _, b := range p.sl.Boxes {
+		if aux, ok := b.Model.(slices.AuxAddrs); ok {
+			for _, a := range aux.AuxAddrs() {
+				c.PutAddr(a)
+			}
+		}
+		if svc, ok := b.Model.(slices.ServiceAddrs); ok {
+			for _, a := range svc.ServiceAddrs() {
+				c.PutAddr(a)
+			}
+		}
+	}
+	c.PutByte('B')
+	c.PutUint(uint64(len(p.sl.Boxes)))
+	for _, b := range p.sl.Boxes {
+		c.PutNode(b.Node)
+		if !c.PutBoxConfig(b.Model) {
+			return false
+		}
+	}
+	c.PutByte('S')
+	c.PutUint(uint64(len(p.prob.Samples)))
+	for _, s := range p.prob.Samples {
+		c.PutNode(s.Sender)
+		c.PutHeader(s.Hdr)
+	}
+	c.PutUint(uint64(p.prob.MaxSends))
+	return true
+}
+
+// canonClassKey builds the invariant-seeded canonical key: equal keys mean
+// the two (invariant, scenario, slice) checks are isomorphic, verdicts
+// equal and traces corresponding under the renamings.
+func (v *Verifier) canonClassKey(p *checkPlan) ([]byte, *slices.Renaming) {
+	c := slices.NewCanonizer(v.net.Topo, p.engine)
+	c.PutByte(1) // key format version
+	v.putCanonOpts(c)
+	c.PutByte('I')
+	if !putCanonInvariant(c, p.inv) {
+		return nil, nil
+	}
+	if !putCanonSlice(c, p) {
+		return nil, nil
+	}
+	return c.Key(), c.Renaming()
+}
+
+// canonEncKey builds the slice-seeded canonical key of the check's SAT
+// encoding: everything encode.NewSliceEncoding's output is a function of,
+// with no invariant content, so isomorphic slices hit one warm encoding
+// regardless of which invariants they carry.
+func (v *Verifier) canonEncKey(p *checkPlan) ([]byte, *slices.Renaming) {
+	c := slices.NewCanonizer(v.net.Topo, p.engine)
+	c.PutByte(2) // key format version (distinct from class keys)
+	v.putCanonOpts(c)
+	if !putCanonSlice(c, p) {
+		return nil, nil
+	}
+	return c.Key(), c.Renaming()
+}
+
+// putCanonInvariant serializes an invariant's type tag and structural
+// slots through the canonizer, interning the referenced names. Unknown
+// invariant types are not canonically encodable; their checks are never
+// class-shared (sound: they simply always solve).
+func putCanonInvariant(c *slices.Canonizer, i inv.Invariant) bool {
+	switch iv := i.(type) {
+	case inv.SimpleIsolation:
+		c.PutByte('i')
+		c.PutNode(iv.Dst)
+		c.PutAddr(iv.SrcAddr)
+	case inv.Reachability:
+		c.PutByte('r')
+		c.PutNode(iv.Dst)
+		c.PutAddr(iv.SrcAddr)
+	case inv.FlowIsolation:
+		c.PutByte('f')
+		c.PutNode(iv.Dst)
+		c.PutAddr(iv.SrcAddr)
+	case inv.DataIsolation:
+		c.PutByte('d')
+		c.PutNode(iv.Dst)
+		c.PutAddr(iv.Origin)
+	case inv.Traversal:
+		c.PutByte('t')
+		c.PutNode(iv.Dst)
+		c.PutPrefix(iv.SrcPrefix)
+		c.PutAddr(iv.SrcAddr)
+		c.PutUint(uint64(len(iv.Vias)))
+		for _, m := range iv.Vias {
+			c.PutNode(m)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// translateInvariant carries an invariant's structural slots from one
+// renaming's namespace into another's. Labels are preserved (they are
+// reporting-only). It reports false when a slot is outside the source
+// renaming — notably a Traversal prefix against an encoding renaming,
+// which never interned invariant prefixes.
+func translateInvariant(i inv.Invariant, from, to *slices.Renaming) (inv.Invariant, bool) {
+	switch iv := i.(type) {
+	case inv.SimpleIsolation:
+		dst, ok1 := from.TranslateNode(iv.Dst, to)
+		src, ok2 := from.TranslateAddr(iv.SrcAddr, to)
+		return inv.SimpleIsolation{Dst: dst, SrcAddr: src, Label: iv.Label}, ok1 && ok2
+	case inv.Reachability:
+		dst, ok1 := from.TranslateNode(iv.Dst, to)
+		src, ok2 := from.TranslateAddr(iv.SrcAddr, to)
+		return inv.Reachability{Dst: dst, SrcAddr: src, Label: iv.Label}, ok1 && ok2
+	case inv.FlowIsolation:
+		dst, ok1 := from.TranslateNode(iv.Dst, to)
+		src, ok2 := from.TranslateAddr(iv.SrcAddr, to)
+		return inv.FlowIsolation{Dst: dst, SrcAddr: src, Label: iv.Label}, ok1 && ok2
+	case inv.DataIsolation:
+		dst, ok1 := from.TranslateNode(iv.Dst, to)
+		origin, ok2 := from.TranslateAddr(iv.Origin, to)
+		return inv.DataIsolation{Dst: dst, Origin: origin, Label: iv.Label}, ok1 && ok2
+	case inv.Traversal:
+		dst, ok := from.TranslateNode(iv.Dst, to)
+		if !ok {
+			return nil, false
+		}
+		pfx, ok := from.TranslatePrefix(iv.SrcPrefix, to)
+		if !ok {
+			return nil, false
+		}
+		src, ok := from.TranslateAddr(iv.SrcAddr, to)
+		if !ok {
+			return nil, false
+		}
+		vias := make([]topo.NodeID, len(iv.Vias))
+		for j, m := range iv.Vias {
+			if vias[j], ok = from.TranslateNode(m, to); !ok {
+				return nil, false
+			}
+		}
+		return inv.Traversal{Dst: dst, SrcPrefix: pfx, SrcAddr: src, Vias: vias, Label: iv.Label}, true
+	default:
+		return nil, false
+	}
+}
+
+// translateSamples carries a packet alphabet between namespaces. Given
+// equal canonical encoding keys the result is positionally identical to
+// the target namespace's own alphabet, which is what keeps canonical
+// (lexicographically minimal) witness extraction aligned across the
+// translation.
+func translateSamples(samples []inv.Sample, from, to *slices.Renaming) ([]inv.Sample, bool) {
+	out := make([]inv.Sample, len(samples))
+	for j, s := range samples {
+		var ok bool
+		if s.Sender, ok = from.TranslateNode(s.Sender, to); !ok {
+			return nil, false
+		}
+		if s.Hdr, ok = from.TranslateHeader(s.Hdr, to); !ok {
+			return nil, false
+		}
+		out[j] = s
+	}
+	return out, true
+}
+
+// translateReport derives a class member's report from its class
+// representative's: verdict and engine accounting carry over (the problems
+// are isomorphic, so both engines do identical work on either), the
+// member's own invariant, scenario and slice are restored, the witness is
+// translated through the representative's renaming into the member's, and
+// Satisfied is recomputed against the member's expectation. ok=false (a
+// trace event outside the renaming, which key equality rules out but is
+// checked anyway) tells the caller to solve the member directly.
+func translateReport(lead Report, leadPlan, memPlan *checkPlan) (Report, bool) {
+	r := lead
+	r.Invariant = memPlan.inv
+	r.Scenario = memPlan.sc
+	r.Slice = memPlan.sl
+	r.SliceHosts = len(memPlan.sl.Hosts)
+	r.SliceBoxes = len(memPlan.sl.Boxes)
+	r.Whole = memPlan.sl.Whole
+	r.Duration = 0
+	r.CanonShared = true
+	if len(lead.Result.Trace) > 0 {
+		trace, ok := leadPlan.ren.TranslateEvents(lead.Result.Trace, memPlan.ren)
+		if !ok {
+			return Report{}, false
+		}
+		r.Result.Trace = trace
+	}
+	switch r.Result.Outcome {
+	case inv.Holds:
+		r.Satisfied = memPlan.inv.Expectation()
+	case inv.Violated:
+		r.Satisfied = !memPlan.inv.Expectation()
+	default:
+		r.Satisfied = false
+	}
+	return r, true
+}
+
+// CanonStats reports the verifier's canonicalization counters: equivalence
+// classes formed across VerifyAll calls (each class is exactly one solved
+// representative), member checks served by witness translation, and
+// invariant checks solved on a warm isomorphic encoding via namespace
+// translation.
+func (v *Verifier) CanonStats() (classes, shared, encTranslated int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.canonClasses, v.canonShared, v.canonEncTranslated
+}
+
+// CheckPlan is the exported face of a planned check: the incremental layer
+// (internal/incr) plans each dirty (invariant, scenario) pair once, keys
+// its verdict cache and class clustering on the canonical identity, and
+// solves through VerifyPlanned without recomputing the slice.
+type CheckPlan struct {
+	p *checkPlan
+}
+
+// Slice returns the planned check's computed slice.
+func (cp *CheckPlan) Slice() slices.Result { return cp.p.sl }
+
+// CanonKey returns the check's canonical class key, nil when the check is
+// not canonicalizable (whole-network slice, a box without canonical config
+// keys, an unknown invariant type, or Options.NoCanon).
+func (cp *CheckPlan) CanonKey() []byte { return cp.p.classKey }
+
+// Renaming returns the slice's canonical renaming (nil iff CanonKey is).
+func (cp *CheckPlan) Renaming() *slices.Renaming { return cp.p.ren }
+
+// PlanOn plans one (invariant, scenario) check against a pre-compiled
+// engine: slice, problem and canonical identity.
+func (v *Verifier) PlanOn(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (*CheckPlan, error) {
+	plan, err := v.buildPlan(i, sc, engine)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckPlan{p: plan}, nil
+}
+
+// VerifyPlanned solves a planned check (see PlanOn); the verdict and trace
+// are identical to VerifyOne for the same (invariant, scenario, engine).
+func (v *Verifier) VerifyPlanned(cp *CheckPlan) (Report, error) {
+	return v.solvePlan(cp.p)
+}
+
+// TranslatePlannedReport derives the report of a planned check from the
+// report of a canonically equivalent check solved under the renaming
+// leadRen: the verdict carries over, the witness is translated into the
+// member's namespace, and slice/invariant/scenario fields are the
+// member's own. ok=false tells the caller to solve the member directly.
+func TranslatePlannedReport(lead Report, leadRen *slices.Renaming, member *CheckPlan) (Report, bool) {
+	leadPlan := &checkPlan{ren: leadRen}
+	return translateReport(lead, leadPlan, member.p)
+}

@@ -101,6 +101,13 @@ type Options struct {
 	// warm and cold solvers may spend it differently, so Unknown outcomes
 	// can differ between the two modes.
 	NoSolverReuse bool
+	// NoCanon disables canonical slice normalization: every check is then
+	// solved in its own namespace, with no class-level verdict sharing in
+	// VerifyAll and no cross-namespace encoding reuse. Like NoSolverReuse
+	// this is an escape hatch for benchmarking and differential testing —
+	// canonical mode is verdict- and trace-identical by construction (and
+	// by the differential suite in internal/bench).
+	NoCanon bool
 }
 
 // Report is the verdict for one (invariant, scenario) pair.
@@ -119,6 +126,11 @@ type Report struct {
 	Duration   time.Duration
 	// Reused marks verdicts inherited from a symmetry-group representative.
 	Reused bool
+	// CanonShared marks verdicts inherited from a canonical-equivalence-
+	// class representative: the check was proven isomorphic to the
+	// representative's, and its witness (if any) is the representative's
+	// translated through the inverse renaming.
+	CanonShared bool
 	// Slice is the verified slice itself — provenance for incremental
 	// verification (internal/incr), which derives dependency footprints
 	// and verdict-cache fingerprints from it.
@@ -144,9 +156,18 @@ type Verifier struct {
 	engines     map[uint64][]*tf.Engine
 	engineCount int
 	journeys    *encode.JourneyCache
-	encodings   map[string]*encSlot
-	encHits     int64
-	encMisses   int64
+	// Encoding cache: key → slot with LRU eviction (encHead is most
+	// recently used). Keys are canonical encoding keys when the problem
+	// canonicalizes, exact content keys otherwise.
+	encodings        map[string]*encSlot
+	encHead, encTail *encSlot
+	encHits          int64
+	encMisses        int64
+
+	// Canonicalization counters (see CanonStats).
+	canonClasses       int64
+	canonShared        int64
+	canonEncTranslated int64
 }
 
 // encSlot is one encoding-cache entry. The slot is inserted before the
@@ -160,7 +181,20 @@ type encSlot struct {
 	once sync.Once
 	enc  *encode.SliceEncoding
 	err  error
-	done atomic.Bool // set after the build completes (see cache flush)
+	done atomic.Bool // set after the build completes (see eviction)
+
+	// exact is the builder problem's exact content key; ren its canonical
+	// encoding renaming (nil for exact-keyed slots). A canonical-key hit
+	// whose exact key differs is an isomorphic-but-renamed problem: it is
+	// translated into the builder's namespace before solving (see
+	// verifySAT). Both are written once under the once and read only
+	// after it.
+	exact []byte
+	ren   *slices.Renaming
+
+	// Intrusive LRU list links (guarded by the verifier's mu).
+	key        string
+	prev, next *encSlot
 }
 
 // NewVerifier builds a verifier; opts zero value means defaults (auto
@@ -192,8 +226,8 @@ const maxCachedEngines = 64
 // previously compiled engine the old one — with its warm walk memoization
 // shared across invariants — is reused. Fingerprint collisions are ruled
 // out by full-key comparison. Callers running many checks under one
-// scenario should call this once and pass the engine to VerifyOneOn /
-// SliceOn rather than recompiling per check.
+// scenario should call this once and pass the engine to PlanOn /
+// VerifyPlanned rather than recompiling per check.
 func (v *Verifier) EngineFor(sc topo.FailureScenario) *tf.Engine {
 	e := tf.New(v.net.Topo, v.net.FIBFor(sc), sc)
 	v.mu.Lock()
@@ -228,57 +262,178 @@ func (v *Verifier) EncodingCacheStats() (hits, misses int64) {
 }
 
 // maxCachedEncodings bounds the slice-encoding cache of a long-lived
-// Verifier; overflowing flushes it wholesale (warm solver state is lost,
-// correctness is not — encodings are content-addressed and witnesses are
-// canonical).
+// Verifier. Eviction is LRU (like the incremental layer's verdict cache):
+// under scenario churn the warm solver state that keeps answering stays
+// resident while one-off encodings age out. Slots whose build is still in
+// flight are never evicted — dropping them would let a concurrent request
+// for the same key start a duplicate construction.
 const maxCachedEncodings = 128
 
+// encUnlink removes slot from the LRU list. Callers hold v.mu.
+func (v *Verifier) encUnlink(slot *encSlot) {
+	if slot.prev != nil {
+		slot.prev.next = slot.next
+	} else {
+		v.encHead = slot.next
+	}
+	if slot.next != nil {
+		slot.next.prev = slot.prev
+	} else {
+		v.encTail = slot.prev
+	}
+	slot.prev, slot.next = nil, nil
+}
+
+// encPushFront makes slot the most recently used. Callers hold v.mu.
+func (v *Verifier) encPushFront(slot *encSlot) {
+	slot.next = v.encHead
+	if v.encHead != nil {
+		v.encHead.prev = slot
+	}
+	v.encHead = slot
+	if v.encTail == nil {
+		v.encTail = slot
+	}
+}
+
+// encSlotFor returns the cached slot for key (hit=true), refreshing its
+// recency, or inserts a fresh one, evicting the least recently used
+// completed slot when the cache is full.
+func (v *Verifier) encSlotFor(key string) (*encSlot, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if slot, ok := v.encodings[key]; ok {
+		v.encHits++
+		if v.encHead != slot {
+			v.encUnlink(slot)
+			v.encPushFront(slot)
+		}
+		return slot, true
+	}
+	if len(v.encodings) >= maxCachedEncodings {
+		for victim := v.encTail; victim != nil; victim = victim.prev {
+			if victim.done.Load() {
+				v.encUnlink(victim)
+				delete(v.encodings, victim.key)
+				break
+			}
+		}
+		// All slots in flight (pathological): exceed the cap rather than
+		// dropping a build another goroutine is waiting on.
+	}
+	slot := &encSlot{key: key}
+	v.encodings[key] = slot
+	v.encPushFront(slot)
+	v.encMisses++
+	return slot, false
+}
+
 // verifySAT runs one check through the SAT engine, reusing a cached slice
-// encoding when the problem's content key matches one already built: the
-// invariant is then decided by an assumption solve on the shared solver,
-// inheriting learnt clauses, phases and activity from every previous
-// invariant over that slice. Problems without content keys (a middlebox
-// lacking a configuration fingerprint) and NoSolverReuse mode fall back to
-// a fresh encoding per check.
-func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options) (inv.Result, error) {
+// encoding when the problem's key matches one already built: the invariant
+// is then decided by an assumption solve on the shared solver, inheriting
+// learnt clauses, phases and activity from every previous invariant over
+// that slice. With canonicalization (plan non-nil with an encoding key)
+// the cache is keyed canonically, so a symmetric-but-not-identical slice
+// hits the warm encoding of an isomorphic one: the invariant is translated
+// into the encoding's namespace, solved there, and its witness translated
+// back — verdict- and trace-identical to solving in place, since witness
+// extraction is canonical and the alphabets correspond positionally.
+// Problems without content keys (a middlebox lacking a configuration
+// fingerprint) and NoSolverReuse mode fall back to a fresh encoding per
+// check.
+func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options, plan *checkPlan) (inv.Result, error) {
 	if v.opts.NoSolverReuse {
 		return encode.Verify(p, encOpts)
 	}
-	key, ok := encode.AppendEncodingKey(nil, p, encOpts)
+	exact, ok := encode.AppendEncodingKey(nil, p, encOpts)
 	if !ok {
 		return encode.Verify(p, encOpts)
 	}
-	ks := string(key)
-	v.mu.Lock()
-	slot, found := v.encodings[ks]
-	if found {
-		v.encHits++
+	var key string
+	canon := plan != nil && plan.encKey != nil
+	if canon {
+		key = "c" + string(plan.encKey)
 	} else {
-		if len(v.encodings) >= maxCachedEncodings {
-			// Flush finished entries wholesale but keep slots whose build
-			// is still in flight: dropping them would let a concurrent
-			// request for the same key start a duplicate construction.
-			kept := map[string]*encSlot{}
-			for k, s := range v.encodings {
-				if !s.done.Load() {
-					kept[k] = s
-				}
-			}
-			v.encodings = kept
-		}
-		slot = &encSlot{}
-		v.encodings[ks] = slot
-		v.encMisses++
+		key = "x" + string(exact)
 	}
-	v.mu.Unlock()
+	slot, wasHit := v.encSlotFor(key)
 	slot.once.Do(func() {
 		slot.enc, slot.err = encode.NewSliceEncoding(p, encOpts)
+		slot.exact = exact
+		if canon {
+			slot.ren = plan.encRen
+		}
 		slot.done.Store(true)
 	})
 	if slot.err != nil {
 		return inv.Result{}, slot.err
 	}
-	return slot.enc.Verify(p, encOpts)
+	if bytes.Equal(slot.exact, exact) {
+		// Same namespace (the common case: many invariants over one
+		// slice): solve directly.
+		return slot.enc.Verify(p, encOpts)
+	}
+	// Isomorphic-but-renamed slice: carry the invariant and alphabet into
+	// the encoding's namespace, solve warm, translate the witness back.
+	res, ok, err := v.verifySATTranslated(p, encOpts, plan, slot)
+	if err != nil || ok {
+		return res, err
+	}
+	// Translation unsupported (a Traversal prefix is outside the
+	// invariant-independent encoding renaming): fall back to the exact
+	// content key so repeats of this same problem still share. Retract
+	// the canonical lookup's hit so the check counts one cache event,
+	// not two — reuse rates are derived from these stats. (If this
+	// goroutine was the slot's creator but a concurrent goroutine built
+	// the encoding first under a different namespace, the lookup was a
+	// miss and there is no hit to retract.)
+	if wasHit {
+		v.mu.Lock()
+		v.encHits--
+		v.mu.Unlock()
+	}
+	xslot, _ := v.encSlotFor("x" + string(exact))
+	xslot.once.Do(func() {
+		xslot.enc, xslot.err = encode.NewSliceEncoding(p, encOpts)
+		xslot.exact = exact
+		xslot.done.Store(true)
+	})
+	if xslot.err != nil {
+		return inv.Result{}, xslot.err
+	}
+	return xslot.enc.Verify(p, encOpts)
+}
+
+// verifySATTranslated solves p on a warm encoding built from an isomorphic
+// slice in a different namespace. ok=false means the problem could not be
+// translated; the caller falls back to an exact-keyed encoding.
+func (v *Verifier) verifySATTranslated(p *inv.Problem, encOpts encode.Options, plan *checkPlan, slot *encSlot) (inv.Result, bool, error) {
+	ti, ok := translateInvariant(p.Invariant, plan.encRen, slot.ren)
+	if !ok {
+		return inv.Result{}, false, nil
+	}
+	ts, ok := translateSamples(p.Samples, plan.encRen, slot.ren)
+	if !ok {
+		return inv.Result{}, false, nil
+	}
+	pp := *p
+	pp.Invariant = ti
+	pp.Samples = ts
+	res, err := slot.enc.Verify(&pp, encOpts)
+	if err != nil {
+		return inv.Result{}, false, err
+	}
+	if len(res.Trace) > 0 {
+		trace, ok := slot.ren.TranslateEvents(res.Trace, plan.encRen)
+		if !ok {
+			return inv.Result{}, false, nil
+		}
+		res.Trace = trace
+	}
+	v.mu.Lock()
+	v.canonEncTranslated++
+	v.mu.Unlock()
+	return res, true, nil
 }
 
 // Network returns the verifier's network.
@@ -323,9 +478,18 @@ func (v *Verifier) verifyInvariantOn(i inv.Invariant, engines []*tf.Engine) ([]R
 
 // VerifyAll verifies a set of invariants, optionally collapsing symmetric
 // invariants to one representative check (§4.2). Reports for non-
-// representative members are copies marked Reused. With Options.InvWorkers
-// > 1 the representative checks run concurrently; report content and order
-// are identical to the sequential run.
+// representative members are copies marked Reused.
+//
+// Unless Options.NoCanon is set, the remaining checks are further grouped
+// into canonical equivalence classes — checks whose (slice, invariant)
+// pairs canonicalize identically are provably isomorphic — and one
+// representative per class is solved; the other members' reports are
+// derived by translating the representative's witness through the inverse
+// renamings, marked CanonShared. Unlike §4.2 symmetry this requires no
+// symmetric-network assumption: the class key equality is the proof.
+//
+// With Options.InvWorkers > 1 the representative checks run concurrently;
+// report content and order are identical to the sequential run.
 func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, error) {
 	var groups []symmetry.Group
 	if useSymmetry {
@@ -339,62 +503,91 @@ func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, 
 
 	// One engine per scenario for the whole batch; the network is frozen
 	// for the duration of a VerifyAll by contract.
-	engines := make([]*tf.Engine, 0, len(v.scenarios()))
-	for _, sc := range v.scenarios() {
+	scens := v.scenarios()
+	engines := make([]*tf.Engine, 0, len(scens))
+	for _, sc := range scens {
 		engines = append(engines, v.EngineFor(sc))
 	}
 
-	perGroup := make([][]Report, len(groups))
-	verify := func(gi int) error {
-		rs, err := v.verifyInvariantOn(groups[gi].Representative, engines)
+	// Plan every (group representative, scenario) check: slice, problem
+	// and canonical identity. Planning parallelizes alongside solving —
+	// in canonical mode most checks never reach a solver, so key
+	// construction would otherwise become the serial bottleneck.
+	plans := make([][]*checkPlan, len(groups))
+	for gi := range groups {
+		plans[gi] = make([]*checkPlan, len(scens))
+	}
+	nChecks := len(groups) * len(scens)
+	err := ForEachIndexed(nChecks, v.opts.InvWorkers, func(i int) error {
+		gi, si := i/len(scens), i%len(scens)
+		plan, err := v.buildPlan(groups[gi].Representative, scens[si], engines[si])
 		if err != nil {
 			return err
 		}
-		perGroup[gi] = rs
+		plans[gi][si] = plan
 		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	workers := v.opts.InvWorkers
-	if workers > len(groups) {
-		workers = len(groups)
-	}
-	if workers <= 1 {
-		for gi := range groups {
-			if err := verify(gi); err != nil {
-				return nil, err
-			}
+	// Cluster checks into canonical classes (first member is the class
+	// representative; checks without a class key stay singleton).
+	classes := symmetry.CanonClasses(len(groups), len(scens), func(gi, si int) []byte {
+		return plans[gi][si].classKey
+	})
+
+	// Solve one representative per class.
+	leadReports := make([]Report, len(classes))
+	err = ForEachIndexed(len(classes), v.opts.InvWorkers, func(ci int) error {
+		lead := classes[ci].Members[0]
+		r, err := v.solvePlan(plans[lead.Group][lead.Scenario])
+		if err != nil {
+			return err
 		}
-	} else {
-		work := make(chan int)
-		errs := make([]error, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for gi := range work {
-					if errs[w] != nil {
-						continue
-					}
-					errs[w] = verify(gi)
+		leadReports[ci] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Distribute class results: representatives keep their own reports,
+	// other members get translated copies (solving directly only if a
+	// translation fails, which key equality rules out but is checked).
+	perCheck := make([][]Report, len(groups))
+	for gi := range groups {
+		perCheck[gi] = make([]Report, len(scens))
+	}
+	var classed, shared int64
+	for ci, cl := range classes {
+		lead := cl.Members[0]
+		leadPlan := plans[lead.Group][lead.Scenario]
+		perCheck[lead.Group][lead.Scenario] = leadReports[ci]
+		if leadPlan.classKey != nil {
+			classed++
+		}
+		for _, m := range cl.Members[1:] {
+			r, ok := translateReport(leadReports[ci], leadPlan, plans[m.Group][m.Scenario])
+			if !ok {
+				var err error
+				if r, err = v.solvePlan(plans[m.Group][m.Scenario]); err != nil {
+					return nil, err
 				}
-			}(w)
-		}
-		for gi := range groups {
-			work <- gi
-		}
-		close(work)
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+			} else {
+				shared++
 			}
+			perCheck[m.Group][m.Scenario] = r
 		}
 	}
+	v.mu.Lock()
+	v.canonClasses += classed
+	v.canonShared += shared
+	v.mu.Unlock()
 
 	var out []Report
 	for gi, g := range groups {
-		rs := perGroup[gi]
+		rs := perCheck[gi]
 		out = append(out, rs...)
 		// The representative is always Members[0] (symmetry.Groups builds
 		// groups first-seen); skip it by position — invariants may be
@@ -413,6 +606,51 @@ func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, 
 	return out, nil
 }
 
+// ForEachIndexed runs f(0..n-1), across min(workers, n) goroutines when
+// workers > 1, failing fast on the first error (a worker that has seen an
+// error skips its remaining items). With workers <= 1 it is a plain loop.
+// Shared by VerifyAll's plan/solve phases and the incremental layer's
+// re-verification pool.
+func ForEachIndexed(n, workers int, f func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				if errs[w] != nil {
+					continue
+				}
+				errs[w] = f(i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // keepSet lists the nodes an invariant pins into its slice: the nodes it
 // references plus the owners of referenced addresses.
 func (v *Verifier) keepSet(i inv.Invariant) []topo.NodeID {
@@ -423,20 +661,6 @@ func (v *Verifier) keepSet(i inv.Invariant) []topo.NodeID {
 		}
 	}
 	return keep
-}
-
-// SliceFor computes the slice the invariant would be verified against
-// under the given failure scenario (the whole network when slicing is
-// disabled). Exposed so the incremental layer can fingerprint a slice
-// before deciding whether to re-solve; the engine's path memoization makes
-// the subsequent in-verification recomputation nearly free.
-func (v *Verifier) SliceFor(i inv.Invariant, sc topo.FailureScenario) (slices.Result, error) {
-	return v.sliceFor(v.keepSet(i), v.EngineFor(sc))
-}
-
-// SliceOn is SliceFor against a pre-compiled engine.
-func (v *Verifier) SliceOn(i inv.Invariant, engine *tf.Engine) (slices.Result, error) {
-	return v.sliceFor(v.keepSet(i), engine)
 }
 
 func (v *Verifier) sliceFor(keep []topo.NodeID, engine *tf.Engine) (slices.Result, error) {
@@ -457,45 +681,31 @@ func (v *Verifier) VerifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, 
 	return v.verifyOne(i, sc)
 }
 
-// VerifyOneOn is VerifyOne against a pre-compiled engine — callers
-// batching many checks under one scenario (the incremental layer's
-// re-verification pool) compile once via EngineFor and pass it down.
-func (v *Verifier) VerifyOneOn(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (Report, error) {
-	return v.verifyOn(i, sc, engine)
-}
-
 // verifyOne runs one (invariant, scenario) check.
 func (v *Verifier) verifyOne(i inv.Invariant, sc topo.FailureScenario) (Report, error) {
 	return v.verifyOn(i, sc, v.EngineFor(sc))
 }
 
 func (v *Verifier) verifyOn(i inv.Invariant, sc topo.FailureScenario, engine *tf.Engine) (Report, error) {
+	plan, err := v.buildPlan(i, sc, engine)
+	if err != nil {
+		return Report{}, err
+	}
+	return v.solvePlan(plan)
+}
+
+// solvePlan dispatches one planned check to an engine and assembles its
+// report.
+func (v *Verifier) solvePlan(plan *checkPlan) (Report, error) {
 	start := time.Now()
-	keep := v.keepSet(i)
-
-	sl, err := v.sliceFor(keep, engine)
+	res, engName, err := v.dispatch(plan)
 	if err != nil {
 		return Report{}, err
 	}
-
-	prob := &inv.Problem{
-		Topo:      v.net.Topo,
-		TF:        engine,
-		Boxes:     sl.Boxes,
-		Registry:  v.net.Registry,
-		Samples:   v.genSamples(i, sl, keep),
-		MaxSends:  v.maxSends(i, sl),
-		Scenario:  sc,
-		Invariant: i,
-	}
-
-	res, engName, err := v.dispatch(prob)
-	if err != nil {
-		return Report{}, err
-	}
+	i, sl := plan.inv, plan.sl
 	rep := Report{
 		Invariant:  i,
-		Scenario:   sc,
+		Scenario:   plan.sc,
 		Result:     res,
 		SliceHosts: len(sl.Hosts),
 		SliceBoxes: len(sl.Boxes),
@@ -515,7 +725,8 @@ func (v *Verifier) verifyOn(i inv.Invariant, sc topo.FailureScenario, engine *tf
 	return rep, nil
 }
 
-func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
+func (v *Verifier) dispatch(plan *checkPlan) (inv.Result, string, error) {
+	p := plan.prob
 	encOpts := encode.Options{
 		Seed:              v.opts.Seed,
 		RandomBranchFreq:  v.opts.RandomBranchFreq,
@@ -526,14 +737,14 @@ func (v *Verifier) dispatch(p *inv.Problem) (inv.Result, string, error) {
 	expOpts := explore.Options{MaxStates: v.opts.MaxStates, Workers: v.opts.Workers}
 	switch v.opts.Engine {
 	case EngineSAT:
-		r, err := v.verifySAT(p, encOpts)
+		r, err := v.verifySAT(p, encOpts, plan)
 		return r, "sat", err
 	case EngineExplicit:
 		r, err := explore.Verify(p, expOpts)
 		return r, "explicit", err
 	default:
 		if encodable(p) {
-			r, err := v.verifySAT(p, encOpts)
+			r, err := v.verifySAT(p, encOpts, plan)
 			if err == nil {
 				return r, "sat", nil
 			}

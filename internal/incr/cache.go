@@ -8,12 +8,20 @@ package incr
 // answering (hot slices, configurations that changes keep reverting to)
 // stay resident while one-off states age out, instead of the old
 // flush-on-full policy that periodically threw the working set away.
+//
+// Keys come in two namespaces ('c'-prefixed canonical class keys,
+// 'x'-prefixed exact fingerprints for checks that do not canonicalize).
+// Canonical entries carry the producing slice's renaming, so a hit from a
+// symmetric-but-not-identical slice — a tenant moved onto a fresh but
+// isomorphic footprint — translates the cached witness into the
+// requester's namespace instead of re-solving.
 
 import (
 	"bytes"
 
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/fnv64"
+	"github.com/netverify/vmn/internal/slices"
 )
 
 // hashKey is 64-bit FNV-1a over the encoded key.
@@ -23,6 +31,10 @@ type cacheLine struct {
 	key    []byte
 	hash   uint64
 	report core.Report
+	// ren is the renaming the cached report's namespace canonicalizes
+	// under; nil for exact-fingerprint entries (no translation needed or
+	// possible).
+	ren *slices.Renaming
 
 	// Intrusive recency list: prev is toward most-recent.
 	prev, next *cacheLine
@@ -83,25 +95,28 @@ func (c *verdictCache) touch(line *cacheLine) {
 	c.pushFront(line)
 }
 
-// get returns the cached report for key, if any, refreshing its recency.
-func (c *verdictCache) get(key []byte) (core.Report, bool) {
+// get returns the cached report and its producer's renaming for key, if
+// any, refreshing the entry's recency.
+func (c *verdictCache) get(key []byte) (core.Report, *slices.Renaming, bool) {
 	h := hashKey(key)
 	for _, line := range c.m[h] {
 		if bytes.Equal(line.key, key) {
 			c.touch(line)
-			return line.report, true
+			return line.report, line.ren, true
 		}
 	}
-	return core.Report{}, false
+	return core.Report{}, nil, false
 }
 
-// put stores a report under key, replacing any previous entry; when full,
-// the least recently used entry is evicted.
-func (c *verdictCache) put(key []byte, r core.Report) {
+// put stores a report (with the producer's renaming, nil for exact-keyed
+// entries) under key, replacing any previous entry; when full, the least
+// recently used entry is evicted.
+func (c *verdictCache) put(key []byte, r core.Report, ren *slices.Renaming) {
 	h := hashKey(key)
 	for _, line := range c.m[h] {
 		if bytes.Equal(line.key, key) {
 			line.report = r
+			line.ren = ren
 			c.touch(line)
 			return
 		}
@@ -109,7 +124,7 @@ func (c *verdictCache) put(key []byte, r core.Report) {
 	if c.entries >= c.cap {
 		c.evict(c.tail)
 	}
-	line := &cacheLine{key: append([]byte(nil), key...), hash: h, report: r}
+	line := &cacheLine{key: append([]byte(nil), key...), hash: h, report: r, ren: ren}
 	c.m[h] = append(c.m[h], line)
 	c.pushFront(line)
 	c.entries++

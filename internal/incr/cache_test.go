@@ -24,21 +24,21 @@ func TestVerdictCacheLRUKeepsHotEntries(t *testing.T) {
 	const cap, hot, churn = 32, 4, 1000
 	c := newVerdictCache(cap)
 	for i := 0; i < hot; i++ {
-		c.put(ck(i), rep(i))
+		c.put(ck(i), rep(i), nil)
 	}
 	for i := 0; i < churn; i++ {
 		for h := 0; h < hot; h++ {
-			if _, ok := c.get(ck(h)); !ok {
+			if _, _, ok := c.get(ck(h)); !ok {
 				t.Fatalf("hot fingerprint %d evicted at churn step %d", h, i)
 			}
 		}
-		c.put(ck(1000+i), rep(i))
+		c.put(ck(1000+i), rep(i), nil)
 		if c.entries > cap {
 			t.Fatalf("cache exceeded its bound: %d > %d", c.entries, cap)
 		}
 	}
 	for h := 0; h < hot; h++ {
-		r, ok := c.get(ck(h))
+		r, _, ok := c.get(ck(h))
 		if !ok {
 			t.Fatalf("hot fingerprint %d missing after churn", h)
 		}
@@ -47,10 +47,10 @@ func TestVerdictCacheLRUKeepsHotEntries(t *testing.T) {
 		}
 	}
 	// The most recent cold keys are resident, the oldest are not.
-	if _, ok := c.get(ck(1000 + churn - 1)); !ok {
+	if _, _, ok := c.get(ck(1000 + churn - 1)); !ok {
 		t.Fatal("most recent insertion must be resident")
 	}
-	if _, ok := c.get(ck(1000)); ok {
+	if _, _, ok := c.get(ck(1000)); ok {
 		t.Fatal("oldest cold insertion should have been evicted")
 	}
 }
@@ -59,12 +59,12 @@ func TestVerdictCacheLRUKeepsHotEntries(t *testing.T) {
 // the report without growing the cache.
 func TestVerdictCacheUpdateInPlace(t *testing.T) {
 	c := newVerdictCache(8)
-	c.put(ck(1), rep(1))
-	c.put(ck(1), rep(2))
+	c.put(ck(1), rep(1), nil)
+	c.put(ck(1), rep(2), nil)
 	if c.entries != 1 {
 		t.Fatalf("duplicate put grew the cache: %d entries", c.entries)
 	}
-	r, ok := c.get(ck(1))
+	r, _, ok := c.get(ck(1))
 	if !ok || r.Result.StatesExplored != 2 {
 		t.Fatalf("update not visible: ok=%v report=%v", ok, r.Result.StatesExplored)
 	}
@@ -75,14 +75,14 @@ func TestVerdictCacheUpdateInPlace(t *testing.T) {
 func TestVerdictCacheEvictionOrder(t *testing.T) {
 	c := newVerdictCache(3)
 	for i := 0; i < 3; i++ {
-		c.put(ck(i), rep(i))
+		c.put(ck(i), rep(i), nil)
 	}
-	c.put(ck(3), rep(3)) // evicts 0
-	if _, ok := c.get(ck(0)); ok {
+	c.put(ck(3), rep(3), nil) // evicts 0
+	if _, _, ok := c.get(ck(0)); ok {
 		t.Fatal("oldest entry must be evicted first")
 	}
 	for i := 1; i <= 3; i++ {
-		if _, ok := c.get(ck(i)); !ok {
+		if _, _, ok := c.get(ck(i)); !ok {
 			t.Fatalf("entry %d should be resident", i)
 		}
 	}

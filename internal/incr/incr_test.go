@@ -430,15 +430,27 @@ func TestSessionVerdictCacheRevert(t *testing.T) {
 	if _, err := sess.Apply([]incr.Change{incr.BoxReconfig(d.FW1)}); err != nil {
 		t.Fatal(err)
 	}
-	if st := sess.LastApply(); st.CacheHits != 0 || st.CacheMisses == 0 {
-		t.Fatalf("novel configuration must re-solve: %+v", st)
+	// The dropped entry names one group pair; only slices where it was
+	// LIVE (both prefixes match a slice address) see a new canonical key
+	// and re-solve. The other dirty pairs' effective policy is unchanged —
+	// dead-entry elimination keeps their canonical keys stable, so they
+	// are answered from cache or inherited from an isomorphic classmate.
+	st := sess.LastApply()
+	if st.CacheMisses == 0 {
+		t.Fatalf("the affected pair must re-solve: %+v", st)
+	}
+	if st.CacheMisses >= st.DirtyGroups {
+		t.Fatalf("pairs unaffected by the dropped entry must not re-solve: %+v", st)
+	}
+	if st.CacheMisses+st.CacheHits+st.CanonShared != st.DirtyGroups {
+		t.Fatalf("dirty groups must be solved, cached or inherited: %+v", st)
 	}
 
 	d.FWPrimary.ACL = append([]mbox.ACLEntry(nil), saved...)
 	if _, err := sess.Apply([]incr.Change{incr.BoxReconfig(d.FW1)}); err != nil {
 		t.Fatal(err)
 	}
-	if st := sess.LastApply(); st.CacheMisses != 0 || st.CacheHits != st.DirtyGroups {
+	if st := sess.LastApply(); st.CacheMisses != 0 || st.CacheHits+st.CanonShared != st.DirtyGroups {
 		t.Fatalf("reverted configuration must be served from cache: %+v", st)
 	}
 }

@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
@@ -37,19 +38,33 @@ type ApplyStats struct {
 	Invariants      int
 	DirtyGroups     int
 	DirtyInvariants int
-	CacheHits       int
-	CacheMisses     int
-	Duration        time.Duration
+	// DirtyClasses counts the canonical equivalence classes among the
+	// dirty groups: only one representative per class is re-verified, the
+	// rest inherit translated verdicts (CanonShared counts those
+	// inherited (invariant, scenario) reports).
+	DirtyClasses int
+	CanonShared  int
+	CacheHits    int
+	CacheMisses  int
+	// CanonHits is the subset of CacheHits answered through canonical
+	// class keys — including hits where the cached verdict came from a
+	// differently named but isomorphic slice and the witness was
+	// translated.
+	CanonHits int
+	Duration  time.Duration
 }
 
 // Totals accumulates session-lifetime counters.
 type Totals struct {
-	Applies    int
-	Solves     int // (invariant, scenario) checks actually run
-	CacheHits  int // checks answered from the verdict cache
-	DirtyInvs  int // invariants dirtied across all applies
-	TotalInvs  int // invariant count summed across all applies
-	ReusedInvs int // invariant reports inherited via symmetry
+	Applies     int
+	Solves      int // (invariant, scenario) checks actually run
+	CacheHits   int // checks answered from the verdict cache
+	CanonHits   int // cache hits served through canonical class keys
+	CanonShared int // reports inherited from a dirty-class representative
+	Classes     int // canonical classes formed among dirty groups
+	DirtyInvs   int // invariants dirtied across all applies
+	TotalInvs   int // invariant count summed across all applies
+	ReusedInvs  int // invariant reports inherited via symmetry
 }
 
 // groupEntry is the session's memory of one symmetry group: the
@@ -454,65 +469,76 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 		stats.DirtyInvariants += len(groups[gi].Members)
 	}
 
-	// Phase 4: re-verify dirty groups across the worker pool.
+	// Phase 4: re-verify dirty groups. Each dirty group is planned once
+	// (slice, dependency footprint, canonical identity per scenario), the
+	// plans cluster dirty groups into canonical equivalence classes, and
+	// the worker pool solves ONE representative per class — the remaining
+	// members inherit translated verdicts. This is dirtying at class
+	// granularity: a change that dirties twenty isomorphic tenant pairs
+	// costs one solve.
 	if len(dirty) > 0 {
-		results := make([]*groupEntry, len(dirty))
-		hits := make([]int, len(dirty))
-		misses := make([]int, len(dirty))
 		workers := s.sopts.Workers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		if workers > len(dirty) {
-			workers = len(dirty)
-		}
-		var firstErr error
-		var errMu sync.Mutex
-		run := func(di int) {
-			e, h, m, err := s.verifyGroup(groups[dirty[di]].Representative, scens, engs, fibs)
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			results[di], hits[di], misses[di] = e, h, m
-		}
-		if workers <= 1 {
-			for di := range dirty {
-				run(di)
-				if firstErr != nil {
-					break
-				}
-			}
-		} else {
-			work := make(chan int)
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for di := range work {
-						run(di)
-					}
-				}()
-			}
-			for di := range dirty {
-				work <- di
-			}
-			close(work)
-			wg.Wait()
-		}
-		if firstErr != nil {
+
+		// Plan in parallel: in canonical mode most dirty groups never
+		// reach a solver, so key construction would otherwise serialize
+		// the Apply.
+		gplans := make([]*groupPlan, len(dirty))
+		err := core.ForEachIndexed(len(dirty), workers, func(di int) error {
+			gp, err := s.planGroup(groups[dirty[di]].Representative, scens, engs)
+			gplans[di] = gp
+			return err
+		})
+		if err != nil {
 			s.invalidate()
-			return nil, firstErr
+			return nil, err
+		}
+
+		// Cluster by joined per-scenario canonical keys (first-seen order;
+		// unclusterable groups stay singleton). The scenario axis is
+		// already folded into the joined key, so the grid is n×1.
+		clusters := symmetry.CanonClasses(len(dirty), 1, func(di, _ int) []byte {
+			if gplans[di].cluster == "" {
+				return nil
+			}
+			return []byte(gplans[di].cluster)
+		})
+		stats.DirtyClasses = len(clusters)
+
+		results := make([]*groupEntry, len(dirty))
+		hits := make([]int, len(dirty))
+		canonHits := make([]int, len(dirty))
+		misses := make([]int, len(dirty))
+		shared := make([]int, len(dirty))
+		err = core.ForEachIndexed(len(clusters), workers, func(ci int) error {
+			lead := clusters[ci].Members[0].Group
+			e, h, ch, m, err := s.verifyGroup(gplans[lead], scens, fibs)
+			if err != nil {
+				return err
+			}
+			results[lead], hits[lead], canonHits[lead], misses[lead] = e, h, ch, m
+			for _, member := range clusters[ci].Members[1:] {
+				di := member.Group
+				me, n, solved, err := s.translateGroup(e, gplans[lead], gplans[di], scens)
+				if err != nil {
+					return err
+				}
+				results[di], shared[di], misses[di] = me, n, solved
+			}
+			return nil
+		})
+		if err != nil {
+			s.invalidate()
+			return nil, err
 		}
 		for di, gi := range dirty {
 			newEntries[keys[gi]] = results[di]
 			stats.CacheHits += hits[di]
+			stats.CanonHits += canonHits[di]
 			stats.CacheMisses += misses[di]
+			stats.CanonShared += shared[di]
 		}
 	}
 
@@ -526,61 +552,180 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 	s.totals.Applies++
 	s.totals.Solves += stats.CacheMisses
 	s.totals.CacheHits += stats.CacheHits
+	s.totals.CanonHits += stats.CanonHits
+	s.totals.CanonShared += stats.CanonShared
+	s.totals.Classes += stats.DirtyClasses
 	s.totals.DirtyInvs += stats.DirtyInvariants
 	s.totals.TotalInvs += stats.Invariants
 	s.totals.ReusedInvs += len(out) - len(s.groups)*len(scens)
 	return out, nil
 }
 
-// verifyGroup re-verifies one representative under every effective
-// scenario, consulting and feeding the verdict cache. The per-scenario
+// CanonStats exposes the underlying verifier's canonicalization counters
+// (equivalence classes formed — each exactly one solved representative —
+// member checks served by witness translation, and checks solved on a
+// warm isomorphic encoding via namespace translation) alongside the
+// session's Totals — production observability for hit-rate regressions.
+func (s *Session) CanonStats() (classes, shared, encTranslated int64) {
+	return s.verifier.CanonStats()
+}
+
+// groupPlan is the planned identity of one dirty group: per-scenario check
+// plans (slice + canonical identity), per-scenario dependency footprints,
+// and the joined canonical key that clusters isomorphic dirty groups ("" =
+// not clusterable; some scenario's check did not canonicalize).
+type groupPlan struct {
+	rep     inv.Invariant
+	plans   []*core.CheckPlan
+	tns     [][]topo.NodeID
+	cluster string
+}
+
+// planGroup plans one representative across the effective scenarios.
+func (s *Session) planGroup(rep inv.Invariant, scens []topo.FailureScenario, engs []*tf.Engine) (*groupPlan, error) {
+	gp := &groupPlan{rep: rep}
+	var joined []byte
+	canonOK := true
+	for si := range scens {
+		cp, err := s.verifier.PlanOn(rep, scens[si], engs[si])
+		if err != nil {
+			return nil, err
+		}
+		gp.plans = append(gp.plans, cp)
+		gp.tns = append(gp.tns, slices.Touched(s.net.Topo, engs[si], cp.Slice()))
+		if k := cp.CanonKey(); k != nil && canonOK {
+			joined = appendFramed(joined, k)
+		} else {
+			canonOK = false
+		}
+	}
+	if canonOK {
+		gp.cluster = string(joined)
+	}
+	return gp, nil
+}
+
+func appendFramed(b, seg []byte) []byte {
+	var hdr [10]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(seg)))
+	b = append(b, hdr[:n]...)
+	return append(b, seg...)
+}
+
+// unionTouched flattens per-scenario footprints into the sorted union the
+// dependency index dirties on.
+func unionTouched(tns [][]topo.NodeID) []topo.NodeID {
+	touched := elemSet{}
+	for _, tn := range tns {
+		touched.addAll(tn)
+	}
+	out := make([]topo.NodeID, 0, len(touched))
+	for n := range touched {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// verifyGroup re-verifies one planned representative under every effective
+// scenario, consulting and feeding the verdict cache. Cache keys are
+// canonical class keys when the check canonicalizes ('c' namespace) and
+// exact content fingerprints otherwise ('x' namespace); canonical hits may
+// come from an isomorphic slice in another namespace, in which case the
+// cached witness is translated through the renamings. The per-scenario
 // engines were compiled once in Apply phase 2 and are shared by every
 // dirty group and pool worker.
-func (s *Session) verifyGroup(rep inv.Invariant, scens []topo.FailureScenario, engs []*tf.Engine, fibs []tf.FIB) (*groupEntry, int, int, error) {
+func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs []tf.FIB) (*groupEntry, int, int, int, error) {
 	e := &groupEntry{}
-	touched := elemSet{}
-	hits, misses := 0, 0
+	hits, canonHits, misses := 0, 0, 0
 	for si, sc := range scens {
-		sl, err := s.verifier.SliceOn(rep, engs[si])
-		if err != nil {
-			return nil, 0, 0, err
+		cp := gp.plans[si]
+		var key []byte
+		canon := false
+		if ck := cp.CanonKey(); ck != nil {
+			key = append(append(make([]byte, 0, len(ck)+1), 'c'), ck...)
+			canon = true
+		} else if fp, ok := fingerprint(gp.rep, sc, cp.Slice(), gp.tns[si], fibs[si], s.net.Topo, s.opts); ok {
+			key = append(append(make([]byte, 0, len(fp)+1), 'x'), fp...)
 		}
-		tn := slices.Touched(s.net.Topo, engs[si], sl)
-		fp, cacheable := fingerprint(rep, sc, sl, tn, fibs[si], s.net.Topo, s.opts)
 		var r core.Report
 		hit := false
-		if cacheable {
+		if key != nil {
 			s.cmu.Lock()
-			r, hit = s.cache.get(fp)
+			cached, ren, found := s.cache.get(key)
 			s.cmu.Unlock()
+			if found && canon {
+				// Canonical entry: translate the verdict (and witness)
+				// from the producer's namespace into this check's. A
+				// failed translation (ruled out by key equality, but
+				// checked) degrades to a miss.
+				if tr, ok := core.TranslatePlannedReport(cached, ren, cp); ok {
+					r = tr
+					r.Cached = true
+					// CanonShared marks cross-namespace inheritance; a hit
+					// on the very same slice is a plain cached verdict.
+					r.CanonShared = !ren.Equal(cp.Renaming())
+					hit = true
+					canonHits++
+				}
+			} else if found {
+				r = cached
+				r.Invariant = gp.rep
+				r.Scenario = sc
+				r.Cached = true
+				r.Duration = 0
+				hit = true
+			}
 		}
 		if hit {
-			r.Invariant = rep
-			r.Scenario = sc
-			r.Cached = true
-			r.Duration = 0
 			hits++
 		} else {
-			r, err = s.verifier.VerifyOneOn(rep, sc, engs[si])
+			var err error
+			r, err = s.verifier.VerifyPlanned(cp)
 			if err != nil {
-				return nil, 0, 0, err
+				return nil, 0, 0, 0, err
 			}
 			misses++
-			if cacheable {
+			if key != nil {
 				s.cmu.Lock()
-				s.cache.put(fp, r)
+				s.cache.put(key, r, cp.Renaming())
 				s.cmu.Unlock()
 			}
 		}
 		e.reports = append(e.reports, r)
-		touched.addAll(tn)
 	}
-	e.touched = make([]topo.NodeID, 0, len(touched))
-	for n := range touched {
-		e.touched = append(e.touched, n)
+	e.touched = unionTouched(gp.tns)
+	return e, hits, canonHits, misses, nil
+}
+
+// translateGroup derives a dirty class member's entry from its class
+// representative's: every scenario report is translated through the
+// renamings. Translation failures (ruled out by cluster-key equality, but
+// checked) fall back to solving the member directly. Returns the entry,
+// how many reports were inherited, and how many fell back to a solve (the
+// caller accounts those as cache misses — they are real solver work).
+func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan, scens []topo.FailureScenario) (*groupEntry, int, int, error) {
+	e := &groupEntry{}
+	shared, solved := 0, 0
+	for si := range scens {
+		r, ok := core.TranslatePlannedReport(lead.reports[si], leadPlan.plans[si].Renaming(), memPlan.plans[si])
+		if ok {
+			// The member's report is not re-cached under its own key: the
+			// member and representative share one canonical key, so the
+			// representative's entry answers both on the next Apply.
+			r.Cached = lead.reports[si].Cached
+			shared++
+		} else {
+			var err error
+			if r, err = s.verifier.VerifyPlanned(memPlan.plans[si]); err != nil {
+				return nil, 0, 0, err
+			}
+			solved++
+		}
+		e.reports = append(e.reports, r)
 	}
-	sort.Slice(e.touched, func(i, j int) bool { return e.touched[i] < e.touched[j] })
-	return e, hits, misses, nil
+	e.touched = unionTouched(memPlan.tns)
+	return e, shared, solved, nil
 }
 
 // assemble renders the complete report set in core.VerifyAll order:

@@ -62,22 +62,33 @@ type WireReport struct {
 	Whole      bool     `json:"whole,omitempty"`
 	Reused     bool     `json:"reused,omitempty"`
 	Cached     bool     `json:"cached,omitempty"`
-	DurationNs int64    `json:"duration_ns"`
+	// CanonShared marks verdicts inherited from a canonical-equivalence-
+	// class representative (witness translated through the renamings).
+	CanonShared bool  `json:"canon_shared,omitempty"`
+	DurationNs  int64 `json:"duration_ns"`
 }
 
 // WireResult is the JSON form of one Apply outcome.
 type WireResult struct {
-	Seq             int          `json:"seq"`
-	Changes         int          `json:"changes"`
-	Invariants      int          `json:"invariants"`
-	Groups          int          `json:"groups"`
-	DirtyGroups     int          `json:"dirty_groups"`
-	DirtyInvariants int          `json:"dirty_invariants"`
-	CacheHits       int          `json:"cache_hits"`
-	CacheMisses     int          `json:"cache_misses"`
-	DurationNs      int64        `json:"duration_ns"`
-	Unsatisfied     int          `json:"unsatisfied"`
-	Reports         []WireReport `json:"reports"`
+	Seq             int `json:"seq"`
+	Changes         int `json:"changes"`
+	Invariants      int `json:"invariants"`
+	Groups          int `json:"groups"`
+	DirtyGroups     int `json:"dirty_groups"`
+	DirtyInvariants int `json:"dirty_invariants"`
+	// DirtyClasses counts canonical equivalence classes among the dirty
+	// groups (one solve per class); CanonShared the reports inherited from
+	// a class representative; CanonHits the verdict-cache hits served
+	// through canonical class keys. Hit-rate regressions in production
+	// show up here.
+	DirtyClasses int          `json:"dirty_classes,omitempty"`
+	CanonShared  int          `json:"canon_shared,omitempty"`
+	CacheHits    int          `json:"cache_hits"`
+	CanonHits    int          `json:"canon_hits,omitempty"`
+	CacheMisses  int          `json:"cache_misses"`
+	DurationNs   int64        `json:"duration_ns"`
+	Unsatisfied  int          `json:"unsatisfied"`
+	Reports      []WireReport `json:"reports"`
 }
 
 // WireError is the JSON form of a rejected change-set.
@@ -332,22 +343,26 @@ func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) Wir
 		Groups:          stats.Groups,
 		DirtyGroups:     stats.DirtyGroups,
 		DirtyInvariants: stats.DirtyInvariants,
+		DirtyClasses:    stats.DirtyClasses,
+		CanonShared:     stats.CanonShared,
 		CacheHits:       stats.CacheHits,
+		CanonHits:       stats.CanonHits,
 		CacheMisses:     stats.CacheMisses,
 		DurationNs:      stats.Duration.Nanoseconds(),
 	}
 	for _, r := range reports {
 		wr := WireReport{
-			Invariant:  r.Invariant.Name(),
-			Outcome:    r.Result.Outcome.String(),
-			Satisfied:  r.Satisfied,
-			Engine:     r.Engine,
-			SliceHosts: r.SliceHosts,
-			SliceBoxes: r.SliceBoxes,
-			Whole:      r.Whole,
-			Reused:     r.Reused,
-			Cached:     r.Cached,
-			DurationNs: r.Duration.Nanoseconds(),
+			Invariant:   r.Invariant.Name(),
+			Outcome:     r.Result.Outcome.String(),
+			Satisfied:   r.Satisfied,
+			Engine:      r.Engine,
+			SliceHosts:  r.SliceHosts,
+			SliceBoxes:  r.SliceBoxes,
+			Whole:       r.Whole,
+			Reused:      r.Reused,
+			Cached:      r.Cached,
+			CanonShared: r.CanonShared,
+			DurationNs:  r.Duration.Nanoseconds(),
 		}
 		for _, n := range r.Scenario.Nodes() {
 			wr.Scenario = append(wr.Scenario, t.Node(n).Name)

@@ -26,6 +26,164 @@ type ConfigKeyer interface {
 	AppendConfigKey(b []byte) []byte
 }
 
+// CanonRenamer maps the concrete addresses and prefixes of one slice onto
+// its canonical alphabet (internal/slices.Canonizer implements it). Numbers
+// are assigned in first-encounter order, so encoding a configuration
+// through a CanonRenamer yields bytes that are invariant under a renaming
+// of the slice's address space.
+type CanonRenamer interface {
+	// CanonAddr returns the canonical number of a.
+	CanonAddr(a pkt.Addr) uint32
+	// CanonPrefix returns the canonical number of p. The renamer records
+	// the prefix and later emits its match behaviour over the canonical
+	// address universe, so two configurations agree canonically only if
+	// their prefixes classify the slice's addresses identically.
+	CanonPrefix(p pkt.Prefix) uint32
+	// PrefixMatchesAny reports whether p matches any address of the
+	// slice's universe (fully interned before box configurations are
+	// encoded). Every packet either engine routes carries only universe
+	// addresses, so a prefix matching none of them can never fire:
+	// encoders drop such dead entries, making a globally-configured box
+	// (one ACL shared by every slice) canonicalize by its behaviour on
+	// the slice rather than its full configuration text.
+	PrefixMatchesAny(p pkt.Prefix) bool
+}
+
+// CanonKeyer is implemented by models whose configuration can additionally
+// be encoded relative to a canonical renaming — the hook that lets
+// canonical slice normalization (internal/slices, internal/core) place two
+// boxes with structurally identical-but-renamed configurations in one
+// equivalence class. Models without it (interpreted MDL models) opt out of
+// cross-slice classing: their slices are never canonically shared, which is
+// sound. Class fields (IDPS/Scrubber abstract classes) are emitted raw —
+// the class registry is network-global, so classes are not renamed.
+type CanonKeyer interface {
+	ConfigKeyer
+	// AppendConfigKeyCanon appends the renamed encoding of the model's
+	// configuration to b. Structurally equal configurations modulo the
+	// renaming ⇔ equal bytes (given the renamer's final prefix tables).
+	AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte
+}
+
+func appendCanonPrefix(b []byte, r CanonRenamer, p pkt.Prefix) []byte {
+	return binary.AppendUvarint(b, uint64(r.CanonPrefix(p)))
+}
+
+func appendCanonAddr(b []byte, r CanonRenamer, a pkt.Addr) []byte {
+	return binary.AppendUvarint(b, uint64(r.CanonAddr(a)))
+}
+
+// appendCanonACL encodes the live entries of an ACL — those whose source
+// AND destination prefixes each match at least one universe address, the
+// only entries first-match-wins evaluation can ever select for a packet of
+// this slice — in evaluation order. Dead entries are dropped so that
+// slices seeing the same effective policy canonicalize together even when
+// the configured ACL text differs (per-pair rules of a global firewall).
+func appendCanonACL(b []byte, r CanonRenamer, acl []ACLEntry) []byte {
+	live := make([]bool, len(acl))
+	n := 0
+	for i, e := range acl {
+		if r.PrefixMatchesAny(e.Src) && r.PrefixMatchesAny(e.Dst) {
+			live[i] = true
+			n++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for i, e := range acl {
+		if !live[i] {
+			continue
+		}
+		b = appendCanonPrefix(b, r, e.Src)
+		b = appendCanonPrefix(b, r, e.Dst)
+		b = append(b, byte(e.Action))
+	}
+	return b
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (f *LearningFirewall) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	b = append(b, 'F')
+	b = appendCanonACL(b, r, f.ACL)
+	if f.DefaultAllow {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (n *NAT) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	b = append(b, 'N')
+	b = appendCanonAddr(b, r, n.NATAddr)
+	return binary.BigEndian.AppendUint16(b, uint16(n.PortBase))
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (c *ContentCache) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	b = append(b, 'C')
+	b = appendCanonACL(b, r, c.ACL)
+	if c.DefaultServe {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (d *IDPS) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	b = append(b, 'I')
+	b = appendCanonAddr(b, r, d.Scrubber)
+	live := make([]bool, len(d.Watched))
+	n := 0
+	for i, p := range d.Watched {
+		if r.PrefixMatchesAny(p) {
+			live[i] = true
+			n++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for i, p := range d.Watched {
+		if live[i] {
+			b = appendCanonPrefix(b, r, p)
+		}
+	}
+	if d.HasClass {
+		b = append(b, 1, byte(d.MalClass))
+	} else {
+		b = append(b, 0, 0)
+	}
+	return b
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (s *Scrubber) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	return s.AppendConfigKey(b) // classes only; nothing to rename
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (l *LoadBalancer) AppendConfigKeyCanon(b []byte, r CanonRenamer) []byte {
+	b = append(b, 'L')
+	b = appendCanonAddr(b, r, l.VIP)
+	b = binary.AppendUvarint(b, uint64(len(l.Backends)))
+	for _, a := range l.Backends {
+		b = appendCanonAddr(b, r, a)
+	}
+	return b
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (p *Passthrough) AppendConfigKeyCanon(b []byte, _ CanonRenamer) []byte {
+	return p.AppendConfigKey(b) // type name only; nothing to rename
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (f *AppFirewall) AppendConfigKeyCanon(b []byte, _ CanonRenamer) []byte {
+	return f.AppendConfigKey(b) // abstract classes only; not renamed
+}
+
+// AppendConfigKeyCanon implements CanonKeyer.
+func (w *WANOptimizer) AppendConfigKeyCanon(b []byte, _ CanonRenamer) []byte {
+	return w.AppendConfigKey(b)
+}
+
 func appendPrefix(b []byte, p pkt.Prefix) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(p.Addr))
 	return append(b, byte(p.Len))

@@ -126,6 +126,33 @@ type Header struct {
 	Tunnel           Addr
 }
 
+// MapAddrs applies f to every address-valued field of the header (Src,
+// Dst, Origin, Tunnel), leaving AddrNone fields unset. It reports false as
+// soon as f does — the hook canonical slice renaming (internal/slices)
+// uses to carry headers between the address spaces of two isomorphic
+// slices, where a partial map must fail loudly rather than mistranslate.
+// Ports, protocol and content IDs are not topology-dependent and pass
+// through unchanged.
+func (h Header) MapAddrs(f func(Addr) (Addr, bool)) (Header, bool) {
+	ok := true
+	mapOne := func(a Addr) Addr {
+		if a == AddrNone || !ok {
+			return a
+		}
+		m, mok := f(a)
+		if !mok {
+			ok = false
+			return a
+		}
+		return m
+	}
+	h.Src = mapOne(h.Src)
+	h.Dst = mapOne(h.Dst)
+	h.Origin = mapOne(h.Origin)
+	h.Tunnel = mapOne(h.Tunnel)
+	return h, ok
+}
+
 // RouteAddr is the address the static datapath forwards on: the tunnel
 // endpoint when encapsulated, the destination otherwise.
 func (h Header) RouteAddr() Addr {

@@ -101,3 +101,54 @@ func Reduction(groups []Group) int {
 	}
 	return total - len(groups)
 }
+
+// CheckRef names one (invariant group, scenario) check in a batch.
+type CheckRef struct {
+	Group    int
+	Scenario int
+}
+
+// CanonClass is one canonical equivalence class of checks: every member's
+// (slice, invariant) pair canonicalizes to Key, so the members are
+// provably isomorphic — same verdict, corresponding witnesses. The first
+// member is the class representative.
+type CanonClass struct {
+	Key     string
+	Members []CheckRef
+}
+
+// CanonClasses partitions a groups × scenarios check grid into canonical
+// equivalence classes, scanning row-major (scenarios inner) and keeping
+// first-seen order of classes and members — the deterministic order
+// class-level solving and report assembly rely on. keyFn returns the
+// check's canonical class key, or nil when the check is not
+// canonicalizable; nil-keyed checks form singleton classes and are always
+// their own representative.
+//
+// Where §4.2 grouping (Groups) collapses invariants under an ASSUMED
+// network symmetry, canonical classes collapse checks whose isomorphism
+// has been proven by key equality; the two compose — Groups first, then
+// CanonClasses over the group representatives.
+func CanonClasses(groups, scenarios int, keyFn func(gi, si int) []byte) []CanonClass {
+	index := map[string]int{}
+	var out []CanonClass
+	for gi := 0; gi < groups; gi++ {
+		for si := 0; si < scenarios; si++ {
+			ref := CheckRef{Group: gi, Scenario: si}
+			key := keyFn(gi, si)
+			if key == nil {
+				out = append(out, CanonClass{Members: []CheckRef{ref}})
+				continue
+			}
+			ks := string(key)
+			ci, ok := index[ks]
+			if !ok {
+				ci = len(out)
+				index[ks] = ci
+				out = append(out, CanonClass{Key: ks})
+			}
+			out[ci].Members = append(out[ci].Members, ref)
+		}
+	}
+	return out
+}

@@ -107,3 +107,34 @@ func TestOpaqueInvariantsNeverGrouped(t *testing.T) {
 		t.Fatal("opaque invariants must get unique signatures")
 	}
 }
+
+// TestCanonClasses: equal keys cluster (first-seen order, first member is
+// the representative), nil keys stay singleton even when byte-equal
+// neighbours exist, and the row-major scan order is preserved.
+func TestCanonClasses(t *testing.T) {
+	keys := map[[2]int][]byte{
+		{0, 0}: []byte("k1"),
+		{0, 1}: []byte("k2"),
+		{1, 0}: []byte("k1"), // joins class of (0,0)
+		{1, 1}: nil,          // singleton
+		{2, 0}: nil,          // singleton, NOT merged with (1,1)
+		{2, 1}: []byte("k2"), // joins class of (0,1)
+	}
+	classes := CanonClasses(3, 2, func(gi, si int) []byte { return keys[[2]int{gi, si}] })
+	if len(classes) != 4 {
+		t.Fatalf("got %d classes, want 4: %+v", len(classes), classes)
+	}
+	if classes[0].Key != "k1" || len(classes[0].Members) != 2 ||
+		classes[0].Members[0] != (CheckRef{0, 0}) || classes[0].Members[1] != (CheckRef{1, 0}) {
+		t.Fatalf("class 0 wrong: %+v", classes[0])
+	}
+	if classes[1].Key != "k2" || len(classes[1].Members) != 2 ||
+		classes[1].Members[1] != (CheckRef{2, 1}) {
+		t.Fatalf("class 1 wrong: %+v", classes[1])
+	}
+	for _, ci := range []int{2, 3} {
+		if classes[ci].Key != "" || len(classes[ci].Members) != 1 {
+			t.Fatalf("nil-keyed checks must stay singleton: %+v", classes[ci])
+		}
+	}
+}

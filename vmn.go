@@ -75,8 +75,14 @@ type (
 	SessionOptions = incr.Options
 	// Change is one element of a change-set.
 	Change = incr.Change
-	// ApplyStats describes one Session.Apply (dirty and cache counters).
+	// ApplyStats describes one Session.Apply (dirty and cache counters,
+	// including canonical-class counters: dirty classes, inherited
+	// verdicts, canonical cache hits).
 	ApplyStats = incr.ApplyStats
+	// SessionTotals accumulates session-lifetime counters (solves, cache
+	// hits by kind, canonical classes and shares); see also
+	// Session.CanonStats for the verifier-level canonicalization counters.
+	SessionTotals = incr.Totals
 )
 
 // NewSession builds a session over net, verifies invs once, and returns
