@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench-json bench-multicore
+.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke bench-json bench-multicore
 
-ci: fmt vet build race bench-smoke
+ci: fmt vet build race fuzz-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,14 +28,23 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Fig2 -benchtime 1x .
 
+# A short coverage-guided run of each fuzz target beyond its checked-in
+# seed corpus: the differential churn fuzzer (Session.Apply bit-identical
+# to from-scratch VerifyAll in both dirtying granularities) and the wire
+# decoder. `go test -fuzz` takes one target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzSessionDifferential$$' -fuzztime 15s
+	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeChangeSet$$' -fuzztime 5s
+
 # Machine-readable series for benchmark trajectory tracking.
 bench-json:
 	$(GO) run ./cmd/vmnbench -fig 2,explicit -runs 5 -json
 
 # The figures whose numbers only mean something on a multi-core box: the
-# explicit-engine worker sweep, the SAT solver-reuse comparison and the
+# explicit-engine worker sweep, the SAT solver-reuse comparison, the
 # canonical-normalization comparison (class counts + encoding/verdict reuse
-# rates). CI runs this on the multi-core GitHub runner and uploads the JSON
-# as an artifact.
+# rates) and the churn comparison (incremental vs full, with the
+# prefix-level vs node-level dirty-fraction series). CI runs this on the
+# multi-core GitHub runner and uploads the JSON as an artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn -runs 5 -json > bench-multicore.json

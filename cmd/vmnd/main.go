@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/netverify/vmn/internal/bench"
@@ -34,6 +35,110 @@ import (
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
 )
+
+// netConfig selects and sizes a built-in evaluation network.
+type netConfig struct {
+	network   string
+	subnets   int
+	groups    int
+	tenants   int
+	peerings  int
+	withCache bool
+}
+
+// buildNetwork materializes a built-in network and its invariant set.
+func buildNetwork(cfg netConfig) (*core.Network, []inv.Invariant, error) {
+	var (
+		net  *core.Network
+		invs []inv.Invariant
+	)
+	switch cfg.network {
+	case "enterprise":
+		e := bench.NewEnterprise(bench.EnterpriseConfig{Subnets: cfg.subnets, HostsPerSubnet: 1})
+		net = e.Net
+		invs = e.AllInvariants()
+	case "datacenter":
+		d := bench.NewDatacenter(bench.DCConfig{Groups: cfg.groups, HostsPerGroup: 1, WithCaches: cfg.withCache})
+		net = d.Net
+		for a := 0; a < cfg.groups; a++ {
+			for b := 0; b < cfg.groups; b++ {
+				if a != b {
+					invs = append(invs, d.IsolationInvariant(a, b))
+				}
+			}
+		}
+		if cfg.withCache {
+			for g := 0; g < cfg.groups; g++ {
+				invs = append(invs, d.DataIsolationInvariant(g))
+			}
+		}
+	case "multitenant":
+		m := bench.NewMultiTenant(bench.MTConfig{Tenants: cfg.tenants, PubPerTenant: 2, PrivPerTenant: 2})
+		net = m.Net
+		for a := 0; a < cfg.tenants; a++ {
+			for b := 0; b < cfg.tenants; b++ {
+				if a != b {
+					invs = append(invs,
+						m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+				}
+			}
+		}
+	case "isp":
+		i := bench.NewISP(bench.ISPConfig{Peerings: cfg.peerings, Subnets: cfg.subnets})
+		net = i.Net
+		for s := 0; s < cfg.subnets; s++ {
+			invs = append(invs, i.Invariant(s, 0))
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown network %q", cfg.network)
+	}
+	return net, invs, nil
+}
+
+// serve runs the NDJSON loop: one initial result line for the session's
+// first verification, then one result (or error) line per input line.
+// This is the whole wire protocol of vmnd; the golden-file tests in
+// main_test.go drive it directly.
+func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	emit := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports)); err != nil {
+		return err
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		changes, err := incr.DecodeChangeSet(net, line)
+		if err != nil {
+			if err := emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		reports, err := sess.Apply(changes)
+		if err != nil {
+			if err := emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -47,6 +152,8 @@ func main() {
 		seed      = flag.Int64("seed", 0, "solver seed")
 		workers   = flag.Int("workers", 0, "re-verification pool size (0 = GOMAXPROCS)")
 		noSym     = flag.Bool("no-symmetry", false, "verify every invariant individually")
+		nodeGran  = flag.Bool("node-granularity", false,
+			"dirty at node granularity instead of prefix/rule level (escape hatch, comparison baseline)")
 	)
 	flag.Parse()
 
@@ -61,87 +168,26 @@ func main() {
 		fail("unknown engine %q", *engine)
 	}
 
-	var (
-		net  *core.Network
-		invs []inv.Invariant
-	)
-	switch *network {
-	case "enterprise":
-		e := bench.NewEnterprise(bench.EnterpriseConfig{Subnets: *subnets, HostsPerSubnet: 1})
-		net = e.Net
-		invs = e.AllInvariants()
-	case "datacenter":
-		d := bench.NewDatacenter(bench.DCConfig{Groups: *groups, HostsPerGroup: 1, WithCaches: *withCache})
-		net = d.Net
-		for a := 0; a < *groups; a++ {
-			for b := 0; b < *groups; b++ {
-				if a != b {
-					invs = append(invs, d.IsolationInvariant(a, b))
-				}
-			}
-		}
-		if *withCache {
-			for g := 0; g < *groups; g++ {
-				invs = append(invs, d.DataIsolationInvariant(g))
-			}
-		}
-	case "multitenant":
-		m := bench.NewMultiTenant(bench.MTConfig{Tenants: *tenants, PubPerTenant: 2, PrivPerTenant: 2})
-		net = m.Net
-		for a := 0; a < *tenants; a++ {
-			for b := 0; b < *tenants; b++ {
-				if a != b {
-					invs = append(invs,
-						m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
-				}
-			}
-		}
-	case "isp":
-		i := bench.NewISP(bench.ISPConfig{Peerings: *peerings, Subnets: *subnets})
-		net = i.Net
-		for s := 0; s < *subnets; s++ {
-			invs = append(invs, i.Invariant(s, 0))
-		}
-	default:
-		fail("unknown network %q", *network)
-	}
-
-	sess, reports, err := incr.NewSession(net, opts, invs,
-		incr.Options{Workers: *workers, NoSymmetry: *noSym})
+	net, invs, err := buildNetwork(netConfig{
+		network:   *network,
+		subnets:   *subnets,
+		groups:    *groups,
+		tenants:   *tenants,
+		peerings:  *peerings,
+		withCache: *withCache,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
 
-	out := bufio.NewWriter(os.Stdout)
-	enc := json.NewEncoder(out)
-	emit := func(v any) {
-		if err := enc.Encode(v); err != nil {
-			fail("%v", err)
-		}
-		if err := out.Flush(); err != nil {
-			fail("%v", err)
-		}
+	sess, reports, err := incr.NewSession(net, opts, invs,
+		incr.Options{Workers: *workers, NoSymmetry: *noSym, NodeGranularity: *nodeGran})
+	if err != nil {
+		fail("%v", err)
 	}
-	emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports))
 
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		changes, err := incr.DecodeChangeSet(net, line)
-		if err != nil {
-			emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()})
-			continue
-		}
-		reports, err := sess.Apply(changes)
-		if err != nil {
-			emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()})
-			continue
-		}
-		emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports))
-	}
-	if err := sc.Err(); err != nil {
-		fail("reading stdin: %v", err)
+	if err := serve(sess, net, reports, os.Stdin, os.Stdout); err != nil {
+		fail("%v", err)
 	}
 }
 

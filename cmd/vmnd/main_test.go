@@ -1,0 +1,138 @@
+package main
+
+// Golden-file tests for the NDJSON wire protocol: every supported op (and
+// the malformed-input error paths) gets one recorded exchange — the
+// initial verification result line plus one result/error line per input
+// line — so any change to the wire format shows up as a reviewable diff.
+// Regenerate with:
+//
+//	go test ./cmd/vmnd -run TestGolden -update
+//
+// Durations are nondeterministic and normalized to 0 before comparison
+// (and in the recorded files).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var durationRe = regexp.MustCompile(`"duration_ns":\d+`)
+
+func normalize(b []byte) []byte {
+	return durationRe.ReplaceAll(b, []byte(`"duration_ns":0`))
+}
+
+// exchange builds a fresh session over the small datacenter and drives the
+// wire loop with the given input lines.
+func exchange(t *testing.T, lines []string) []byte {
+	t.Helper()
+	net, invs, err := buildNetwork(netConfig{network: "datacenter", groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs,
+		incr.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out bytes.Buffer
+	if err := serve(sess, net, reports, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	return normalize(out.Bytes())
+}
+
+func TestGoldenWireProtocol(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+	}{
+		{"node_down", []string{`{"op":"node_down","node":"fw1"}`}},
+		{"node_up", []string{
+			`{"op":"node_down","node":"h2-0"}`,
+			`{"op":"node_up","node":"h2-0"}`,
+		}},
+		{"relabel", []string{`{"op":"relabel","node":"h0-0","class":"broken-0"}`}},
+		{"fw_allow", []string{`{"op":"fw_allow","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}`}},
+		{"fw_deny", []string{`{"op":"fw_deny","node":"fw1","src":"10.2.0.0/24","dst":"*"}`}},
+		{"fw_del", []string{`{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}`}},
+		{"box_reconfig", []string{`{"op":"box_reconfig","node":"fw2"}`}},
+		{"box_remove", []string{`{"op":"box_remove","node":"ids2"}`}},
+		{"inv_add", []string{
+			`{"op":"inv_add","invariant":{"type":"reachability","dst":"h1-0","src_addr":"10.0.0.1","label":"leak?"}}`,
+		}},
+		{"inv_remove", []string{
+			`{"op":"inv_add","invariant":{"type":"simple_isolation","dst":"h2-0","src_addr":"10.0.0.1","label":"extra"}}`,
+			`{"op":"inv_remove","name":"extra"}`,
+		}},
+		{"noop", []string{`{"op":"noop"}`}},
+		{"change_set", []string{
+			`[{"op":"fw_del","node":"fw2","src":"10.0.0.0/24","dst":"10.1.0.0/24"},` +
+				`{"op":"relabel","node":"h0-0","class":"broken-0"},` +
+				`{"op":"relabel","node":"h1-0","class":"broken-1"}]`,
+		}},
+		{"malformed", []string{
+			`not json at all`,
+			`{"op":"frobnicate"}`,
+			`{"op":"node_down","node":"nope"}`,
+			`{"op":"fw_deny","node":"ids1","src":"10.0.0.0/24","dst":"*"}`,
+			`{"op":"fw_deny","node":"fw1","src":"999.0.0.0/24","dst":"*"}`,
+			`{"op":"inv_add","invariant":{"type":"weird","dst":"h0-0"}}`,
+			`{"op":"noop"}`,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := exchange(t, c.lines)
+			path := filepath.Join("testdata", "golden", c.name+".ndjson")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenErrorLinesKeepSession pins that a malformed line leaves the
+// session usable: the error line carries the last good sequence number and
+// the next valid line still produces a result.
+func TestGoldenErrorLinesKeepSession(t *testing.T) {
+	out := exchange(t, []string{
+		`{"op":"frobnicate"}`,
+		`{"op":"node_down","node":"fw1"}`,
+	})
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("want init + error + result lines, got %d:\n%s", len(lines), out)
+	}
+	if !bytes.Contains(lines[1], []byte(`"error"`)) {
+		t.Fatalf("second line should be an error: %s", lines[1])
+	}
+	if !bytes.Contains(lines[2], []byte(`"seq":2`)) {
+		t.Fatalf("session should continue after an error line: %s", lines[2])
+	}
+}

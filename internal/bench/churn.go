@@ -8,7 +8,6 @@ import (
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/mbox"
-	"github.com/netverify/vmn/internal/pkt"
 	"github.com/netverify/vmn/internal/tf"
 	"github.com/netverify/vmn/internal/topo"
 )
@@ -24,37 +23,120 @@ const (
 // random rack-local changes (policy relabels, host liveness toggles,
 // rack-level forwarding updates, per-tenant firewall reconfigurations) on
 // the Fig 2 datacenter and the §5.3.2 multi-tenant scenarios. For each
-// scenario it emits two rows — "<scenario>/incremental" and
-// "<scenario>/full" — whose samples are per-step wall-clock times: the
-// incremental side is one Session.Apply, the full side a from-scratch
-// VerifyAll over the identical post-change network. Dirtied/CacheHits/
-// Solves record the incremental session's accounting, so the JSON output
-// carries the dirty fraction and cache effectiveness alongside the
-// speedup.
+// scenario it emits three rows — "<scenario>/incremental" (prefix/rule-
+// level dirtying), "<scenario>/incremental-node" (the node-granularity
+// escape hatch, PR 2's baseline) and "<scenario>/full" — whose samples are
+// per-step wall-clock times: the incremental sides are one Session.Apply
+// over identical change streams on identical networks, the full side a
+// from-scratch VerifyAll over the identical post-change network.
+// Dirtied/DirtyFraction/RefinedClean/CacheHits/Solves record each
+// session's accounting, so the JSON artifact carries the dirty-fraction
+// series (prefix-level vs node-level) alongside the speedup.
 func Churn(steps, runs int) Series {
 	s := Series{Fig: "churn", Title: "incremental vs full re-verification under change streams"}
 	dcInc := Row{Label: "datacenter/incremental", X: steps}
+	dcNode := Row{Label: "datacenter/incremental-node", X: steps}
 	dcFull := Row{Label: "datacenter/full", X: steps}
+	fibInc := Row{Label: "datacenter-fib/incremental", X: steps}
+	fibNode := Row{Label: "datacenter-fib/incremental-node", X: steps}
+	fibFull := Row{Label: "datacenter-fib/full", X: steps}
 	mtInc := Row{Label: "multitenant/incremental", X: steps}
+	mtNode := Row{Label: "multitenant/incremental-node", X: steps}
 	mtFull := Row{Label: "multitenant/full", X: steps}
 	for r := 0; r < runs; r++ {
-		churnDatacenter(steps, int64(r), &dcInc, &dcFull)
-		churnMultiTenant(steps, int64(r), &mtInc, &mtFull)
+		churnDatacenter(steps, int64(r), incr.Options{}, &dcInc, &dcFull)
+		churnDatacenter(steps, int64(r), incr.Options{NodeGranularity: true}, &dcNode, nil)
+		churnDatacenterFIB(steps, int64(r), incr.Options{}, &fibInc, &fibFull)
+		churnDatacenterFIB(steps, int64(r), incr.Options{NodeGranularity: true}, &fibNode, nil)
+		churnMultiTenant(steps, int64(r), incr.Options{}, &mtInc, &mtFull)
+		churnMultiTenant(steps, int64(r), incr.Options{NodeGranularity: true}, &mtNode, nil)
 	}
-	avgDirty := func(row *Row) {
+	finish := func(row *Row) {
+		// Derive the fraction from the untruncated total; the integer
+		// per-step average truncates afterwards.
 		if n := len(row.Samples); n > 0 {
+			if row.Invariants > 0 {
+				row.DirtyFraction = float64(row.Dirtied) / float64(n) / float64(row.Invariants)
+			}
 			row.Dirtied /= n
 		}
 	}
-	avgDirty(&dcInc)
-	avgDirty(&mtInc)
-	s.Rows = append(s.Rows, dcInc, dcFull, mtInc, mtFull)
+	finish(&dcInc)
+	finish(&dcNode)
+	finish(&fibInc)
+	finish(&fibNode)
+	finish(&mtInc)
+	finish(&mtNode)
+	s.Rows = append(s.Rows, dcInc, dcNode, dcFull, fibInc, fibNode, fibFull, mtInc, mtNode, mtFull)
 	return s
 }
 
+// churnDatacenterFIB is the pure FIB-update stream over the SHARED
+// aggregation switch — the workload prefix-level dirtying exists for:
+// every step toggles a steering shadow rule for one group's prefix at the
+// agg, which sits in every slice's footprint, so node-granularity
+// dirtying re-verifies the entire invariant set each step while
+// prefix-level dirtying re-verifies only the pairs reading that group's
+// atoms.
+func churnDatacenterFIB(steps int, seed int64, sopts incr.Options, inc, full *Row) {
+	const G = churnGroups
+	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
+	invs := d.AllIsolationInvariants()
+	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
+	sess, _, err := incr.NewSession(d.Net, opts, invs, sopts)
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed + 2))
+	baseFIB := d.Net.FIBFor
+	shadowed := map[int]bool{}
+	for step := 0; step < steps; step++ {
+		g := rng.Intn(G)
+		if shadowed[g] {
+			delete(shadowed, g)
+		} else {
+			shadowed[g] = true
+		}
+		var rules []tf.Rule
+		for sg := 0; sg < G; sg++ { // deterministic order: positional diffs stay minimal
+			if shadowed[sg] {
+				rules = append(rules, tf.Rule{Match: ClientPrefix(sg), In: topo.NodeNone, Out: d.FW1, Priority: 11})
+			}
+		}
+		changes := []incr.Change{incr.FIBUpdate(overlayFIB(baseFIB, map[topo.NodeID][]tf.Rule{d.Agg: rules}))}
+		churnStep(sess, opts, changes, inc, full)
+	}
+}
+
+// overlayFIB layers the overlay's rules (prepended, so they sort ahead of
+// equal-priority base rules) over base forwarding state. The overlay is
+// snapshotted per call: each returned provider is independent, so the
+// session's FIB diffing sees genuinely old vs new tables across updates.
+func overlayFIB(base func(topo.FailureScenario) tf.FIB, overlay map[topo.NodeID][]tf.Rule) func(topo.FailureScenario) tf.FIB {
+	snap := map[topo.NodeID][]tf.Rule{}
+	for n, rs := range overlay {
+		snap[n] = append([]tf.Rule(nil), rs...)
+	}
+	return func(sc topo.FailureScenario) tf.FIB {
+		fib := base(sc)
+		if len(snap) == 0 {
+			return fib
+		}
+		out := tf.FIB{}
+		for n, rs := range fib {
+			out[n] = rs
+		}
+		for n, rs := range snap {
+			out[n] = append(append([]tf.Rule(nil), rs...), out[n]...)
+		}
+		return out
+	}
+}
+
 // churnStep applies one change-set to the session (timed into inc) and
-// then measures a from-scratch VerifyAll over the same mutated network
-// (timed into full).
+// then — when full is non-nil — measures a from-scratch VerifyAll over the
+// same mutated network (timed into full).
 func churnStep(sess *incr.Session, opts core.Options, changes []incr.Change, inc, full *Row) {
 	incDur := timeIt(func() {
 		if _, err := sess.Apply(changes); err != nil {
@@ -65,9 +147,13 @@ func churnStep(sess *incr.Session, opts core.Options, changes []incr.Change, inc
 	inc.Samples = append(inc.Samples, incDur)
 	inc.Invariants = st.Invariants
 	inc.Dirtied += st.DirtyInvariants
+	inc.RefinedClean += st.RefinedClean
 	inc.CacheHits += st.CacheHits
 	inc.Solves += st.CacheMisses
 
+	if full == nil {
+		return
+	}
 	opts.Scenarios = sess.EffectiveScenarios()
 	full.Samples = append(full.Samples, timeIt(func() {
 		v := mustVerifier(sess.Network(), opts)
@@ -80,12 +166,12 @@ func churnStep(sess *incr.Session, opts core.Options, changes []incr.Change, inc
 	// misleading "dirty 0/N" annotation for it.
 }
 
-func churnDatacenter(steps int, seed int64, inc, full *Row) {
+func churnDatacenter(steps int, seed int64, sopts incr.Options, inc, full *Row) {
 	const G = churnGroups
 	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
 	invs := d.AllIsolationInvariants()
 	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
-	sess, _, err := incr.NewSession(d.Net, opts, invs, incr.Options{})
+	sess, _, err := incr.NewSession(d.Net, opts, invs, sopts)
 	if err != nil {
 		panic(err)
 	}
@@ -117,42 +203,28 @@ func churnDatacenter(steps int, seed int64, inc, full *Row) {
 				hostDown[h] = true
 				changes = append(changes, incr.NodeDown(h))
 			}
-		case 2: // rack-level forwarding update (shadow rule toggle)
-			tor := d.ToR[g]
-			if len(overlay[tor]) > 0 {
-				delete(overlay, tor)
+		case 2: // rack-destined forwarding update at the SHARED aggregation
+			// switch (shadow steering rule toggle): the case prefix-level
+			// dirtying exists for — the agg is in every slice's footprint,
+			// but only group g's atoms fall under the changed prefix.
+			agg := d.Agg
+			if len(overlay[agg]) > 0 {
+				delete(overlay, agg)
 			} else {
-				overlay[tor] = []tf.Rule{{
-					Match:    pkt.HostPrefix(HostAddr(g, 0)),
+				overlay[agg] = []tf.Rule{{
+					Match:    ClientPrefix(g),
 					In:       topo.NodeNone,
-					Out:      d.Hosts[g][0],
-					Priority: 35,
+					Out:      d.FW1,
+					Priority: 11,
 				}}
 			}
-			snap := map[topo.NodeID][]tf.Rule{}
-			for n, rs := range overlay {
-				snap[n] = append([]tf.Rule(nil), rs...)
-			}
-			changes = append(changes, incr.FIBUpdate(func(sc topo.FailureScenario) tf.FIB {
-				fib := baseFIB(sc)
-				if len(snap) == 0 {
-					return fib
-				}
-				out := tf.FIB{}
-				for n, rs := range fib {
-					out[n] = rs
-				}
-				for n, rs := range snap {
-					out[n] = append(append([]tf.Rule(nil), rs...), out[n]...)
-				}
-				return out
-			}))
+			changes = append(changes, incr.FIBUpdate(overlayFIB(baseFIB, overlay)))
 		}
 		churnStep(sess, opts, changes, inc, full)
 	}
 }
 
-func churnMultiTenant(steps int, seed int64, inc, full *Row) {
+func churnMultiTenant(steps int, seed int64, sopts incr.Options, inc, full *Row) {
 	const T = churnTenants
 	m := NewMultiTenant(MTConfig{Tenants: T, PubPerTenant: 1, PrivPerTenant: 1})
 	// Per-tenant policy classes keep symmetry groups fine-grained so the
@@ -175,18 +247,20 @@ func churnMultiTenant(steps int, seed int64, inc, full *Row) {
 		}
 	}
 	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
-	sess, _, err := incr.NewSession(m.Net, opts, invs, incr.Options{})
+	sess, _, err := incr.NewSession(m.Net, opts, invs, sopts)
 	if err != nil {
 		panic(err)
 	}
 
 	rng := rand.New(rand.NewSource(seed + 1))
+	baseFIB := m.Net.FIBFor
+	overlay := map[topo.NodeID][]tf.Rule{}
 	shadowed := map[int]bool{}
 	vmDown := map[topo.NodeID]bool{}
 	for step := 0; step < steps; step++ {
 		tn := rng.Intn(T)
 		var changes []incr.Change
-		switch step % 2 {
+		switch step % 3 {
 		case 0: // per-tenant firewall reconfiguration (shadow entry toggle)
 			fw := m.Firewalls[tn]
 			if shadowed[tn] {
@@ -208,6 +282,22 @@ func churnMultiTenant(steps int, seed int64, inc, full *Row) {
 				vmDown[vm] = true
 				changes = append(changes, incr.NodeDown(vm))
 			}
+		case 2: // tenant-destined forwarding update at the SHARED fabric
+			// switch (shadow steering rule toggle): every inter-tenant
+			// slice crosses the fabric, but only tenant tn's atoms fall
+			// under the changed prefix.
+			fab := m.Fabric
+			if len(overlay[fab]) > 0 {
+				delete(overlay, fab)
+			} else {
+				overlay[fab] = []tf.Rule{{
+					Match:    TenantPrefix(tn),
+					In:       topo.NodeNone,
+					Out:      m.VSwitchFW[tn],
+					Priority: 11,
+				}}
+			}
+			changes = append(changes, incr.FIBUpdate(overlayFIB(baseFIB, overlay)))
 		}
 		churnStep(sess, opts, changes, inc, full)
 	}

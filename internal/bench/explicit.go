@@ -52,7 +52,8 @@ func statesCol(r Row) string {
 		return fmt.Sprintf("enc hits %d, builds %d, conflicts %d", r.CacheHits, r.Solves, r.Conflicts)
 	}
 	if r.Invariants > 0 {
-		return fmt.Sprintf("dirty %d/%d, hits %d, solves %d", r.Dirtied, r.Invariants, r.CacheHits, r.Solves)
+		return fmt.Sprintf("dirty %d/%d (%.1f%%), refined-clean %d, hits %d, solves %d",
+			r.Dirtied, r.Invariants, 100*r.DirtyFraction, r.RefinedClean, r.CacheHits, r.Solves)
 	}
 	return ""
 }

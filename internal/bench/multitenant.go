@@ -25,6 +25,7 @@ type MultiTenant struct {
 	Net *core.Network
 	Cfg MTConfig
 
+	Fabric    topo.NodeID     // shared fabric switch every inter-tenant path crosses
 	VSwitchFW []topo.NodeID   // per-tenant vswitch firewall
 	PubVMs    [][]topo.NodeID // [tenant][i]
 	PrivVMs   [][]topo.NodeID
@@ -66,6 +67,7 @@ func NewMultiTenant(cfg MTConfig) *MultiTenant {
 	m := &MultiTenant{Cfg: cfg}
 	t := topo.New()
 	fab := t.AddSwitch("fabric")
+	m.Fabric = fab
 	policy := map[topo.NodeID]string{}
 
 	fib := tf.FIB{}

@@ -29,8 +29,17 @@ type Row struct {
 	// hits and encoding builds.
 	Invariants int `json:",omitempty"`
 	Dirtied    int `json:",omitempty"`
-	CacheHits  int `json:",omitempty"`
-	Solves     int `json:",omitempty"`
+	// DirtyFraction is Dirtied/Invariants (the average per-step fraction of
+	// the invariant set re-verified); the churn figure reports it for both
+	// the prefix-level and node-granularity incremental rows so the
+	// refinement's dirty-set reduction is directly visible in the artifact.
+	DirtyFraction float64 `json:",omitempty"`
+	// RefinedClean totals the groups the prefix/rule-level dependency
+	// index proved clean where node-granularity dirtying would have
+	// re-verified them.
+	RefinedClean int `json:",omitempty"`
+	CacheHits    int `json:",omitempty"`
+	Solves       int `json:",omitempty"`
 	// Conflicts totals SAT-solver conflicts across the row's runs — the
 	// learnt-clause reuse signal of FigSATIncr (a warm shared encoding
 	// resolves later invariants with far fewer conflicts).

@@ -6,6 +6,7 @@ import (
 
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/slices"
 )
 
 func ck(i int) []byte {
@@ -67,6 +68,45 @@ func TestVerdictCacheUpdateInPlace(t *testing.T) {
 	r, _, ok := c.get(ck(1))
 	if !ok || r.Result.StatesExplored != 2 {
 		t.Fatalf("update not visible: ok=%v report=%v", ok, r.Result.StatesExplored)
+	}
+}
+
+// TestVerdictCacheRenamingSurvivesEviction: a canonical entry's stored
+// producer renaming — the hook witness translation depends on — must ride
+// through arbitrary eviction interleavings: a hot canonical entry keeps
+// returning ITS renaming while cold entries around it are evicted, and an
+// evicted canonical entry is gone renaming and all (a stale renaming
+// served for a re-inserted key would mistranslate witnesses).
+func TestVerdictCacheRenamingSurvivesEviction(t *testing.T) {
+	const cap = 3
+	c := newVerdictCache(cap)
+	renA, renB := &slices.Renaming{}, &slices.Renaming{}
+	c.put(ck(100), rep(100), renA) // hot canonical entry
+	c.put(ck(101), rep(101), renB) // cold canonical entry
+	for i := 0; i < 10; i++ {
+		// Touch the hot entry, then insert a cold one — each insertion past
+		// the cap evicts the least recently used entry.
+		r, ren, ok := c.get(ck(100))
+		if !ok || ren != renA {
+			t.Fatalf("step %d: hot canonical entry lost its renaming: ok=%v ren=%p", i, ok, ren)
+		}
+		if r.Result.StatesExplored != 100 {
+			t.Fatalf("step %d: hot entry returned wrong report", i)
+		}
+		c.put(ck(200+i), rep(i), nil)
+	}
+	if _, ren, ok := c.get(ck(100)); !ok || ren != renA {
+		t.Fatalf("hot canonical entry must survive the churn with its renaming, ok=%v ren=%p", ok, ren)
+	}
+	if _, _, ok := c.get(ck(101)); ok {
+		t.Fatal("cold canonical entry should have been evicted")
+	}
+	// Re-inserting the evicted key with a DIFFERENT renaming must serve the
+	// new one, never a stale survivor.
+	renB2 := &slices.Renaming{}
+	c.put(ck(101), rep(1), renB2)
+	if _, ren, ok := c.get(ck(101)); !ok || ren != renB2 {
+		t.Fatalf("re-inserted entry must carry its new renaming, ok=%v ren=%p", ok, ren)
 	}
 }
 

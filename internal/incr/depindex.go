@@ -1,24 +1,53 @@
 package incr
 
-// Dependency bookkeeping: translating a change-set into the set of network
-// elements whose configuration or liveness it alters ("affected
-// elements"), so the session can dirty exactly the symmetry groups whose
-// touched footprint (slices.Touched) intersects it.
+// Dependency bookkeeping: translating a change-set into an impact record
+// the session classifies each group's read-set against. Three channels,
+// in decreasing coarseness:
+//
+//   - nodes: elements whose liveness, membership or policy changed
+//     (node up/down, box add/remove, relabels, explicitly announced FIB
+//     owners). Any group whose footprint contains such an element is
+//     dirty — exactly the PR 2 behaviour.
+//
+//   - fib: forwarding tables whose rule lists changed, carried as
+//     old/new pairs per effective scenario. A group is dirty only if one
+//     of its read atoms at that node resolves differently: the walk
+//     decision at (node, dst) is a function of the ordered subsequence of
+//     rules matching dst (priority sorting is stable, so the relative
+//     order of the matching rules is preserved regardless of unrelated
+//     rules around them), so the group re-verifies iff that subsequence
+//     differs between the old and new table for some atom it read. This
+//     covers negative reads by construction: a lookup that matched only a
+//     covering default gains a new first element when a more-specific
+//     rule arrives, and loses nothing when the change is outside every
+//     atom.
+//
+//   - boxes: middlebox nodes announced as reconfigured. A group is dirty
+//     only if the box's rule-read projection onto the group's address
+//     universe (mbox.RuleReadKeyer) differs from the projection stored
+//     when the group was last verified — appending a rule for an
+//     unrelated tenant leaves the projection, and hence the verdict,
+//     untouched.
 //
 // The soundness argument is the determinism of the transfer function
 // combined with complete read sets: tf.Engine.Consulted reports every
 // node whose table OR liveness a walk reads (visited nodes, failed rule
 // targets routed around, neighbors examined by implicit-default choices),
-// so a change at a node outside every footprint of a group cannot alter
-// any walk, the slice closure, the grounded problem, or the verdict. A
-// liveness toggle at n therefore dirties exactly the groups whose
-// footprint contains n — with one widening: per-scenario forwarding state
+// tf.Engine.ConsultedTables the subset whose tables are read, so a change
+// outside every read of a group cannot alter any walk, the slice closure,
+// the grounded problem, or the verdict. Per-scenario forwarding state
 // (FIBFor) can itself depend on the failure scenario, so liveness toggles
-// and provider swaps are diffed, and every node whose rule list differs
-// between the old and new tables of any effective scenario is affected
-// too.
+// and provider swaps are diffed table-by-table and flow through the fib
+// channel.
+//
+// Options.NodeGranularity collapses the fib and boxes channels into
+// nodes, restoring PR 2's element-level dirtying as the escape hatch and
+// comparison baseline.
 
 import (
+	"sort"
+
+	"github.com/netverify/vmn/internal/pkt"
 	"github.com/netverify/vmn/internal/tf"
 	"github.com/netverify/vmn/internal/topo"
 )
@@ -44,21 +73,211 @@ func (s elemSet) intersects(nodes []topo.NodeID) bool {
 	return false
 }
 
-// diffFIBs adds to out every node whose rule list differs between a and b.
-// Rule order matters (equal-priority ties break on table order), so the
-// comparison is positional.
-func diffFIBs(a, b tf.FIB, out elemSet) {
+// containsNode reports membership in a sorted node slice.
+func containsNode(sorted []topo.NodeID, n topo.NodeID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= n })
+	return i < len(sorted) && sorted[i] == n
+}
+
+// fibDelta is one changed forwarding table: the old and new rule lists of
+// one node under one effective scenario, the prefixes of positionally
+// changed rules (the atom prescreen), and a lazily filled per-atom
+// verdict memo shared by every group classified against this delta.
+// Classification runs on Apply's serializing goroutine, so the memo needs
+// no lock.
+type fibDelta struct {
+	oldRules, newRules []tf.Rule
+	changed            []pkt.Prefix
+	memo               map[pkt.Addr]bool // true = resolves differently
+}
+
+// newFIBDelta records a changed table and the prefixes of every rule that
+// is not positionally identical between the two lists (a superset of the
+// rules whose matching behaviour can differ for any address).
+func newFIBDelta(old, new []tf.Rule) *fibDelta {
+	d := &fibDelta{oldRules: old, newRules: new, memo: map[pkt.Addr]bool{}}
+	seen := map[pkt.Prefix]bool{}
+	addPfx := func(p pkt.Prefix) {
+		if !seen[p] {
+			seen[p] = true
+			d.changed = append(d.changed, p)
+		}
+	}
+	n := len(old)
+	if len(new) > n {
+		n = len(new)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(old):
+			addPfx(new[i].Match)
+		case i >= len(new):
+			addPfx(old[i].Match)
+		case old[i] != new[i]:
+			addPfx(old[i].Match)
+			addPfx(new[i].Match)
+		}
+	}
+	return d
+}
+
+// dirtyFor reports whether any read atom resolves differently under the
+// new table. The common case — a change entirely outside the group's
+// address space — exits on the set-level prescreen: one
+// AtomSet.IntersectsPrefix binary search per changed prefix. Only groups
+// that survive it pay for per-atom matching-subsequence comparison.
+func (d *fibDelta) dirtyFor(atoms topo.AtomSet) bool {
+	hit := false
+	for _, p := range d.changed {
+		if atoms.IntersectsPrefix(p) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false
+	}
+	for _, a := range atoms {
+		covered := false
+		for _, p := range d.changed {
+			if p.Matches(a) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		dirty, ok := d.memo[a]
+		if !ok {
+			dirty = !equalMatching(d.oldRules, d.newRules, a)
+			d.memo[a] = dirty
+		}
+		if dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// equalMatching compares the ordered subsequences of rules matching a.
+func equalMatching(old, new []tf.Rule, a pkt.Addr) bool {
+	j := 0
+	for _, r := range old {
+		if !r.Match.Matches(a) {
+			continue
+		}
+		for j < len(new) && !new[j].Match.Matches(a) {
+			j++
+		}
+		if j >= len(new) || new[j] != r {
+			return false
+		}
+		j++
+	}
+	for j < len(new) {
+		if new[j].Match.Matches(a) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// impact is the classified effect of one change-set (see the package
+// comment above for the three channels).
+type impact struct {
+	nodes elemSet
+	fib   map[topo.NodeID][]*fibDelta
+	boxes elemSet
+}
+
+func newImpact() *impact {
+	return &impact{nodes: elemSet{}, fib: map[topo.NodeID][]*fibDelta{}, boxes: elemSet{}}
+}
+
+// diffFIBs appends a fibDelta for every node whose rule list differs
+// between a and b. Rule order matters (equal-priority ties break on table
+// order), so the comparison is positional.
+func (im *impact) diffFIBs(a, b tf.FIB) {
 	for n, ra := range a {
 		rb, ok := b[n]
 		if !ok || !rulesEqual(ra, rb) {
-			out.add(n)
+			im.fib[n] = append(im.fib[n], newFIBDelta(ra, rb))
 		}
 	}
-	for n := range b {
+	for n, rb := range b {
 		if _, ok := a[n]; !ok {
-			out.add(n)
+			im.fib[n] = append(im.fib[n], newFIBDelta(nil, rb))
 		}
 	}
+}
+
+// groupVerdict classifies one group's read-set against the impact.
+type groupVerdict int8
+
+const (
+	groupClean groupVerdict = iota
+	// groupRefinedClean: the node-granularity index would have dirtied the
+	// group (its footprint intersects a changed element), but the refined
+	// read-set proved every change irrelevant.
+	groupRefinedClean
+	groupDirty
+)
+
+// classify decides whether the changes recorded in the impact can affect a
+// group with the given read-set memory.
+func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe topo.AtomSet) (string, bool)) groupVerdict {
+	if im.nodes.intersects(e.touched) {
+		return groupDirty
+	}
+	refined := false
+	for n, deltas := range im.fib {
+		if !containsNode(e.touched, n) {
+			continue
+		}
+		if e.coarse {
+			return groupDirty
+		}
+		atoms := e.fib[n]
+		if len(atoms) == 0 {
+			// Consulted for liveness or membership only: the node's
+			// forwarding entries were never read, so a table change there
+			// cannot alter any walk of this group.
+			refined = true
+			continue
+		}
+		for _, d := range deltas {
+			if d.dirtyFor(atoms) {
+				return groupDirty
+			}
+		}
+		refined = true
+	}
+	for n := range im.boxes {
+		if !containsNode(e.touched, n) {
+			continue
+		}
+		if e.coarse {
+			return groupDirty
+		}
+		stored, ok := e.boxKeys[n]
+		if !ok {
+			// The box was not part of the group's slice when verified (or
+			// its model has no rule-read projection): no stored read to
+			// compare against, dirty at node granularity.
+			return groupDirty
+		}
+		cur, ok := boxKey(n, e.universe)
+		if !ok || cur != stored {
+			return groupDirty
+		}
+		refined = true
+	}
+	if refined {
+		return groupRefinedClean
+	}
+	return groupClean
 }
 
 func rulesEqual(a, b []tf.Rule) bool {

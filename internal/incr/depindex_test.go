@@ -1,0 +1,92 @@
+package incr
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func pfx(s string, l int) pkt.Prefix { return pkt.Prefix{Addr: pkt.MustParseAddr(s), Len: l} }
+
+func rule(p pkt.Prefix, out topo.NodeID, prio int) tf.Rule {
+	return tf.Rule{Match: p, In: topo.NodeNone, Out: out, Priority: prio}
+}
+
+// TestFIBDeltaDirtyFor pins the per-atom dirtiness predicate: an atom is
+// dirty iff the ordered subsequence of rules matching it differs between
+// the old and new table.
+func TestFIBDeltaDirtyFor(t *testing.T) {
+	deflt := rule(pkt.Prefix{}, 1, 1)
+	r0 := rule(pfx("10.0.0.0", 24), 2, 10)
+	r1 := rule(pfx("10.1.0.0", 24), 3, 10)
+	a0 := pkt.MustParseAddr("10.0.0.7")
+	a1 := pkt.MustParseAddr("10.1.0.7")
+	a2 := pkt.MustParseAddr("10.2.0.7")
+
+	atoms := func(as ...pkt.Addr) topo.AtomSet { return topo.NewAtomSet(as) }
+
+	// Adding a more-specific rule over a covering default dirties exactly
+	// the atoms the new prefix covers (the negative-read case).
+	d := newFIBDelta([]tf.Rule{deflt}, []tf.Rule{r0, deflt})
+	if !d.dirtyFor(atoms(a0)) {
+		t.Fatal("atom under the new prefix must be dirty")
+	}
+	if d.dirtyFor(atoms(a1)) || d.dirtyFor(atoms(a2)) {
+		t.Fatal("atoms outside the new prefix must stay clean")
+	}
+
+	// Removing an unrelated rule leaves other atoms' subsequences intact
+	// even though every position shifted.
+	d = newFIBDelta([]tf.Rule{r0, r1, deflt}, []tf.Rule{r1, deflt})
+	if !d.dirtyFor(atoms(a0)) {
+		t.Fatal("atom of the removed rule must be dirty")
+	}
+	if d.dirtyFor(atoms(a1)) || d.dirtyFor(atoms(a2)) {
+		t.Fatal("shifted-but-identical subsequences must stay clean")
+	}
+
+	// Reordering two rules that both match an atom dirties it (first-match
+	// semantics), while atoms matching neither stay clean.
+	wide := rule(pfx("10.0.0.0", 16), 4, 10)
+	d = newFIBDelta([]tf.Rule{r0, wide, deflt}, []tf.Rule{wide, r0, deflt})
+	if !d.dirtyFor(atoms(a0)) {
+		t.Fatal("reorder of matching rules must dirty the atom")
+	}
+	if d.dirtyFor(atoms(a2)) {
+		t.Fatal("reorder outside the atom's matches must stay clean")
+	}
+
+	// A priority change on a matching rule dirties (the rule differs).
+	r0hot := rule(pfx("10.0.0.0", 24), 2, 50)
+	d = newFIBDelta([]tf.Rule{r0, deflt}, []tf.Rule{r0hot, deflt})
+	if !d.dirtyFor(atoms(a0)) {
+		t.Fatal("priority change must dirty the matching atom")
+	}
+
+	// Identical tables produce an empty prescreen and no dirt at all.
+	d = newFIBDelta([]tf.Rule{r0, deflt}, []tf.Rule{r0, deflt})
+	if len(d.changed) != 0 || d.dirtyFor(atoms(a0, a1, a2)) {
+		t.Fatalf("identical tables must be clean (changed=%v)", d.changed)
+	}
+}
+
+func TestEqualMatching(t *testing.T) {
+	deflt := rule(pkt.Prefix{}, 1, 1)
+	r0 := rule(pfx("10.0.0.0", 24), 2, 10)
+	a0 := pkt.MustParseAddr("10.0.0.7")
+	if !equalMatching([]tf.Rule{r0, deflt}, []tf.Rule{r0, deflt}, a0) {
+		t.Fatal("identical lists must match")
+	}
+	if equalMatching([]tf.Rule{deflt}, []tf.Rule{r0, deflt}, a0) {
+		t.Fatal("extra matching rule in new must differ")
+	}
+	if equalMatching([]tf.Rule{r0, deflt}, []tf.Rule{deflt}, a0) {
+		t.Fatal("missing matching rule in new must differ")
+	}
+	other := rule(pfx("10.5.0.0", 16), 9, 99)
+	if !equalMatching([]tf.Rule{r0, deflt}, []tf.Rule{other, r0, other, deflt}, a0) {
+		t.Fatal("non-matching rules interleaved must not affect equality")
+	}
+}

@@ -1,0 +1,368 @@
+package incr_test
+
+// Differential churn fuzzing: arbitrary bytes decode into a change stream
+// over the bench networks, and after EVERY step the session's report set
+// must be bit-identical — verdicts AND witnesses — to a from-scratch
+// VerifyAll over the same mutated network, in both prefix-level and
+// node-granularity dirtying modes. This is the correctness bar of the
+// incremental layer (Apply ≡ VerifyAll) enforced over the whole change-op
+// alphabet instead of a handful of hand-written streams; the seed corpus
+// covers every op on every fuzzed network.
+//
+// Two identical networks are built per run — sessions own their networks
+// (FIBUpdate swaps the provider, ACL edits mutate models in place), so the
+// prefix- and node-granularity sessions must not share one.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// fuzzTarget materializes decoded ops as change-sets over one owned
+// network. Both granularity modes get their own target; toggle state is
+// keyed deterministically on the op bytes, so the two targets stay in
+// lock-step.
+type fuzzTarget interface {
+	changes(op, arg byte) []incr.Change
+	session() *incr.Session
+}
+
+// --- datacenter target ---
+
+type dcTarget struct {
+	d       *bench.Datacenter
+	sess    *incr.Session
+	base    func(topo.FailureScenario) tf.FIB
+	overlay map[topo.NodeID][]tf.Rule
+	down    map[topo.NodeID]bool
+	probes  map[string]bool
+	relab   map[topo.NodeID]bool
+}
+
+func newDCTarget(t *testing.T, withCaches bool, sopts incr.Options) *dcTarget {
+	t.Helper()
+	groups := 3
+	if withCaches {
+		groups = 2
+	}
+	d := bench.NewDatacenter(bench.DCConfig{Groups: groups, HostsPerGroup: 1, WithCaches: withCaches})
+	var invs []inv.Invariant
+	if withCaches {
+		invs = []inv.Invariant{d.DataIsolationInvariant(0), d.IsolationInvariant(0, 1)}
+	} else {
+		invs = d.AllIsolationInvariants()
+	}
+	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT}, invs, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dcTarget{
+		d: d, sess: sess,
+		base:    d.Net.FIBFor, // captured before any FIBUpdate swaps the provider
+		overlay: map[topo.NodeID][]tf.Rule{},
+		down:    map[topo.NodeID]bool{},
+		probes:  map[string]bool{},
+		relab:   map[topo.NodeID]bool{},
+	}
+}
+
+func (f *dcTarget) session() *incr.Session { return f.sess }
+
+func (f *dcTarget) fibUpdate() incr.Change {
+	return incr.FIBUpdate(overlayFIBFor(f.base, f.overlay))
+}
+
+// toggleACLHead pops the firewall's head entry when it equals e, and
+// prepends e otherwise — a deterministic toggle that stays consistent no
+// matter how ops interleave.
+func toggleACLHead(fw *mbox.LearningFirewall, e mbox.ACLEntry) {
+	if len(fw.ACL) > 0 && fw.ACL[0] == e {
+		fw.ACL = fw.ACL[1:]
+		return
+	}
+	fw.ACL = append([]mbox.ACLEntry{e}, fw.ACL...)
+}
+
+func (f *dcTarget) changes(op, arg byte) []incr.Change {
+	d := f.d
+	G := d.Cfg.Groups
+	g := int(arg) % G
+	switch op % 8 {
+	case 0: // liveness toggle over hosts, firewalls, IDSes and a ToR
+		cand := []topo.NodeID{d.Hosts[0][0], d.Hosts[1][0], d.FW1, d.FW2, d.IDS1, d.ToR[0]}
+		n := cand[int(arg)%len(cand)]
+		if f.down[n] {
+			delete(f.down, n)
+			return []incr.Change{incr.NodeUp(n)}
+		}
+		f.down[n] = true
+		return []incr.Change{incr.NodeDown(n)}
+	case 1: // shared-aggregation shadow rule toggle (prefix-level showcase).
+		// Priority 9 sits below the catch-all steering default (10): the
+		// rule changes the matching subsequence for group g's atoms —
+		// dirtying exactly the reading checks — without ever rerouting
+		// (routing INTO a box that a liveness op may have failed would
+		// leave the walk outside slice closure).
+		r := tf.Rule{Match: bench.ClientPrefix(g), In: topo.NodeNone, Out: d.FW1, Priority: 9}
+		if len(f.overlay[d.Agg]) > 0 {
+			delete(f.overlay, d.Agg)
+		} else {
+			f.overlay[d.Agg] = []tf.Rule{r}
+		}
+		return []incr.Change{f.fibUpdate()}
+	case 2: // more-specific rule over a covering default at a ToR (negative read)
+		tor := d.ToR[g]
+		r := tf.Rule{Match: bench.ClientPrefix((g + 1) % G), In: topo.NodeNone, Out: d.Agg, Priority: 20}
+		if len(f.overlay[tor]) > 0 {
+			delete(f.overlay, tor)
+		} else {
+			f.overlay[tor] = []tf.Rule{r}
+		}
+		return []incr.Change{f.fibUpdate()}
+	case 3: // live per-pair ACL entry toggle on the primary firewall
+		a, b := g, (g+1)%G
+		toggleACLHead(d.FWPrimary, mbox.DenyEntry(bench.ClientPrefix(a), bench.ClientPrefix(b)))
+		return []incr.Change{incr.BoxReconfig(d.FW1)}
+	case 4: // dead ACL entry toggle (must dirty nothing at prefix level)
+		deadPfx := pkt.Prefix{Addr: pkt.MustParseAddr("10.99.0.0"), Len: 24}
+		toggleACLHead(d.FWPrimary, mbox.DenyEntry(deadPfx, deadPfx))
+		return []incr.Change{incr.BoxReconfig(d.FW1)}
+	case 5: // policy relabel toggle (fresh singleton class and back)
+		h := d.Hosts[g][0]
+		if f.relab[h] {
+			delete(f.relab, h)
+			return []incr.Change{incr.Relabel(h, "")}
+		}
+		f.relab[h] = true
+		return []incr.Change{incr.Relabel(h, fmt.Sprintf("fz-%d", g))}
+	case 6: // invariant add/remove toggle
+		a, b := g, (g+1)%G
+		label := fmt.Sprintf("probe-%d-%d", a, b)
+		if f.probes[label] {
+			delete(f.probes, label)
+			return []incr.Change{incr.RemoveInvariant(label)}
+		}
+		f.probes[label] = true
+		return []incr.Change{incr.AddInvariant(inv.Reachability{
+			Dst: d.Hosts[b][0], SrcAddr: bench.HostAddr(a, 0), Label: label,
+		})}
+	default: // noop refresh
+		return nil
+	}
+}
+
+// --- multitenant target ---
+
+type mtTarget struct {
+	m       *bench.MultiTenant
+	sess    *incr.Session
+	base    func(topo.FailureScenario) tf.FIB
+	overlay map[topo.NodeID][]tf.Rule
+	down    map[topo.NodeID]bool
+	probes  map[string]bool
+}
+
+func newMTTarget(t *testing.T, sopts incr.Options) *mtTarget {
+	t.Helper()
+	const T = 2
+	m := bench.NewMultiTenant(bench.MTConfig{Tenants: T, PubPerTenant: 1, PrivPerTenant: 1})
+	for tn := 0; tn < T; tn++ {
+		for _, vm := range m.PubVMs[tn] {
+			m.Net.PolicyClass[vm] = fmt.Sprintf("pub-%d", tn)
+		}
+		for _, vm := range m.PrivVMs[tn] {
+			m.Net.PolicyClass[vm] = fmt.Sprintf("priv-%d", tn)
+		}
+	}
+	var invs []inv.Invariant
+	for a := 0; a < T; a++ {
+		for b := 0; b < T; b++ {
+			if a != b {
+				invs = append(invs, m.PrivPrivInvariant(a, b), m.PubPrivInvariant(a, b), m.PrivPubInvariant(a, b))
+			}
+		}
+	}
+	sess, _, err := incr.NewSession(m.Net, core.Options{Engine: core.EngineSAT}, invs, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mtTarget{
+		m: m, sess: sess,
+		base:    m.Net.FIBFor,
+		overlay: map[topo.NodeID][]tf.Rule{},
+		down:    map[topo.NodeID]bool{},
+		probes:  map[string]bool{},
+	}
+}
+
+func (f *mtTarget) session() *incr.Session { return f.sess }
+
+func (f *mtTarget) changes(op, arg byte) []incr.Change {
+	m := f.m
+	T := m.Cfg.Tenants
+	tn := int(arg) % T
+	switch op % 5 {
+	case 0: // VM / firewall liveness toggle
+		cand := []topo.NodeID{m.PrivVMs[0][0], m.PubVMs[1][0], m.VSwitchFW[0], m.VSwitchFW[1]}
+		n := cand[int(arg)%len(cand)]
+		if f.down[n] {
+			delete(f.down, n)
+			return []incr.Change{incr.NodeUp(n)}
+		}
+		f.down[n] = true
+		return []incr.Change{incr.NodeDown(n)}
+	case 1: // shared-fabric steering rule toggle
+		r := tf.Rule{Match: bench.TenantPrefix(tn), In: topo.NodeNone, Out: m.VSwitchFW[tn], Priority: 11}
+		if len(f.overlay[m.Fabric]) > 0 {
+			delete(f.overlay, m.Fabric)
+		} else {
+			f.overlay[m.Fabric] = []tf.Rule{r}
+		}
+		return []incr.Change{incr.FIBUpdate(overlayFIBFor(f.base, f.overlay))}
+	case 2: // per-tenant firewall shadow entry toggle
+		toggleACLHead(m.Firewalls[tn],
+			mbox.AllowEntry(bench.TenantPrivPrefix(tn), bench.TenantPrivPrefix(tn)))
+		return []incr.Change{incr.BoxReconfig(m.VSwitchFW[tn])}
+	case 3: // invariant add/remove toggle
+		label := fmt.Sprintf("probe-%d", tn)
+		if f.probes[label] {
+			delete(f.probes, label)
+			return []incr.Change{incr.RemoveInvariant(label)}
+		}
+		f.probes[label] = true
+		return []incr.Change{incr.AddInvariant(inv.Reachability{
+			Dst: m.PubVMs[tn][0], SrcAddr: bench.PrivVMAddr((tn+1)%T, 0), Label: label,
+		})}
+	default: // noop refresh
+		return nil
+	}
+}
+
+// maxFuzzOps bounds the per-input change stream (every op costs two
+// Applies plus a from-scratch VerifyAll).
+const maxFuzzOps = 6
+
+// compareWitnesses extends compareReports to the violation traces: the
+// acceptance bar is bit-identical verdicts AND witnesses.
+func compareWitnesses(t *testing.T, step string, got, want []core.Report) {
+	t.Helper()
+	for i := range got {
+		g, w := got[i], want[i]
+		if len(g.Result.Trace) != len(w.Result.Trace) {
+			t.Fatalf("%s: report %d (%s) trace length mismatch: %d vs %d",
+				step, i, g.Invariant.Name(), len(g.Result.Trace), len(w.Result.Trace))
+		}
+		for j := range g.Result.Trace {
+			if g.Result.Trace[j].String() != w.Result.Trace[j].String() {
+				t.Fatalf("%s: report %d (%s) witness event %d mismatch: %v vs %v",
+					step, i, g.Invariant.Name(), j, g.Result.Trace[j], w.Result.Trace[j])
+			}
+		}
+	}
+}
+
+// FuzzSessionDifferential is the differential churn fuzzer (see the file
+// comment). data[0] selects the network, the rest decodes as (op, arg)
+// pairs.
+func FuzzSessionDifferential(f *testing.F) {
+	// Seed corpus: every op kind on every network, plus mixed streams
+	// (toggle on/off, negative-read then liveness, relabel then revert).
+	for net := byte(0); net < 3; net++ {
+		for op := byte(0); op < 8; op++ {
+			f.Add([]byte{net, op, 0})
+		}
+		f.Add([]byte{net, 1, 0, 1, 0, 0, 2})       // overlay on/off around a liveness toggle
+		f.Add([]byte{net, 3, 1, 6, 0, 3, 1, 5, 2}) // ACL + invariant churn + relabel
+		f.Add([]byte{net, 2, 0, 4, 0, 2, 0, 7, 0}) // negative read + dead entry + revert
+		f.Add([]byte{net, 0, 2, 0, 2, 1, 1, 0, 2}) // down/up + overlay under liveness
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		sel := data[0] % 3
+		mk := func(sopts incr.Options) fuzzTarget {
+			switch sel {
+			case 1:
+				return newMTTarget(t, sopts)
+			case 2:
+				return newDCTarget(t, true, sopts) // with caches: origin-agnostic paths
+			default:
+				return newDCTarget(t, false, sopts)
+			}
+		}
+		prefix := mk(incr.Options{})
+		node := mk(incr.Options{NodeGranularity: true})
+
+		opts := core.Options{Engine: core.EngineSAT}
+		ops := data[1:]
+		for i := 0; i+1 < len(ops) && i/2 < maxFuzzOps; i += 2 {
+			op, arg := ops[i], ops[i+1]
+			step := fmt.Sprintf("net %d step %d (op %d arg %d)", sel, i/2, op, arg)
+
+			got, errP := prefix.session().Apply(prefix.changes(op, arg))
+			gotNode, errN := node.session().Apply(node.changes(op, arg))
+			if (errP == nil) != (errN == nil) {
+				t.Fatalf("%s: granularity modes disagree on applicability: prefix=%v node=%v",
+					step, errP, errN)
+			}
+			if errP != nil {
+				// Fuzzing can assemble configurations the engines reject
+				// for both modes and from scratch alike (e.g. steering
+				// into a failed middlebox that slice closure cannot
+				// reach). Both sessions have dropped their incremental
+				// state and recover on the next Apply.
+				continue
+			}
+
+			want := baseline(t, prefix.session(), opts, true)
+			compareReports(t, step+" [prefix vs scratch]", got, want)
+			compareWitnesses(t, step+" [prefix vs scratch]", got, want)
+			compareReports(t, step+" [node vs prefix]", gotNode, got)
+			compareWitnesses(t, step+" [node vs prefix]", gotNode, got)
+		}
+	})
+}
+
+// FuzzDecodeChangeSet hardens the wire decoder: arbitrary input lines must
+// decode or fail cleanly, never panic, and a successful decode must be
+// applicable or rejected cleanly by the session.
+func FuzzDecodeChangeSet(f *testing.F) {
+	seeds := []string{
+		`{"op":"node_down","node":"fw1"}`,
+		`{"op":"node_up","node":"h0-0"}`,
+		`{"op":"relabel","node":"h0-0","class":"x"}`,
+		`{"op":"fw_allow","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}`,
+		`{"op":"fw_deny","node":"fw1","src":"*","dst":"10.1.0.1"}`,
+		`{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}`,
+		`{"op":"box_reconfig","node":"fw2"}`,
+		`{"op":"box_remove","node":"ids2"}`,
+		`{"op":"inv_add","invariant":{"type":"reachability","dst":"h1-0","src_addr":"10.0.0.1"}}`,
+		`{"op":"inv_add","invariant":{"type":"traversal","dst":"h1-0","src_prefix":"10.0.0.0/24","src_addr":"10.0.0.1","vias":["ids1"]}}`,
+		`{"op":"inv_remove","name":"x"}`,
+		`{"op":"noop"}`,
+		`[{"op":"noop"},{"op":"node_down","node":"fw1"}]`,
+		`not json`,
+		`{"op":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	d := bench.NewDatacenter(bench.DCConfig{Groups: 2, HostsPerGroup: 1})
+	f.Fuzz(func(t *testing.T, line []byte) {
+		changes, err := incr.DecodeChangeSet(d.Net, line)
+		if err != nil && changes != nil {
+			t.Fatalf("decode returned changes alongside error %v", err)
+		}
+	})
+}

@@ -431,16 +431,21 @@ func TestSessionVerdictCacheRevert(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The dropped entry names one group pair; only slices where it was
-	// LIVE (both prefixes match a slice address) see a new canonical key
-	// and re-solve. The other dirty pairs' effective policy is unchanged —
-	// dead-entry elimination keeps their canonical keys stable, so they
-	// are answered from cache or inherited from an isomorphic classmate.
+	// LIVE (both prefixes match a slice address) see a changed rule-read
+	// projection and become dirty at all. The other pairs' effective
+	// policy is unchanged — the prefix/rule-level dependency index proves
+	// them clean without consulting the cache (RefinedClean), where the
+	// node-granularity index would have dirtied every group through the
+	// shared firewall node.
 	st := sess.LastApply()
 	if st.CacheMisses == 0 {
 		t.Fatalf("the affected pair must re-solve: %+v", st)
 	}
-	if st.CacheMisses >= st.DirtyGroups {
-		t.Fatalf("pairs unaffected by the dropped entry must not re-solve: %+v", st)
+	if st.DirtyGroups >= st.Groups {
+		t.Fatalf("pairs unaffected by the dropped entry must not even be dirtied: %+v", st)
+	}
+	if st.RefinedClean == 0 {
+		t.Fatalf("rule-level refinement must keep unaffected pairs clean: %+v", st)
 	}
 	if st.CacheMisses+st.CacheHits+st.CanonShared != st.DirtyGroups {
 		t.Fatalf("dirty groups must be solved, cached or inherited: %+v", st)

@@ -28,6 +28,13 @@ type Options struct {
 	NoSymmetry bool
 	// CacheCap bounds verdict-cache entries (0 = 65536).
 	CacheCap int
+	// NodeGranularity disables prefix/rule-level dependency refinement:
+	// forwarding updates and middlebox reconfigurations then dirty every
+	// group whose node footprint contains the changed element (the PR 2
+	// behaviour), instead of only the groups whose recorded read atoms or
+	// rule-read projections the change actually alters. The escape hatch
+	// and comparison baseline; verdicts are identical either way.
+	NodeGranularity bool
 }
 
 // ApplyStats describes one Apply call.
@@ -44,6 +51,11 @@ type ApplyStats struct {
 	// inherited (invariant, scenario) reports).
 	DirtyClasses int
 	CanonShared  int
+	// RefinedClean counts groups the node-granularity index would have
+	// dirtied (their footprint contains a changed element) but whose
+	// prefix/rule-level read-set proved untouched — the work the refined
+	// dependency index saves on this Apply. Always 0 with NodeGranularity.
+	RefinedClean int
 	CacheHits    int
 	CacheMisses  int
 	// CanonHits is the subset of CacheHits answered through canonical
@@ -56,24 +68,34 @@ type ApplyStats struct {
 
 // Totals accumulates session-lifetime counters.
 type Totals struct {
-	Applies     int
-	Solves      int // (invariant, scenario) checks actually run
-	CacheHits   int // checks answered from the verdict cache
-	CanonHits   int // cache hits served through canonical class keys
-	CanonShared int // reports inherited from a dirty-class representative
-	Classes     int // canonical classes formed among dirty groups
-	DirtyInvs   int // invariants dirtied across all applies
-	TotalInvs   int // invariant count summed across all applies
-	ReusedInvs  int // invariant reports inherited via symmetry
+	Applies      int
+	Solves       int // (invariant, scenario) checks actually run
+	CacheHits    int // checks answered from the verdict cache
+	CanonHits    int // cache hits served through canonical class keys
+	CanonShared  int // reports inherited from a dirty-class representative
+	Classes      int // canonical classes formed among dirty groups
+	RefinedClean int // groups kept clean by prefix/rule-level refinement
+	DirtyInvs    int // invariants dirtied across all applies
+	TotalInvs    int // invariant count summed across all applies
+	ReusedInvs   int // invariant reports inherited via symmetry
 }
 
 // groupEntry is the session's memory of one symmetry group: the
 // representative's reports (one per effective scenario, position-aligned
-// with the configured scenario list) and the union dependency footprint of
-// its slices.
+// with the configured scenario list) and the union dependency read-set of
+// its slices — the sorted node footprint (liveness/membership dirtying),
+// the per-node forwarding read atoms and the per-box rule-read
+// projections (prefix/rule-level dirtying), and the slice address
+// universe the projections were taken against. coarse marks entries
+// without refined reads (whole-network slices, NodeGranularity mode):
+// any change at a footprint node dirties them.
 type groupEntry struct {
-	reports []core.Report
-	touched []topo.NodeID
+	reports  []core.Report
+	touched  []topo.NodeID
+	fib      map[topo.NodeID]topo.AtomSet
+	boxKeys  map[topo.NodeID]string
+	universe topo.AtomSet
+	coarse   bool
 }
 
 // Session is a long-lived incremental verifier. It owns the network it was
@@ -283,7 +305,8 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 
 	dirtyAll := s.needFull
 	mutated := len(changes) > 0 || s.needFull
-	affected := elemSet{}
+	im := newImpact()
+	affected := im.nodes
 	relabeled := false
 
 	// Snapshot old forwarding state for diffing before mutating.
@@ -375,7 +398,11 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 				}
 				s.net.Boxes[bi].Model = ch.Model
 			}
-			affected.add(ch.Node)
+			// Reconfigurations flow through the refined channel: groups
+			// whose rule-read projection of this box is unchanged stay
+			// clean (classify falls back to node granularity when no
+			// projection was stored).
+			im.boxes.add(ch.Node)
 		case KindRelabel:
 			if err := s.validNode(ch.Node); err != nil {
 				s.invalidate()
@@ -439,31 +466,52 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 		// when the effective scenario changes.
 		for i := range scens {
 			if i < len(oldFIBs) {
-				diffFIBs(oldFIBs[i], fibs[i], affected)
+				im.diffFIBs(oldFIBs[i], fibs[i])
 			}
 		}
+	}
+	if s.sopts.NodeGranularity {
+		// Escape hatch: collapse the refined channels into element-level
+		// dirtying (the PR 2 baseline).
+		for n := range im.fib {
+			im.nodes.add(n)
+		}
+		im.fib = map[topo.NodeID][]*fibDelta{}
+		for n := range im.boxes {
+			im.nodes.add(n)
+		}
+		im.boxes = elemSet{}
 	}
 
 	// Phase 3: regroup and decide what is dirty.
 	groups, keys := s.grouping()
 	newEntries := make(map[string]*groupEntry, len(groups))
 	var dirty []int
+	refinedClean := 0
 	for gi := range groups {
 		old, ok := s.entries[keys[gi]]
-		switch {
-		case !ok, dirtyAll, affected.intersects(old.touched):
+		if !ok || dirtyAll {
 			dirty = append(dirty, gi)
+			continue
+		}
+		switch im.classify(old, s.ruleReadKey) {
+		case groupDirty:
+			dirty = append(dirty, gi)
+		case groupRefinedClean:
+			refinedClean++
+			newEntries[keys[gi]] = old
 		default:
 			newEntries[keys[gi]] = old
 		}
 	}
 
 	stats := ApplyStats{
-		Seq:         s.seq,
-		Changes:     len(changes),
-		Groups:      len(groups),
-		Invariants:  len(s.invs),
-		DirtyGroups: len(dirty),
+		Seq:          s.seq,
+		Changes:      len(changes),
+		Groups:       len(groups),
+		Invariants:   len(s.invs),
+		DirtyGroups:  len(dirty),
+		RefinedClean: refinedClean,
 	}
 	for _, gi := range dirty {
 		stats.DirtyInvariants += len(groups[gi].Members)
@@ -555,6 +603,7 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 	s.totals.CanonHits += stats.CanonHits
 	s.totals.CanonShared += stats.CanonShared
 	s.totals.Classes += stats.DirtyClasses
+	s.totals.RefinedClean += stats.RefinedClean
 	s.totals.DirtyInvs += stats.DirtyInvariants
 	s.totals.TotalInvs += stats.Invariants
 	s.totals.ReusedInvs += len(out) - len(s.groups)*len(scens)
@@ -571,13 +620,13 @@ func (s *Session) CanonStats() (classes, shared, encTranslated int64) {
 }
 
 // groupPlan is the planned identity of one dirty group: per-scenario check
-// plans (slice + canonical identity), per-scenario dependency footprints,
+// plans (slice + canonical identity), per-scenario dependency read-sets,
 // and the joined canonical key that clusters isomorphic dirty groups ("" =
 // not clusterable; some scenario's check did not canonicalize).
 type groupPlan struct {
 	rep     inv.Invariant
 	plans   []*core.CheckPlan
-	tns     [][]topo.NodeID
+	reads   []slices.ReadSet
 	cluster string
 }
 
@@ -592,7 +641,16 @@ func (s *Session) planGroup(rep inv.Invariant, scens []topo.FailureScenario, eng
 			return nil, err
 		}
 		gp.plans = append(gp.plans, cp)
-		gp.tns = append(gp.tns, slices.Touched(s.net.Topo, engs[si], cp.Slice()))
+		if s.sopts.NodeGranularity {
+			// The escape hatch never consults refined reads: record the
+			// node footprint only.
+			gp.reads = append(gp.reads, slices.ReadSet{
+				Nodes:  slices.Touched(s.net.Topo, engs[si], cp.Slice()),
+				Coarse: true,
+			})
+		} else {
+			gp.reads = append(gp.reads, slices.ComputeReadSet(s.net.Topo, engs[si], cp.Slice()))
+		}
 		if k := cp.CanonKey(); k != nil && canonOK {
 			joined = appendFramed(joined, k)
 		} else {
@@ -605,6 +663,61 @@ func (s *Session) planGroup(rep inv.Invariant, scens []topo.FailureScenario, eng
 	return gp, nil
 }
 
+// ruleReadKey projects the configuration of the middlebox currently bound
+// at n onto universe (mbox.RuleReadKeyer). ok=false when no such box
+// exists or its model has no projection — the caller then falls back to
+// node-granularity dirtying.
+func (s *Session) ruleReadKey(n topo.NodeID, universe topo.AtomSet) (string, bool) {
+	bi := s.findBox(n)
+	if bi < 0 {
+		return "", false
+	}
+	rk, ok := s.net.Boxes[bi].Model.(mbox.RuleReadKeyer)
+	if !ok {
+		return "", false
+	}
+	return string(rk.AppendRuleReadKey(nil, universe)), true
+}
+
+// newEntry assembles the read-set memory of a freshly verified group: the
+// union node footprint across scenarios, and — unless some scenario's
+// slice was whole or the session dirties at node granularity — the union
+// forwarding read atoms, the union address universe, and the rule-read
+// projections of every slice box against that universe.
+func (s *Session) newEntry(gp *groupPlan) *groupEntry {
+	e := &groupEntry{}
+	coarse := s.sopts.NodeGranularity
+	for _, rs := range gp.reads {
+		if rs.Coarse {
+			coarse = true
+		}
+	}
+	e.touched = unionTouched(gp.reads)
+	e.coarse = coarse
+	if coarse {
+		return e
+	}
+	e.fib = map[topo.NodeID]topo.AtomSet{}
+	for _, rs := range gp.reads {
+		e.universe = e.universe.Union(rs.Universe)
+		for n, atoms := range rs.FIB {
+			e.fib[n] = e.fib[n].Union(atoms)
+		}
+	}
+	e.boxKeys = map[topo.NodeID]string{}
+	for _, cp := range gp.plans {
+		for _, b := range cp.Slice().Boxes {
+			if _, ok := e.boxKeys[b.Node]; ok {
+				continue
+			}
+			if rk, ok := b.Model.(mbox.RuleReadKeyer); ok {
+				e.boxKeys[b.Node] = string(rk.AppendRuleReadKey(nil, e.universe))
+			}
+		}
+	}
+	return e
+}
+
 func appendFramed(b, seg []byte) []byte {
 	var hdr [10]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(seg)))
@@ -614,10 +727,10 @@ func appendFramed(b, seg []byte) []byte {
 
 // unionTouched flattens per-scenario footprints into the sorted union the
 // dependency index dirties on.
-func unionTouched(tns [][]topo.NodeID) []topo.NodeID {
+func unionTouched(reads []slices.ReadSet) []topo.NodeID {
 	touched := elemSet{}
-	for _, tn := range tns {
-		touched.addAll(tn)
+	for _, rs := range reads {
+		touched.addAll(rs.Nodes)
 	}
 	out := make([]topo.NodeID, 0, len(touched))
 	for n := range touched {
@@ -636,7 +749,7 @@ func unionTouched(tns [][]topo.NodeID) []topo.NodeID {
 // engines were compiled once in Apply phase 2 and are shared by every
 // dirty group and pool worker.
 func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs []tf.FIB) (*groupEntry, int, int, int, error) {
-	e := &groupEntry{}
+	e := s.newEntry(gp)
 	hits, canonHits, misses := 0, 0, 0
 	for si, sc := range scens {
 		cp := gp.plans[si]
@@ -645,7 +758,7 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		if ck := cp.CanonKey(); ck != nil {
 			key = append(append(make([]byte, 0, len(ck)+1), 'c'), ck...)
 			canon = true
-		} else if fp, ok := fingerprint(gp.rep, sc, cp.Slice(), gp.tns[si], fibs[si], s.net.Topo, s.opts); ok {
+		} else if fp, ok := fingerprint(gp.rep, sc, cp.Slice(), gp.reads[si].Nodes, fibs[si], s.net.Topo, s.opts); ok {
 			key = append(append(make([]byte, 0, len(fp)+1), 'x'), fp...)
 		}
 		var r core.Report
@@ -694,7 +807,6 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		}
 		e.reports = append(e.reports, r)
 	}
-	e.touched = unionTouched(gp.tns)
 	return e, hits, canonHits, misses, nil
 }
 
@@ -705,7 +817,7 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 // how many reports were inherited, and how many fell back to a solve (the
 // caller accounts those as cache misses — they are real solver work).
 func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan, scens []topo.FailureScenario) (*groupEntry, int, int, error) {
-	e := &groupEntry{}
+	e := s.newEntry(memPlan)
 	shared, solved := 0, 0
 	for si := range scens {
 		r, ok := core.TranslatePlannedReport(lead.reports[si], leadPlan.plans[si].Renaming(), memPlan.plans[si])
@@ -724,7 +836,6 @@ func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan,
 		}
 		e.reports = append(e.reports, r)
 	}
-	e.touched = unionTouched(memPlan.tns)
 	return e, shared, solved, nil
 }
 

@@ -81,8 +81,12 @@ type WireResult struct {
 	// a class representative; CanonHits the verdict-cache hits served
 	// through canonical class keys. Hit-rate regressions in production
 	// show up here.
-	DirtyClasses int          `json:"dirty_classes,omitempty"`
-	CanonShared  int          `json:"canon_shared,omitempty"`
+	DirtyClasses int `json:"dirty_classes,omitempty"`
+	CanonShared  int `json:"canon_shared,omitempty"`
+	// RefinedClean counts groups kept clean by prefix/rule-level dirtying
+	// that node-granularity dirtying would have re-verified — the refined
+	// dependency index's savings, per Apply.
+	RefinedClean int          `json:"refined_clean,omitempty"`
 	CacheHits    int          `json:"cache_hits"`
 	CanonHits    int          `json:"canon_hits,omitempty"`
 	CacheMisses  int          `json:"cache_misses"`
@@ -345,6 +349,7 @@ func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) Wir
 		DirtyInvariants: stats.DirtyInvariants,
 		DirtyClasses:    stats.DirtyClasses,
 		CanonShared:     stats.CanonShared,
+		RefinedClean:    stats.RefinedClean,
 		CacheHits:       stats.CacheHits,
 		CanonHits:       stats.CanonHits,
 		CacheMisses:     stats.CacheMisses,

@@ -1,0 +1,138 @@
+package mbox
+
+// Rule-level read recording for middlebox configurations. While
+// AppendConfigKey (configkey.go) fingerprints a model's FULL configuration,
+// AppendRuleReadKey fingerprints only the part a check over a given address
+// universe can ever consult: first-match-wins rule lists keep exactly their
+// live entries (both prefixes match at least one universe address — the
+// only entries evaluation can select for a packet of that slice), and
+// scalar configuration that every packet consults (NAT addresses, backend
+// pools, abstract class sets) is kept whole. The incremental verifier
+// (internal/incr) stores this projection per (check, box) as the box's
+// read-set fingerprint: a reconfiguration dirties a check only if the
+// projection changes, so appending a rule for an unrelated tenant leaves
+// every other tenant's cached verdict standing.
+//
+// Soundness: two configurations with equal projections over universe U
+// behave identically on every packet whose addresses all lie in U. The
+// universe handed in by internal/incr is the slice's complete address
+// alphabet (hosts, auxiliary and service addresses — see
+// slices.ReadSet.Universe), which covers every header field any routed
+// packet can carry, including rewritten ones.
+
+import (
+	"encoding/binary"
+
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// RuleReadKeyer is implemented by middlebox models whose configuration
+// reads can be projected onto an address universe. Models that do not
+// implement it (e.g. interpreted MDL models) dirty at node granularity —
+// a sound fallback, not an error.
+type RuleReadKeyer interface {
+	// AppendRuleReadKey appends a canonical encoding of the configuration
+	// a check over the given address universe can consult. Equal keys ⇒
+	// identical behaviour on every packet carrying only universe addresses.
+	AppendRuleReadKey(b []byte, universe topo.AtomSet) []byte
+}
+
+// appendLiveACL encodes the live entries of an ACL — those whose source AND
+// destination prefixes each cover at least one universe address — in
+// evaluation order. Dead entries can never be the first match for any
+// packet of the slice, so they are invisible to the check.
+func appendLiveACL(b []byte, acl []ACLEntry, universe topo.AtomSet) []byte {
+	n := 0
+	for _, e := range acl {
+		if universe.IntersectsPrefix(e.Src) && universe.IntersectsPrefix(e.Dst) {
+			n++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, e := range acl {
+		if universe.IntersectsPrefix(e.Src) && universe.IntersectsPrefix(e.Dst) {
+			b = appendPrefix(b, e.Src)
+			b = appendPrefix(b, e.Dst)
+			b = append(b, byte(e.Action))
+		}
+	}
+	return b
+}
+
+// AppendRuleReadKey implements RuleReadKeyer: the firewall consults the
+// first live entry matching (src, dst) and the default policy.
+func (f *LearningFirewall) AppendRuleReadKey(b []byte, universe topo.AtomSet) []byte {
+	b = append(b, 'F')
+	b = appendLiveACL(b, f.ACL, universe)
+	if f.DefaultAllow {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer: the cache consults the first
+// live serve-policy entry and the default.
+func (c *ContentCache) AppendRuleReadKey(b []byte, universe topo.AtomSet) []byte {
+	b = append(b, 'C')
+	b = appendLiveACL(b, c.ACL, universe)
+	if c.DefaultServe {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer: only watched prefixes that
+// cover a universe address can ever flag a packet; the scrubber address and
+// class bits are consulted unconditionally.
+func (d *IDPS) AppendRuleReadKey(b []byte, universe topo.AtomSet) []byte {
+	b = append(b, 'I')
+	b = binary.BigEndian.AppendUint32(b, uint32(d.Scrubber))
+	n := 0
+	for _, p := range d.Watched {
+		if universe.IntersectsPrefix(p) {
+			n++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, p := range d.Watched {
+		if universe.IntersectsPrefix(p) {
+			b = appendPrefix(b, p)
+		}
+	}
+	if d.HasClass {
+		return append(b, 1, byte(d.MalClass))
+	}
+	return append(b, 0, 0)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer: every NAT packet consults the
+// public address and port base — nothing to project away.
+func (n *NAT) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return n.AppendConfigKey(b)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer: the VIP and backend pool are
+// consulted by every flow.
+func (l *LoadBalancer) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return l.AppendConfigKey(b)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer (classes only).
+func (s *Scrubber) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return s.AppendConfigKey(b)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer (type name only).
+func (p *Passthrough) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return p.AppendConfigKey(b)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer (abstract classes only).
+func (f *AppFirewall) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return f.AppendConfigKey(b)
+}
+
+// AppendRuleReadKey implements RuleReadKeyer.
+func (w *WANOptimizer) AppendRuleReadKey(b []byte, _ topo.AtomSet) []byte {
+	return w.AppendConfigKey(b)
+}

@@ -82,12 +82,55 @@ type ServiceAddrs interface {
 // closure only walks paths between slice members, and middlebox semantics
 // only involve boxes inside the slice.
 func Touched(t *topo.Topology, eng *tf.Engine, r Result) []topo.NodeID {
+	return computeReadSet(t, eng, r, false).Nodes
+}
+
+// ReadSet is the refined dependency footprint of one check: the node
+// footprint (Touched), plus — for proper slices — the forwarding-state
+// reads at address granularity and the slice's address universe.
+//
+// FIB maps each table-read node to the destination atoms looked up there
+// (tf.Engine.ConsultedTables per walk; every lookup of one walk uses the
+// walk's destination address). A forwarding update at node n can alter the
+// check's verdict only if n carries a read atom whose matching rule
+// subsequence the update changes — the walk decision at (n, dst) is a
+// function of exactly the rules matching dst, in table order, so lookups
+// that fell through to a covering default are dirtied by any new
+// more-specific rule that would have won, and by nothing else. Nodes in
+// Nodes but absent from FIB were consulted for liveness or membership
+// only; their forwarding entries are never read.
+//
+// Universe is the full address alphabet of the slice (host, auxiliary and
+// service addresses) — every address a packet routed by either engine can
+// carry, the set middlebox rule-read projections (mbox.RuleReadKeyer) are
+// taken against.
+//
+// Coarse marks whole-network slices: FIB and Universe are unset and every
+// change at a footprint node must be treated as relevant.
+type ReadSet struct {
+	Nodes    []topo.NodeID
+	FIB      map[topo.NodeID]topo.AtomSet
+	Universe topo.AtomSet
+	Coarse   bool
+}
+
+// ComputeReadSet enumerates the refined read-set of slice r (see ReadSet);
+// its Nodes field is exactly Touched.
+func ComputeReadSet(t *topo.Topology, eng *tf.Engine, r Result) ReadSet {
+	return computeReadSet(t, eng, r, true)
+}
+
+// computeReadSet walks the slice's read enumeration; with refined=false
+// only the node footprint is built (Touched's path — the node-granularity
+// escape hatch opted out of the atom bookkeeping, so it should not pay
+// for it).
+func computeReadSet(t *topo.Topology, eng *tf.Engine, r Result, refined bool) ReadSet {
 	if r.Whole {
 		all := make([]topo.NodeID, t.NumNodes())
 		for i := range all {
 			all[i] = topo.NodeID(i)
 		}
-		return all
+		return ReadSet{Nodes: all, Coarse: true}
 	}
 	seen := map[topo.NodeID]bool{}
 	var members []topo.NodeID
@@ -125,11 +168,17 @@ func Touched(t *topo.Topology, eng *tf.Engine, r Result) []topo.NodeID {
 		}
 	}
 	touched := map[topo.NodeID]bool{}
+	reads := map[topo.NodeID][]pkt.Addr{}
 	for _, from := range members {
 		touched[from] = true
 		for _, a := range addrs {
 			for _, n := range eng.Consulted(from, a) {
 				touched[n] = true
+			}
+			if refined {
+				for _, n := range eng.ConsultedTables(from, a) {
+					reads[n] = append(reads[n], a)
+				}
 			}
 		}
 	}
@@ -138,7 +187,14 @@ func Touched(t *topo.Topology, eng *tf.Engine, r Result) []topo.NodeID {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if !refined {
+		return ReadSet{Nodes: out}
+	}
+	fib := make(map[topo.NodeID]topo.AtomSet, len(reads))
+	for n, as := range reads {
+		fib[n] = topo.NewAtomSet(as)
+	}
+	return ReadSet{Nodes: out, FIB: fib, Universe: topo.NewAtomSet(addrs)}
 }
 
 // Compute builds a slice per §4.1.

@@ -53,12 +53,13 @@ type Engine struct {
 
 	sorted map[topo.NodeID][]Rule
 
-	// memo caches Next results (and consulted caches Consulted results);
-	// guarded by mu so the explicit-state engine's parallel search workers
-	// can share one Engine.
-	mu        sync.RWMutex
-	memo      map[memoKey]memoVal
-	consulted map[memoKey][]topo.NodeID
+	// memo caches Next results (and consulted/tableReads cache the
+	// Consulted/ConsultedTables read sets); guarded by mu so the
+	// explicit-state engine's parallel search workers can share one Engine.
+	mu         sync.RWMutex
+	memo       map[memoKey]memoVal
+	consulted  map[memoKey][]topo.NodeID
+	tableReads map[memoKey][]topo.NodeID
 
 	fpKey []byte
 	fp    uint64
@@ -79,9 +80,10 @@ type memoVal struct {
 // scenario. The FIB is not copied; callers must not mutate it afterwards.
 func New(t *topo.Topology, fib FIB, fail topo.FailureScenario) *Engine {
 	e := &Engine{topo: t, fib: fib, fail: fail,
-		sorted:    make(map[topo.NodeID][]Rule, len(fib)),
-		memo:      map[memoKey]memoVal{},
-		consulted: map[memoKey][]topo.NodeID{},
+		sorted:     make(map[topo.NodeID][]Rule, len(fib)),
+		memo:       map[memoKey]memoVal{},
+		consulted:  map[memoKey][]topo.NodeID{},
+		tableReads: map[memoKey][]topo.NodeID{},
 	}
 	for n, rules := range fib {
 		rs := append([]Rule(nil), rules...)
@@ -264,15 +266,43 @@ func (e *Engine) walk(from topo.NodeID, dst pkt.Addr) (topo.NodeID, bool, error)
 // belongs to a node in the set). Consulted is memoized and safe for
 // concurrent use; callers must not mutate the returned slice.
 func (e *Engine) Consulted(from topo.NodeID, dst pkt.Addr) []topo.NodeID {
+	nodes, _ := e.reads(from, dst)
+	return nodes
+}
+
+// ConsultedTables returns the subset of Consulted whose forwarding TABLES
+// the walk reads: every node where a hop decision was evaluated — the
+// starting edge node, each fabric node crossed, the node that dropped the
+// packet or closed a loop. A hop decision reads the node's complete rule
+// list for dst, so this includes negative reads: a lookup that matched
+// only a covering low-priority rule (or nothing at all, falling through to
+// the implicit default) still read the absence of any more-specific
+// match, and a rule installed later that would have won must dirty every
+// check that performed such a lookup. Prefix-granular dependency tracking
+// (internal/incr) therefore records one (node, dst) read atom per entry of
+// this set; nodes consulted for liveness only (failed rule targets routed
+// around, implicit-default neighbors, the edge node where the packet
+// surfaces) are excluded — their tables were never read, so forwarding
+// changes there cannot alter the walk. Memoized and safe for concurrent
+// use; callers must not mutate the returned slice.
+func (e *Engine) ConsultedTables(from topo.NodeID, dst pkt.Addr) []topo.NodeID {
+	_, tables := e.reads(from, dst)
+	return tables
+}
+
+// reads computes (and memoizes) the complete read set of the walk
+// (from, dst) — all consulted nodes, plus the table-read subset.
+func (e *Engine) reads(from topo.NodeID, dst pkt.Addr) (nodes, tables []topo.NodeID) {
 	k := memoKey{from, dst}
 	e.mu.RLock()
 	v, hit := e.consulted[k]
+	tv := e.tableReads[k]
 	e.mu.RUnlock()
 	if hit {
-		return v
+		return v, tv
 	}
 	seen := map[topo.NodeID]bool{from: true}
-	nodes := []topo.NodeID{from}
+	nodes = []topo.NodeID{from}
 	add := func(n topo.NodeID) {
 		if !seen[n] {
 			seen[n] = true
@@ -280,6 +310,9 @@ func (e *Engine) Consulted(from topo.NodeID, dst pkt.Addr) []topo.NodeID {
 		}
 	}
 	if e.topo.Node(from).IsEdge() {
+		// Every `cur` position evaluates a hop decision and hence reads the
+		// node's table; the walk starts at `from`.
+		tables = append(tables, from)
 		prev := topo.NodeNone
 		cur := from
 		visited := map[topo.NodeID]bool{}
@@ -294,13 +327,15 @@ func (e *Engine) Consulted(from topo.NodeID, dst pkt.Addr) []topo.NodeID {
 				break
 			}
 			visited[nxt] = true
+			tables = append(tables, nxt)
 			prev, cur = cur, nxt
 		}
 	}
 	e.mu.Lock()
 	e.consulted[k] = nodes
+	e.tableReads[k] = tables
 	e.mu.Unlock()
-	return nodes
+	return nodes, tables
 }
 
 // Entry is one row of the compiled pseudo-switch: packets at From destined

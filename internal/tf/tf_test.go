@@ -241,6 +241,80 @@ func TestNextFromSwitchErrors(t *testing.T) {
 	}
 }
 
+// TestConsultedTables pins the table-read/liveness-read split: a walk's
+// FIB reads are the nodes where hop decisions are evaluated — the start
+// edge node, crossed fabric nodes, the dropping node — while failed rule
+// targets routed around, implicit-default neighbors and the terminal edge
+// node are liveness reads only.
+func TestConsultedTables(t *testing.T) {
+	// h1 - swA - swC - h2 with backup swB; swC failed, so swA reads swC's
+	// LIVENESS (skipped rule target) but never its table.
+	tp := topo.New()
+	h1 := tp.AddHost("h1", pkt.MustParseAddr("10.0.0.1"))
+	h2 := tp.AddHost("h2", pkt.MustParseAddr("10.0.0.2"))
+	swA := tp.AddSwitch("swA")
+	swB := tp.AddSwitch("swB")
+	swC := tp.AddSwitch("swC")
+	tp.AddLink(h1, swA)
+	tp.AddLink(swA, swB)
+	tp.AddLink(swA, swC)
+	tp.AddLink(swB, h2)
+	tp.AddLink(swC, h2)
+	h2p := pkt.HostPrefix(pkt.MustParseAddr("10.0.0.2"))
+	fib := FIB{}
+	fib.Add(swA, Rule{Match: h2p, In: topo.NodeNone, Out: swC, Priority: 10})
+	fib.Add(swA, Rule{Match: h2p, In: topo.NodeNone, Out: swB, Priority: 5})
+	fib.Add(swB, Rule{Match: h2p, In: topo.NodeNone, Out: h2})
+	fib.Add(swC, Rule{Match: h2p, In: topo.NodeNone, Out: h2})
+
+	has := func(ns []topo.NodeID, n topo.NodeID) bool {
+		for _, x := range ns {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	ef := New(tp, fib, topo.Failures(swC))
+	consulted := ef.Consulted(h1, h2p.Addr)
+	tables := ef.ConsultedTables(h1, h2p.Addr)
+	if !has(consulted, swC) {
+		t.Fatalf("failed target swC is a liveness read, must be consulted: %v", consulted)
+	}
+	if has(tables, swC) {
+		t.Fatalf("swC's table is never read (rule skipped on liveness): %v", tables)
+	}
+	for _, n := range []topo.NodeID{h1, swA, swB} {
+		if !has(tables, n) {
+			t.Fatalf("hop-decision node %v missing from table reads %v", n, tables)
+		}
+	}
+	if has(tables, h2) {
+		t.Fatalf("terminal edge node's table is never read: %v", tables)
+	}
+	// Table reads are a subset of the consulted set.
+	for _, n := range tables {
+		if !has(consulted, n) {
+			t.Fatalf("table read %v missing from consulted %v", n, consulted)
+		}
+	}
+
+	// A dropped walk still read the dropping node's (possibly empty) table
+	// — the NEGATIVE read that makes later rule installs dirty the check:
+	// only swA routes, swB has no table and drops.
+	fib3 := FIB{}
+	fib3.Add(swA, Rule{Match: h2p, In: topo.NodeNone, Out: swB})
+	e3 := New(tp, fib3, topo.NoFailures())
+	if _, ok, err := e3.Next(h1, h2p.Addr); ok || err != nil {
+		t.Fatalf("walk should drop at swB: ok=%v err=%v", ok, err)
+	}
+	tables3 := e3.ConsultedTables(h1, h2p.Addr)
+	if !has(tables3, swB) {
+		t.Fatalf("dropping node swB must be a table read: %v", tables3)
+	}
+}
+
 func TestMemoization(t *testing.T) {
 	tp, ids := lineTopo()
 	h2 := pkt.HostPrefix(addrOf(tp, ids["h2"]))
