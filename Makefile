@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke bench-json bench-multicore
+.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke bench-json bench-multicore
 
-ci: fmt vet build race fuzz-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke vmnd-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,11 +30,22 @@ bench-smoke:
 
 # A short coverage-guided run of each fuzz target beyond its checked-in
 # seed corpus: the differential churn fuzzer (Session.Apply bit-identical
-# to from-scratch VerifyAll in both dirtying granularities) and the wire
-# decoder. `go test -fuzz` takes one target per invocation.
+# to from-scratch VerifyAll in both dirtying granularities, now with
+# Propose/Commit/Rollback transaction modes riding the op bytes), the
+# wire decoder, and the transactional decoder (must never mutate live
+# state). `go test -fuzz` takes one target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzSessionDifferential$$' -fuzztime 15s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeChangeSet$$' -fuzztime 5s
+	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeProposeSet$$' -fuzztime 5s
+
+# vmnd crash-resilience smoke: pipe the malformed / out-of-order /
+# panic-injecting request corpus through a live daemon; the gate here is
+# exit status 0 (the daemon must never crash). Line-by-line validation of
+# the responses lives in TestCrashResilience (cmd/vmnd).
+vmnd-smoke:
+	$(GO) run ./cmd/vmnd -network datacenter -groups 3 -fault-injection \
+		< cmd/vmnd/testdata/crash_corpus.ndjson > /dev/null
 
 # Machine-readable series for benchmark trajectory tracking.
 bench-json:
@@ -43,8 +54,9 @@ bench-json:
 # The figures whose numbers only mean something on a multi-core box: the
 # explicit-engine worker sweep, the SAT solver-reuse comparison, the
 # canonical-normalization comparison (class counts + encoding/verdict reuse
-# rates) and the churn comparison (incremental vs full, with the
-# prefix-level vs node-level dirty-fraction series). CI runs this on the
-# multi-core GitHub runner and uploads the JSON as an artifact.
+# rates), the churn comparison (incremental vs full, with the
+# prefix-level vs node-level dirty-fraction series) and the transactional
+# guardrail comparison (propose/rollback vs apply-then-revert). CI runs
+# this on the multi-core GitHub runner and uploads the JSON as an artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail -runs 5 -json > bench-multicore.json

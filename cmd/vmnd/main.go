@@ -17,18 +17,37 @@
 //	{"op":"inv_add","invariant":{"type":"simple_isolation","dst":"h1-0","src_addr":"10.2.0.1"}}
 //	{"op":"noop"}
 //
+// Transactional requests verify a change-set against shadow state before
+// deciding — the deployment-guardrail pattern:
+//
+//	{"op":"propose","id":"r1","changes":[{"op":"fw_del","node":"fw1",
+//	  "src":"10.0.0.0/16","dst":"10.1.0.0/16"}]}
+//	{"op":"commit","id":"r2"}     (or {"op":"rollback","id":"r2"})
+//
+// A propose answers with a decision (reject on newly violated invariants,
+// with verified minimal-repair suggestions) and the full shadow report
+// set; rollback leaves the session bit-identical to never having
+// proposed.
+//
 // Each result line carries the dirty/cache counters and the full report
-// set; malformed or inapplicable change-sets produce an error line and the
-// session continues.
+// set; malformed or inapplicable change-sets produce an error line and
+// the session continues. Every request runs under recover() with an
+// optional wall-clock deadline (-timeout) and solver conflict budget
+// (-max-conflicts): solver bugs become structured error lines and
+// over-budget checks degrade to explicit budget_exceeded verdicts — the
+// daemon itself keeps serving.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"github.com/netverify/vmn/internal/bench"
 	"github.com/netverify/vmn/internal/core"
@@ -95,11 +114,35 @@ func buildNetwork(cfg netConfig) (*core.Network, []inv.Invariant, error) {
 	return net, invs, nil
 }
 
+// serveHooks carries the daemon-level test hooks; the zero value disables
+// them all.
+type serveHooks struct {
+	// armFault, when non-nil, makes the next group solve panic (the
+	// inject_panic op; see wireFaultInjection). Nil rejects the op.
+	armFault func()
+}
+
+// wireFaultInjection connects the inject_panic wire op to the session's
+// fault hook: arming makes the next group solve panic, exercising the
+// whole containment path (worker recover → Apply error → invalidate →
+// structured error line, correct verdicts on the next request).
+func wireFaultInjection(sopts *incr.Options) serveHooks {
+	var armed atomic.Bool
+	sopts.FaultHook = func(string) {
+		if armed.CompareAndSwap(true, false) {
+			panic("injected fault (inject_panic)")
+		}
+	}
+	return serveHooks{armFault: func() { armed.Store(true) }}
+}
+
 // serve runs the NDJSON loop: one initial result line for the session's
 // first verification, then one result (or error) line per input line.
 // This is the whole wire protocol of vmnd; the golden-file tests in
-// main_test.go drive it directly.
-func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer) error {
+// main_test.go drive it directly. Every request is handled under a
+// recover(), so a bug anywhere in decode or verification degrades to a
+// structured error line and the daemon keeps serving.
+func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer, hooks serveHooks) error {
 	bw := bufio.NewWriter(out)
 	enc := json.NewEncoder(bw)
 	emit := func(v any) error {
@@ -115,29 +158,99 @@ func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.R
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		line := sc.Bytes()
-		changes, err := incr.DecodeChangeSet(net, line)
-		if err != nil {
-			if err := emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()}); err != nil {
+		if resp := handle(sess, net, hooks, sc.Bytes()); resp != nil {
+			if err := emit(resp); err != nil {
 				return err
 			}
-			continue
-		}
-		reports, err := sess.Apply(changes)
-		if err != nil {
-			if err := emit(incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error()}); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports)); err != nil {
-			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("reading stdin: %w", err)
 	}
 	return nil
+}
+
+// handle processes one request line and returns the response value (nil
+// for blank lines). Panics are contained here and answered as structured
+// error lines carrying the request's op and id when they were parseable.
+func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte) (resp any) {
+	var op, id string
+	fail := func(err error) any {
+		return incr.WireError{Seq: sess.LastApply().Seq, Error: err.Error(), Op: op, Id: id}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			resp = incr.WireError{
+				Seq:   sess.LastApply().Seq,
+				Error: fmt.Sprintf("panic: %v", r),
+				Op:    op,
+				Id:    id,
+			}
+		}
+	}()
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return nil
+	}
+	if trimmed[0] != '[' {
+		var req incr.WireRequest
+		if err := json.Unmarshal(trimmed, &req); err != nil {
+			return fail(fmt.Errorf("malformed request: %w", err))
+		}
+		op, id = req.Op, req.Id
+		switch req.Op {
+		case "propose":
+			changes, err := incr.DecodeProposeSet(net, req.Changes)
+			if err != nil {
+				return fail(err)
+			}
+			pr, err := sess.Propose(changes)
+			if err != nil {
+				return fail(err)
+			}
+			return incr.EncodeProposeResult(net.Topo, id, changes, pr)
+		case "commit":
+			reports, err := sess.Commit()
+			if err != nil {
+				return fail(err)
+			}
+			ack := incr.WireTxAck{Op: "commit", Id: id, Seq: sess.LastApply().Seq, Committed: true}
+			for _, r := range reports {
+				if !r.Satisfied {
+					ack.Unsatisfied++
+				}
+			}
+			return ack
+		case "rollback":
+			if err := sess.Rollback(); err != nil {
+				return fail(err)
+			}
+			return incr.WireTxAck{Op: "rollback", Id: id, Seq: sess.LastApply().Seq, RolledBack: true}
+		case "inject_panic":
+			if hooks.armFault == nil {
+				return fail(errors.New("fault injection disabled (run with -fault-injection)"))
+			}
+			hooks.armFault()
+			return incr.WireTxAck{Op: "inject_panic", Id: id, Seq: sess.LastApply().Seq}
+		}
+	}
+	// Plain change-set (single object or array): decode-and-apply. With a
+	// propose pending, refuse before decoding — firewall ops mutate live
+	// state at decode time, which would leak past the pending shadow.
+	if sess.ProposePending() {
+		return fail(incr.ErrProposePending)
+	}
+	changes, err := incr.DecodeChangeSet(net, line)
+	if err != nil {
+		return fail(err)
+	}
+	reports, err := sess.Apply(changes)
+	if err != nil {
+		return fail(err)
+	}
+	res := incr.EncodeResult(net.Topo, sess.LastApply(), reports)
+	res.Id = id
+	return res
 }
 
 func main() {
@@ -154,10 +267,16 @@ func main() {
 		noSym     = flag.Bool("no-symmetry", false, "verify every invariant individually")
 		nodeGran  = flag.Bool("node-granularity", false,
 			"dirty at node granularity instead of prefix/rule level (escape hatch, comparison baseline)")
+		timeout = flag.Duration("timeout", 0,
+			"per-request wall-clock budget (0 = none); checks past the deadline degrade to budget_exceeded verdicts")
+		maxConflicts = flag.Int64("max-conflicts", 0,
+			"per-solve SAT conflict budget (0 = unlimited); exhausted solves report outcome unknown with budget_exceeded")
+		faultInj = flag.Bool("fault-injection", false,
+			"enable the inject_panic test op (forces a panic in the next solve; containment testing only)")
 	)
 	flag.Parse()
 
-	opts := core.Options{Seed: *seed}
+	opts := core.Options{Seed: *seed, MaxConflicts: *maxConflicts}
 	switch *engine {
 	case "sat":
 		opts.Engine = core.EngineSAT
@@ -180,13 +299,20 @@ func main() {
 		fail("%v", err)
 	}
 
-	sess, reports, err := incr.NewSession(net, opts, invs,
-		incr.Options{Workers: *workers, NoSymmetry: *noSym, NodeGranularity: *nodeGran})
+	sopts := incr.Options{
+		Workers: *workers, NoSymmetry: *noSym, NodeGranularity: *nodeGran,
+		RequestTimeout: *timeout,
+	}
+	var hooks serveHooks
+	if *faultInj {
+		hooks = wireFaultInjection(&sopts)
+	}
+	sess, reports, err := incr.NewSession(net, opts, invs, sopts)
 	if err != nil {
 		fail("%v", err)
 	}
 
-	if err := serve(sess, net, reports, os.Stdin, os.Stdout); err != nil {
+	if err := serve(sess, net, reports, os.Stdin, os.Stdout, hooks); err != nil {
 		fail("%v", err)
 	}
 }

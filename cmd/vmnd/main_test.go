@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -36,18 +37,28 @@ func normalize(b []byte) []byte {
 // wire loop with the given input lines.
 func exchange(t *testing.T, lines []string) []byte {
 	t.Helper()
+	return exchangeOpts(t, lines, incr.Options{Workers: 1}, false)
+}
+
+// exchangeOpts is exchange with explicit session options and optional
+// fault injection (the inject_panic op).
+func exchangeOpts(t *testing.T, lines []string, sopts incr.Options, faultInj bool) []byte {
+	t.Helper()
 	net, invs, err := buildNetwork(netConfig{network: "datacenter", groups: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs,
-		incr.Options{Workers: 1})
+	var hooks serveHooks
+	if faultInj {
+		hooks = wireFaultInjection(&sopts)
+	}
+	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs, sopts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
 	var out bytes.Buffer
-	if err := serve(sess, net, reports, in, &out); err != nil {
+	if err := serve(sess, net, reports, in, &out, hooks); err != nil {
 		t.Fatal(err)
 	}
 	return normalize(out.Bytes())
@@ -91,6 +102,45 @@ func TestGoldenWireProtocol(t *testing.T) {
 			`{"op":"inv_add","invariant":{"type":"weird","dst":"h0-0"}}`,
 			`{"op":"noop"}`,
 		}},
+		// A benign propose accepted and committed; the trailing noop pins
+		// that the committed state (seq, verdicts) is the shadow's.
+		{"propose_commit", []string{
+			`{"op":"propose","id":"p1","changes":[{"op":"node_down","node":"fw1"}]}`,
+			`{"op":"commit","id":"p2"}`,
+			`{"op":"noop"}`,
+		}},
+		// A violating propose rejected with a verified repair suggestion,
+		// rolled back; the trailing noop pins that the session is exactly
+		// pre-propose (seq 2, verdicts unchanged).
+		{"propose_reject", []string{
+			`{"op":"propose","id":"r1","changes":[` +
+				`{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"},` +
+				`{"op":"node_down","node":"h2-0"}]}`,
+			`{"op":"rollback","id":"r2"}`,
+			`{"op":"noop"}`,
+		}},
+		// Out-of-order transaction sequences: every ordering violation is
+		// a typed error and the session keeps serving.
+		{"tx_ordering", []string{
+			`{"op":"commit","id":"o1"}`,
+			`{"op":"rollback","id":"o2"}`,
+			`{"op":"propose","id":"o3","changes":[{"op":"node_down","node":"h2-0"}]}`,
+			`{"op":"propose","id":"o4","changes":[{"op":"noop"}]}`,
+			`{"op":"node_up","node":"h2-0"}`,
+			`{"op":"rollback","id":"o5"}`,
+			`{"op":"noop"}`,
+		}},
+		// Malformed propose bodies: bad JSON shapes, unknown nodes, and
+		// in-place reconfiguration (not shadowable) are all rejected
+		// without touching the session.
+		{"propose_malformed", []string{
+			`{"op":"propose","id":"m1","changes":"not an array"}`,
+			`{"op":"propose","id":"m2","changes":[{"op":"box_reconfig","node":"fw2"}]}`,
+			`{"op":"propose","id":"m3","changes":[{"op":"fw_del","node":"nope","src":"10.0.0.0/24","dst":"*"}]}`,
+			`{"op":"propose","id":"m4","changes":[{"op":"frobnicate"}]}`,
+			`{"op":"inject_panic","id":"m5"}`,
+			`{"op":"noop"}`,
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -114,6 +164,125 @@ func TestGoldenWireProtocol(t *testing.T) {
 					path, got, want)
 			}
 		})
+	}
+}
+
+// TestGoldenBudgetExceeded pins the degraded-verdict wire shape: with a
+// (deliberately immediate) request deadline every solve is cut off, each
+// report carries outcome "unknown" with budget_exceeded, and the result
+// line counts them. Deterministic because no solver ever runs.
+func TestGoldenBudgetExceeded(t *testing.T) {
+	got := exchangeOpts(t, []string{
+		`{"op":"node_down","node":"fw1"}`,
+		`{"op":"propose","id":"b1","changes":[{"op":"node_up","node":"fw1"}]}`,
+		`{"op":"rollback","id":"b2"}`,
+	}, incr.Options{Workers: 1, RequestTimeout: 1, NoRepair: true}, false)
+	path := filepath.Join("testdata", "golden", "budget_exceeded.ndjson")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("budget exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestFaultInjection forces a panic inside a solve path (worker pool) and
+// asserts the containment contract: the request that hit the panic gets a
+// structured error line, and the next request re-verifies from scratch
+// with correct verdicts.
+func TestFaultInjection(t *testing.T) {
+	out := exchangeOpts(t, []string{
+		`{"op":"inject_panic","id":"f1"}`,
+		`{"op":"node_down","node":"fw1"}`, // solve panics here
+		`{"op":"node_up","node":"fw1"}`,   // must answer correctly
+	}, incr.Options{Workers: 2}, true)
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("want init + ack + error + result lines, got %d:\n%s", len(lines), out)
+	}
+	var ack struct{ Op string }
+	if err := json.Unmarshal(lines[1], &ack); err != nil || ack.Op != "inject_panic" {
+		t.Fatalf("want inject_panic ack, got %s (err %v)", lines[1], err)
+	}
+	var werr struct {
+		Error string
+		Op    string
+	}
+	if err := json.Unmarshal(lines[2], &werr); err != nil {
+		t.Fatalf("error line not JSON: %s (%v)", lines[2], err)
+	}
+	if !strings.Contains(werr.Error, "injected fault") || werr.Op != "node_down" {
+		t.Fatalf("want structured injected-fault error with op, got %s", lines[2])
+	}
+	var res struct {
+		Seq         int
+		Unsatisfied int
+		Reports     []struct{ Satisfied bool }
+	}
+	if err := json.Unmarshal(lines[3], &res); err != nil {
+		t.Fatalf("result line not JSON: %s (%v)", lines[3], err)
+	}
+	// The panicked Apply consumed seq 2 (error path); node_up is seq 3,
+	// re-verified from scratch and all-green again.
+	if res.Seq != 3 || res.Unsatisfied != 0 || len(res.Reports) != 6 {
+		t.Fatalf("daemon did not answer correctly after the panic: %s", lines[3])
+	}
+}
+
+// TestCrashResilience drives the serve loop with the shared corpus of
+// malformed, out-of-order, and panic-triggering requests and asserts the
+// daemon contract: serve returns nil (exit 0), every output line is valid
+// JSON, and the daemon still answers the corpus's final noop with a
+// result line. The same corpus backs the `make vmnd-smoke` pipeline
+// against the real binary.
+func TestCrashResilience(t *testing.T) {
+	corpus, err := os.ReadFile(filepath.Join("testdata", "crash_corpus.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, invs, err := buildNetwork(netConfig{network: "datacenter", groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopts := incr.Options{Workers: 2}
+	hooks := wireFaultInjection(&sopts)
+	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := serve(sess, net, reports, bytes.NewReader(corpus), &out, hooks); err != nil {
+		t.Fatalf("serve must survive the crash corpus: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
+	for i, line := range lines {
+		if !json.Valid(line) {
+			t.Fatalf("output line %d is not valid JSON: %q", i, line)
+		}
+	}
+	var last struct {
+		Seq     int
+		Reports []struct{ Satisfied bool }
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Reports) != 6 {
+		t.Fatalf("daemon did not answer the final request with a full report set: %s",
+			lines[len(lines)-1])
+	}
+	for _, r := range last.Reports {
+		if !r.Satisfied {
+			t.Fatalf("final verdicts wrong after the crash corpus: %s", lines[len(lines)-1])
+		}
 	}
 }
 

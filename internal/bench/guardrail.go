@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// guardrailGroups sizes the deployment-guardrail datacenter: every pair
+// isolation invariant routes through the primary firewall, so a bad
+// firewall change dirties the whole set — the worst case for the
+// transactional path.
+const guardrailGroups = 8
+
+// Guardrail measures the transactional what-if path (the deployment
+// guardrail: verify a change before it goes live) against the only
+// alternative an operator has without it — applying the bad change to the
+// live verifier and reverting it. Two twin sessions walk the same
+// schedule; each step measures
+//
+//	guardrail/propose-rollback  Propose(violating fw change) — including
+//	                            the verified minimal-repair search — then
+//	                            Rollback, on one session
+//	guardrail/apply-revert      Apply(same change) then Apply(the revert)
+//	                            on the twin
+//
+// followed by a benign steering change both twins adopt, measured as
+//
+//	guardrail/propose-commit    Propose + Commit
+//	guardrail/apply             plain Apply
+//
+// so the figure also reports the overhead of routing GOOD changes through
+// the transaction. Dirtied/CacheHits/Solves aggregate the sessions'
+// accounting as in the churn figure.
+func Guardrail(steps, runs int) Series {
+	s := Series{Fig: "guardrail", Title: "transactional what-if (propose/rollback) vs apply-then-revert"}
+	pr := Row{Label: "guardrail/propose-rollback", X: steps}
+	ar := Row{Label: "guardrail/apply-revert", X: steps}
+	pc := Row{Label: "guardrail/propose-commit", X: steps}
+	ap := Row{Label: "guardrail/apply", X: steps}
+	for r := 0; r < runs; r++ {
+		guardrailRun(steps, int64(r), &pr, &ar, &pc, &ap)
+	}
+	for _, row := range []*Row{&pr, &ar, &pc, &ap} {
+		if n := len(row.Samples); n > 0 {
+			if row.Invariants > 0 {
+				row.DirtyFraction = float64(row.Dirtied) / float64(n) / float64(row.Invariants)
+			}
+			row.Dirtied /= n
+		}
+	}
+	s.Rows = append(s.Rows, pr, ar, pc, ap)
+	return s
+}
+
+// guardrailSession owns one datacenter and its verification session.
+type guardrailSession struct {
+	d       *Datacenter
+	sess    *incr.Session
+	baseFIB func(topo.FailureScenario) tf.FIB
+	overlay map[topo.NodeID][]tf.Rule
+}
+
+func newGuardrailSession(seed int64) *guardrailSession {
+	d := NewDatacenter(DCConfig{Groups: guardrailGroups, HostsPerGroup: 1})
+	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed},
+		d.AllIsolationInvariants(), incr.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return &guardrailSession{d: d, sess: sess, baseFIB: d.Net.FIBFor, overlay: map[topo.NodeID][]tf.Rule{}}
+}
+
+// holeFW clones the primary firewall with an allow entry punched above
+// the group-isolation denies — the canonical bad change a guardrail must
+// catch before deployment.
+func (g *guardrailSession) holeFW(grp int) *mbox.LearningFirewall {
+	fw := g.d.FWPrimary
+	return &mbox.LearningFirewall{
+		InstanceName: fw.InstanceName,
+		ACL: append([]mbox.ACLEntry{
+			mbox.AllowEntry(ClientPrefix(grp), ClientPrefix((grp+1)%guardrailGroups)),
+		}, fw.ACL...),
+		DefaultAllow: fw.DefaultAllow,
+	}
+}
+
+// cleanFW clones the primary firewall as-is (the revert payload).
+func (g *guardrailSession) cleanFW() *mbox.LearningFirewall {
+	fw := g.d.FWPrimary
+	return &mbox.LearningFirewall{
+		InstanceName: fw.InstanceName,
+		ACL:          append([]mbox.ACLEntry(nil), fw.ACL...),
+		DefaultAllow: fw.DefaultAllow,
+	}
+}
+
+// steeringToggle flips a shadow steering rule for one group's prefix at
+// the shared aggregation switch — the benign change of the churn figure.
+func (g *guardrailSession) steeringToggle(grp int) []incr.Change {
+	if len(g.overlay[g.d.Agg]) > 0 {
+		delete(g.overlay, g.d.Agg)
+	} else {
+		g.overlay[g.d.Agg] = []tf.Rule{{
+			Match: ClientPrefix(grp), In: topo.NodeNone, Out: g.d.FW1, Priority: 11,
+		}}
+	}
+	return []incr.Change{incr.FIBUpdate(overlayFIB(g.baseFIB, g.overlay))}
+}
+
+func guardrailRun(steps int, seed int64, pr, ar, pc, ap *Row) {
+	tx := newGuardrailSession(seed)
+	tw := newGuardrailSession(seed)
+	rng := rand.New(rand.NewSource(seed + 3))
+
+	account := func(row *Row, st incr.ApplyStats) {
+		row.Invariants = st.Invariants
+		row.Dirtied += st.DirtyInvariants
+		row.CacheHits += st.CacheHits
+		row.Solves += st.CacheMisses
+	}
+
+	for step := 0; step < steps; step++ {
+		grp := rng.Intn(guardrailGroups)
+
+		// Violating change: the guardrail proposes, sees the rejection
+		// (with its verified repair), and rolls back ...
+		var res *incr.ProposeResult
+		pr.Samples = append(pr.Samples, timeIt(func() {
+			var err error
+			if res, err = tx.sess.Propose([]incr.Change{incr.BoxSwap(tx.d.FW1, tx.holeFW(grp))}); err != nil {
+				panic(err)
+			}
+			if res.Decision != incr.Reject {
+				panic("guardrail: violating change not rejected")
+			}
+			if err := tx.sess.Rollback(); err != nil {
+				panic(err)
+			}
+		}))
+		account(pr, res.Stats)
+
+		// ... while the twin must deploy the bad change to find out, then
+		// deploy the revert.
+		ar.Samples = append(ar.Samples, timeIt(func() {
+			if _, err := tw.sess.Apply([]incr.Change{incr.BoxSwap(tw.d.FW1, tw.holeFW(grp))}); err != nil {
+				panic(err)
+			}
+			account(ar, tw.sess.LastApply())
+			if _, err := tw.sess.Apply([]incr.Change{incr.BoxSwap(tw.d.FW1, tw.cleanFW())}); err != nil {
+				panic(err)
+			}
+			account(ar, tw.sess.LastApply())
+		}))
+
+		// Benign change, adopted by both twins.
+		pc.Samples = append(pc.Samples, timeIt(func() {
+			if _, err := tx.sess.Propose(tx.steeringToggle(grp)); err != nil {
+				panic(err)
+			}
+			if _, err := tx.sess.Commit(); err != nil {
+				panic(err)
+			}
+		}))
+		account(pc, tx.sess.LastApply())
+		ap.Samples = append(ap.Samples, timeIt(func() {
+			if _, err := tw.sess.Apply(tw.steeringToggle(grp)); err != nil {
+				panic(err)
+			}
+		}))
+		account(ap, tw.sess.LastApply())
+	}
+}

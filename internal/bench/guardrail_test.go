@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestGuardrailSmoke runs a short guardrail schedule and checks the row
+// shape the JSON consumers rely on: one sample per step for every row,
+// rejection actually exercised (the run panics if a violating propose is
+// accepted), and accounting present on every row.
+func TestGuardrailSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("guardrail smoke is a few hundred SAT solves")
+	}
+	const steps, runs = 3, 1
+	s := Guardrail(steps, runs)
+	if len(s.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if len(r.Samples) != steps*runs {
+			t.Fatalf("%s: want %d samples, got %d", r.Label, steps*runs, len(r.Samples))
+		}
+		if r.Invariants == 0 {
+			t.Fatalf("%s: accounting missing: %+v", r.Label, r)
+		}
+		if r.DirtyFraction <= 0 || r.DirtyFraction > 1 {
+			t.Fatalf("%s: dirty fraction out of range: %v", r.Label, r.DirtyFraction)
+		}
+	}
+}

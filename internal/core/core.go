@@ -11,6 +11,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,12 @@ type Report struct {
 	// Cached marks verdicts served from an incremental verdict cache
 	// without re-solving.
 	Cached bool
+	// BudgetExceeded marks a check that ran out of budget — solver
+	// conflicts, explicit-state bound, or a request deadline — instead of
+	// reaching a verdict. The outcome is Unknown and Satisfied is false
+	// (conservative); such reports are never cached by the incremental
+	// layer, so the check re-runs once budget allows.
+	BudgetExceeded bool
 }
 
 // Verifier verifies invariants over a network. It caches compiled
@@ -612,12 +619,24 @@ func (v *Verifier) VerifyAll(invs []inv.Invariant, useSymmetry bool) ([]Report, 
 // Shared by VerifyAll's plan/solve phases and the incremental layer's
 // re-verification pool.
 func ForEachIndexed(n, workers int, f func(int) error) error {
+	// A panic in f must surface as an error, not kill the process: in the
+	// parallel path it fires on a pool goroutine where no caller-side
+	// recover() can reach it. Long-lived consumers (incr.Session, vmnd)
+	// rely on this containment to keep serving after a buggy solve.
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: panic in worker: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return f(i)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -634,7 +653,7 @@ func ForEachIndexed(n, workers int, f func(int) error) error {
 				if errs[w] != nil {
 					continue
 				}
-				errs[w] = f(i)
+				errs[w] = call(i)
 			}
 		}(w)
 	}
@@ -720,7 +739,10 @@ func (v *Verifier) solvePlan(plan *checkPlan) (Report, error) {
 	case inv.Violated:
 		rep.Satisfied = !i.Expectation()
 	default:
+		// Unknown means some exploration budget ran out (solver conflict
+		// cap, explicit-state bound) before a verdict.
 		rep.Satisfied = false
+		rep.BudgetExceeded = true
 	}
 	return rep, nil
 }

@@ -108,6 +108,18 @@ func (c *verdictCache) get(key []byte) (core.Report, *slices.Renaming, bool) {
 	return core.Report{}, nil, false
 }
 
+// peek is get without the recency refresh: shadow (propose) verification
+// reads through the live cache without perturbing its LRU order, so a
+// rolled-back propose leaves the cache bit-identical.
+func (c *verdictCache) peek(key []byte) (core.Report, *slices.Renaming, bool) {
+	for _, line := range c.m[hashKey(key)] {
+		if bytes.Equal(line.key, key) {
+			return line.report, line.ren, true
+		}
+	}
+	return core.Report{}, nil, false
+}
+
 // put stores a report (with the producer's renaming, nil for exact-keyed
 // entries) under key, replacing any previous entry; when full, the least
 // recently used entry is evicted.

@@ -7,13 +7,17 @@ package incr_test
 // node-granularity dirtying modes. This is the correctness bar of the
 // incremental layer (Apply ≡ VerifyAll) enforced over the whole change-op
 // alphabet instead of a handful of hand-written streams; the seed corpus
-// covers every op on every fuzzed network.
+// covers every op on every fuzzed network. Transaction modes ride on the
+// op byte's high bits: Propose+Rollback detours must leave no residue
+// (the scratch comparison would catch any), and Propose+Commit must be
+// indistinguishable from a direct Apply.
 //
 // Two identical networks are built per run — sessions own their networks
 // (FIBUpdate swaps the provider, ACL edits mutate models in place), so the
 // prefix- and node-granularity sessions must not share one.
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -30,10 +34,22 @@ import (
 // fuzzTarget materializes decoded ops as change-sets over one owned
 // network. Both granularity modes get their own target; toggle state is
 // keyed deterministically on the op bytes, so the two targets stay in
-// lock-step.
+// lock-step. probe builds a pure (self-contained, no mirror mutation)
+// change-set for transactional detours: it is only ever proposed and
+// rolled back, never committed.
 type fuzzTarget interface {
 	changes(op, arg byte) []incr.Change
+	probe(arg byte) []incr.Change
 	session() *incr.Session
+}
+
+// cloneFirewall copies a learning firewall for pure BoxSwap probes.
+func cloneFirewall(fw *mbox.LearningFirewall) *mbox.LearningFirewall {
+	return &mbox.LearningFirewall{
+		InstanceName: fw.InstanceName,
+		ACL:          append([]mbox.ACLEntry(nil), fw.ACL...),
+		DefaultAllow: fw.DefaultAllow,
+	}
 }
 
 // --- datacenter target ---
@@ -160,6 +176,27 @@ func (f *dcTarget) changes(op, arg byte) []incr.Change {
 	}
 }
 
+// probe builds pure transactional change-sets: every model is a fresh
+// clone and no mirror state is touched, so a Propose/Rollback pair must
+// leave the session bit-identical to never having proposed.
+func (f *dcTarget) probe(arg byte) []incr.Change {
+	d := f.d
+	g := int(arg) % d.Cfg.Groups
+	switch arg % 3 {
+	case 0: // violating: punch an allow hole above the isolation denies
+		fw := cloneFirewall(d.FWPrimary)
+		fw.ACL = append([]mbox.ACLEntry{
+			mbox.AllowEntry(bench.ClientPrefix(g), bench.ClientPrefix((g+1)%d.Cfg.Groups)),
+		}, fw.ACL...)
+		return []incr.Change{incr.BoxSwap(d.FW1, fw)}
+	case 1: // topology-only: lose firewall redundancy (always verifiable,
+		// unlike a ToR failure whose reroute can escape slice closure)
+		return []incr.Change{incr.NodeDown(d.FW2)}
+	default: // mixed relabel + liveness
+		return []incr.Change{incr.Relabel(d.Hosts[g][0], "probe-class"), incr.NodeDown(d.IDS1)}
+	}
+}
+
 // --- multitenant target ---
 
 type mtTarget struct {
@@ -247,6 +284,22 @@ func (f *mtTarget) changes(op, arg byte) []incr.Change {
 	}
 }
 
+// probe builds pure transactional change-sets (see dcTarget.probe).
+func (f *mtTarget) probe(arg byte) []incr.Change {
+	m := f.m
+	tn := int(arg) % m.Cfg.Tenants
+	switch arg % 2 {
+	case 0: // violating: open the tenant's private prefix to everyone
+		fw := cloneFirewall(m.Firewalls[tn])
+		fw.ACL = append([]mbox.ACLEntry{
+			mbox.AllowEntry(pkt.Prefix{}, bench.TenantPrivPrefix(tn)),
+		}, fw.ACL...)
+		return []incr.Change{incr.BoxSwap(m.VSwitchFW[tn], fw)}
+	default: // topology-only: fail a public VM
+		return []incr.Change{incr.NodeDown(m.PubVMs[tn][0])}
+	}
+}
+
 // maxFuzzOps bounds the per-input change stream (every op costs two
 // Applies plus a from-scratch VerifyAll).
 const maxFuzzOps = 6
@@ -272,18 +325,32 @@ func compareWitnesses(t *testing.T, step string, got, want []core.Report) {
 
 // FuzzSessionDifferential is the differential churn fuzzer (see the file
 // comment). data[0] selects the network, the rest decodes as (op, arg)
-// pairs.
+// pairs. The op byte's low bits pick the change kind; its high two bits
+// pick a transaction mode for the step:
+//
+//	mode 1: before applying, Propose a pure probe on both sessions and
+//	        Roll it back (plus ordering-error assertions). Any leak —
+//	        state, verdicts, witnesses, cache recency — then surfaces in
+//	        the lockstep/scratch comparisons for this and later steps.
+//	mode 2: drive the step's change-set through Propose+Commit instead
+//	        of Apply when it is pure; committed state must still match
+//	        the from-scratch baseline bit-identically.
 func FuzzSessionDifferential(f *testing.F) {
 	// Seed corpus: every op kind on every network, plus mixed streams
-	// (toggle on/off, negative-read then liveness, relabel then revert).
+	// (toggle on/off, negative-read then liveness, relabel then revert)
+	// and transactional streams (propose/rollback detours, propose+commit
+	// replacing apply).
 	for net := byte(0); net < 3; net++ {
 		for op := byte(0); op < 8; op++ {
 			f.Add([]byte{net, op, 0})
 		}
-		f.Add([]byte{net, 1, 0, 1, 0, 0, 2})       // overlay on/off around a liveness toggle
-		f.Add([]byte{net, 3, 1, 6, 0, 3, 1, 5, 2}) // ACL + invariant churn + relabel
-		f.Add([]byte{net, 2, 0, 4, 0, 2, 0, 7, 0}) // negative read + dead entry + revert
-		f.Add([]byte{net, 0, 2, 0, 2, 1, 1, 0, 2}) // down/up + overlay under liveness
+		f.Add([]byte{net, 1, 0, 1, 0, 0, 2})                             // overlay on/off around a liveness toggle
+		f.Add([]byte{net, 3, 1, 6, 0, 3, 1, 5, 2})                       // ACL + invariant churn + relabel
+		f.Add([]byte{net, 2, 0, 4, 0, 2, 0, 7, 0})                       // negative read + dead entry + revert
+		f.Add([]byte{net, 0, 2, 0, 2, 1, 1, 0, 2})                       // down/up + overlay under liveness
+		f.Add([]byte{net, 64 + 1, 0, 64 + 3, 1, 0, 2})                   // rollback detours (violating + topology probes) around churn
+		f.Add([]byte{net, 128 + 0, 1, 128 + 5, 0, 128 + 6, 1})           // propose+commit path for pure change-sets
+		f.Add([]byte{net, 64 + 0, 2, 128 + 1, 0, 64 + 2, 1, 128 + 0, 2}) // mixed tx modes
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -304,14 +371,71 @@ func FuzzSessionDifferential(f *testing.F) {
 		prefix := mk(incr.Options{})
 		node := mk(incr.Options{NodeGranularity: true})
 
+		// pureSet reports whether a change-set can round-trip through
+		// Propose: in-place reconfigs (nil model) mutate live state at
+		// construction time and are refused by the transactional layer.
+		pureSet := func(cs []incr.Change) bool {
+			for _, ch := range cs {
+				if ch.Kind == incr.KindBoxReconfig && ch.Model == nil {
+					return false
+				}
+			}
+			return true
+		}
+		// applyTx drives one step through Propose+Commit when the mode and
+		// the change-set allow it; committed state must be undistinguishable
+		// from a direct Apply. A failed Propose never poisons the session,
+		// so a plain Apply then surfaces the same error as today.
+		applyTx := func(s *incr.Session, cs []incr.Change, mode byte) ([]core.Report, error) {
+			if mode == 2 && pureSet(cs) {
+				if _, err := s.Propose(cs); err == nil {
+					return s.Commit()
+				}
+			}
+			return s.Apply(cs)
+		}
+		// detour runs a pure probe through Propose+Rollback with the full
+		// ordering-error alphabet; any residue is caught by the scratch
+		// comparison after the step's real change.
+		detour := func(step string, tgt fuzzTarget, arg byte) {
+			s := tgt.session()
+			pr, err := s.Propose(tgt.probe(arg))
+			if err == nil {
+				if pr == nil {
+					t.Fatalf("%s: Propose returned nil result without error", step)
+				}
+				if _, err2 := s.Propose(nil); err2 != incr.ErrProposePending {
+					t.Fatalf("%s: double propose: got %v, want ErrProposePending", step, err2)
+				}
+				if _, err2 := s.Apply(nil); err2 != incr.ErrProposePending {
+					t.Fatalf("%s: apply while pending: got %v, want ErrProposePending", step, err2)
+				}
+				if err2 := s.Rollback(); err2 != nil {
+					t.Fatalf("%s: rollback of pending propose failed: %v", step, err2)
+				}
+			}
+			if err2 := s.Rollback(); err2 != incr.ErrNoPropose {
+				t.Fatalf("%s: rollback without propose: got %v, want ErrNoPropose", step, err2)
+			}
+			if _, err2 := s.Commit(); err2 != incr.ErrNoPropose {
+				t.Fatalf("%s: commit without propose: got %v, want ErrNoPropose", step, err2)
+			}
+		}
+
 		opts := core.Options{Engine: core.EngineSAT}
 		ops := data[1:]
 		for i := 0; i+1 < len(ops) && i/2 < maxFuzzOps; i += 2 {
 			op, arg := ops[i], ops[i+1]
-			step := fmt.Sprintf("net %d step %d (op %d arg %d)", sel, i/2, op, arg)
+			mode := op >> 6
+			step := fmt.Sprintf("net %d step %d (op %d arg %d mode %d)", sel, i/2, op, arg, mode)
 
-			got, errP := prefix.session().Apply(prefix.changes(op, arg))
-			gotNode, errN := node.session().Apply(node.changes(op, arg))
+			if mode == 1 {
+				detour(step+" [detour prefix]", prefix, arg)
+				detour(step+" [detour node]", node, arg)
+			}
+
+			got, errP := applyTx(prefix.session(), prefix.changes(op, arg), mode)
+			gotNode, errN := applyTx(node.session(), node.changes(op, arg), mode)
 			if (errP == nil) != (errN == nil) {
 				t.Fatalf("%s: granularity modes disagree on applicability: prefix=%v node=%v",
 					step, errP, errN)
@@ -363,6 +487,46 @@ func FuzzDecodeChangeSet(f *testing.F) {
 		changes, err := incr.DecodeChangeSet(d.Net, line)
 		if err != nil && changes != nil {
 			t.Fatalf("decode returned changes alongside error %v", err)
+		}
+	})
+}
+
+// FuzzDecodeProposeSet hardens the transactional decoder: arbitrary
+// change arrays must decode or fail cleanly without ever mutating live
+// state (propose decoding clones; only Commit may change the network) and
+// a successful decode must contain only pure changes.
+func FuzzDecodeProposeSet(f *testing.F) {
+	seeds := []string{
+		`[{"op":"fw_allow","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}]`,
+		`[{"op":"fw_deny","node":"fw1","src":"*","dst":"10.1.0.1"},{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}]`,
+		`[{"op":"box_reconfig","node":"fw2"}]`,
+		`[{"op":"node_down","node":"fw1"},{"op":"noop"}]`,
+		`[{"op":"inv_remove","name":"x"},{"op":"relabel","node":"h0-0","class":"y"}]`,
+		`[]`,
+		`[{"op":"frobnicate"}]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	d := bench.NewDatacenter(bench.DCConfig{Groups: 2, HostsPerGroup: 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wires []incr.WireChange
+		if json.Unmarshal(data, &wires) != nil {
+			t.Skip()
+		}
+		aclBefore := len(d.FWPrimary.ACL)
+		changes, err := incr.DecodeProposeSet(d.Net, wires)
+		if len(d.FWPrimary.ACL) != aclBefore {
+			t.Fatalf("propose decode mutated the live firewall (%d -> %d entries)",
+				aclBefore, len(d.FWPrimary.ACL))
+		}
+		if err != nil {
+			return
+		}
+		for _, ch := range changes {
+			if ch.Kind == incr.KindBoxReconfig && ch.Model == nil {
+				t.Fatal("propose decode produced an impure in-place reconfig")
+			}
 		}
 	})
 }

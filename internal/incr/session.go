@@ -35,6 +35,20 @@ type Options struct {
 	// rule-read projections the change actually alters. The escape hatch
 	// and comparison baseline; verdicts are identical either way.
 	NodeGranularity bool
+	// RequestTimeout bounds the wall clock of one request (Apply or
+	// Propose, including repair search). Checks not started before the
+	// deadline degrade to an explicit BudgetExceeded/Unknown report
+	// instead of hanging the daemon; exceeded groups stay dirty and
+	// re-verify on the next request. 0 disables the deadline.
+	RequestTimeout time.Duration
+	// NoRepair disables minimal-repair search on violating proposes.
+	NoRepair bool
+	// FaultHook, when non-nil, is called at the entry of every group
+	// solve ("solve" stage) on the worker that runs it. Test-only fault
+	// injection: a hook that panics exercises the containment path
+	// (worker recover → Apply error → invalidate, or propose shadow
+	// discard) without a real solver bug.
+	FaultHook func(stage string)
 }
 
 // ApplyStats describes one Apply call.
@@ -63,7 +77,10 @@ type ApplyStats struct {
 	// differently named but isomorphic slice and the witness was
 	// translated.
 	CanonHits int
-	Duration  time.Duration
+	// BudgetExceeded counts reports that hit a budget (request deadline,
+	// solver conflict cap) instead of reaching a verdict.
+	BudgetExceeded int
+	Duration       time.Duration
 }
 
 // Totals accumulates session-lifetime counters.
@@ -96,6 +113,10 @@ type groupEntry struct {
 	boxKeys  map[topo.NodeID]string
 	universe topo.AtomSet
 	coarse   bool
+	// exceeded marks entries holding at least one budget-degraded
+	// (Unknown) report: they are unconditionally dirty on the next Apply
+	// so the check re-runs once budget allows.
+	exceeded bool
 }
 
 // Session is a long-lived incremental verifier. It owns the network it was
@@ -126,6 +147,19 @@ type Session struct {
 
 	cmu   sync.Mutex
 	cache *verdictCache
+	// cview is the cache access path verifyGroup goes through: the live
+	// cache directly, or — during a Propose — an overlay that peeks the
+	// live cache without touching it and journals writes for replay on
+	// Commit (txn.go).
+	cview cacheView
+
+	// deadline bounds the in-flight request (zero = none); set at the
+	// top of Apply/Propose from Options.RequestTimeout.
+	deadline time.Time
+
+	// pending is the proposed-but-not-decided transaction, nil outside a
+	// Propose/Commit|Rollback window.
+	pending *pendingTx
 
 	seq    int
 	last   ApplyStats
@@ -150,6 +184,7 @@ func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopt
 		entries:  map[string]*groupEntry{},
 		cache:    newVerdictCache(sopts.CacheCap),
 	}
+	s.cview = liveCacheView{s}
 	reports, err := s.Apply(nil)
 	if err != nil {
 		return nil, nil, err
@@ -296,10 +331,43 @@ func (s *Session) invalidate() {
 // core.VerifyAll over the mutated network would produce, in the same
 // order. An empty change-set is a cheap refresh (no re-verification).
 // If Apply returns an error the session drops its incremental state and
-// the next Apply re-verifies from scratch.
+// the next Apply re-verifies from scratch. While a Propose is pending,
+// Apply fails with ErrProposePending (decide the transaction first).
 func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pending != nil {
+		return nil, ErrProposePending
+	}
+	s.armDeadline()
+	return s.applyLocked(changes)
+}
+
+// armDeadline starts the per-request wall clock (zero deadline = none).
+func (s *Session) armDeadline() {
+	if s.sopts.RequestTimeout > 0 {
+		s.deadline = time.Now().Add(s.sopts.RequestTimeout)
+	} else {
+		s.deadline = time.Time{}
+	}
+}
+
+// expired reports whether the in-flight request passed its deadline.
+func (s *Session) expired() bool {
+	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
+}
+
+// applyLocked is Apply's body, shared with the shadow (Propose) path: it
+// runs against whatever state is currently installed in s, under s.mu. A
+// panic anywhere in the pipeline is contained here — converted to an
+// error after dropping the (possibly half-mutated) incremental state.
+func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.invalidate()
+			err = fmt.Errorf("incr: panic during apply: %v", r)
+		}
+	}()
 	start := time.Now()
 	s.seq++
 
@@ -490,7 +558,10 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 	refinedClean := 0
 	for gi := range groups {
 		old, ok := s.entries[keys[gi]]
-		if !ok || dirtyAll {
+		if !ok || dirtyAll || old.exceeded {
+			// Entries holding budget-degraded verdicts re-run
+			// unconditionally: the Unknown was a budget artifact, not a
+			// property of the network.
 			dirty = append(dirty, gi)
 			continue
 		}
@@ -594,6 +665,11 @@ func (s *Session) Apply(changes []Change) ([]core.Report, error) {
 	s.groups, s.keys, s.entries = groups, keys, newEntries
 	s.needFull = false
 	out := s.assemble(scens)
+	for _, r := range out {
+		if r.BudgetExceeded {
+			stats.BudgetExceeded++
+		}
+	}
 
 	stats.Duration = time.Since(start)
 	s.last = stats
@@ -749,6 +825,9 @@ func unionTouched(reads []slices.ReadSet) []topo.NodeID {
 // engines were compiled once in Apply phase 2 and are shared by every
 // dirty group and pool worker.
 func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs []tf.FIB) (*groupEntry, int, int, int, error) {
+	if hook := s.sopts.FaultHook; hook != nil {
+		hook("solve")
+	}
 	e := s.newEntry(gp)
 	hits, canonHits, misses := 0, 0, 0
 	for si, sc := range scens {
@@ -764,9 +843,7 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		var r core.Report
 		hit := false
 		if key != nil {
-			s.cmu.Lock()
-			cached, ren, found := s.cache.get(key)
-			s.cmu.Unlock()
+			cached, ren, found := s.cview.get(key)
 			if found && canon {
 				// Canonical entry: translate the verdict (and witness)
 				// from the producer's namespace into this check's. A
@@ -792,6 +869,11 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		}
 		if hit {
 			hits++
+		} else if s.expired() {
+			// Past the request deadline: degrade to an explicit
+			// budget-exceeded verdict instead of queueing another solve.
+			// Cache hits above still answer (they cost nothing).
+			r = budgetReport(gp.rep, sc, cp)
 		} else {
 			var err error
 			r, err = s.verifier.VerifyPlanned(cp)
@@ -799,15 +881,37 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 				return nil, 0, 0, 0, err
 			}
 			misses++
-			if key != nil {
-				s.cmu.Lock()
-				s.cache.put(key, r, cp.Renaming())
-				s.cmu.Unlock()
+			// Budget-degraded verdicts are artifacts of this request's
+			// budget, not of the network: never cache them.
+			if key != nil && !r.BudgetExceeded {
+				s.cview.put(key, r, cp.Renaming())
 			}
+		}
+		if r.BudgetExceeded {
+			e.exceeded = true
 		}
 		e.reports = append(e.reports, r)
 	}
 	return e, hits, canonHits, misses, nil
+}
+
+// budgetReport is the degraded verdict for a check the request deadline
+// cut off before it could solve: Unknown, unsatisfied (conservative),
+// explicitly marked.
+func budgetReport(rep inv.Invariant, sc topo.FailureScenario, cp *core.CheckPlan) core.Report {
+	sl := cp.Slice()
+	return core.Report{
+		Invariant:      rep,
+		Scenario:       sc,
+		Result:         inv.Result{Outcome: inv.Unknown},
+		Satisfied:      false,
+		SliceHosts:     len(sl.Hosts),
+		SliceBoxes:     len(sl.Boxes),
+		Whole:          sl.Whole,
+		Engine:         "budget",
+		Slice:          sl,
+		BudgetExceeded: true,
+	}
 }
 
 // translateGroup derives a dirty class member's entry from its class
@@ -833,6 +937,9 @@ func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan,
 				return nil, 0, 0, err
 			}
 			solved++
+		}
+		if r.BudgetExceeded {
+			e.exceeded = true
 		}
 		e.reports = append(e.reports, r)
 	}

@@ -1,0 +1,496 @@
+package incr
+
+// Transactional what-if verification. Propose runs the ordinary Apply
+// pipeline against a shadow copy of the session's mutable state — boxes,
+// policy classes, FIB provider, liveness set, invariant list, and the
+// group-entry index — with verdict-cache access routed through an overlay
+// that reads the live cache without perturbing it and journals its writes.
+// Commit installs the shadow state and replays the journal; Rollback drops
+// both, leaving the session bit-identical to never having proposed
+// (group entries are immutable after construction, so base and shadow can
+// share them safely).
+//
+// On a rejected propose the session derives minimal-repair suggestions:
+// candidate sub-change-sets (the proposed set minus a small suspect
+// subset) are re-verified through the same shadow pipeline — every
+// suggestion reported was actually verified green, never guessed. The
+// searches run over warm state: the verifier's content-addressed encoding
+// and journey caches plus a read-through of the propose overlay make each
+// candidate no more expensive than an incremental Apply.
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/slices"
+	"github.com/netverify/vmn/internal/symmetry"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// Transactional-ordering errors (satellite: typed, checked at both the
+// Session API and the wire layer).
+var (
+	// ErrProposePending rejects a second Propose, or an Apply, while a
+	// proposed change-set awaits Commit/Rollback.
+	ErrProposePending = errors.New("incr: a proposed change-set is pending; commit or rollback first")
+	// ErrNoPropose rejects Commit/Rollback with nothing proposed.
+	ErrNoPropose = errors.New("incr: no proposed change-set is pending")
+	// ErrImpureChange rejects changes that mutate live state outside the
+	// shadow: an in-place BoxReconfig (nil Model) means the caller already
+	// edited the live model, which a Rollback could not undo. Propose
+	// requires self-contained changes (BoxSwap carries the new model).
+	ErrImpureChange = errors.New("incr: propose requires self-contained changes; in-place box reconfiguration (nil model) cannot be shadowed")
+)
+
+// Decision is the session's verdict on a proposed change-set.
+type Decision int8
+
+// Propose decisions.
+const (
+	// Accept: no invariant newly violated, no check budget-degraded.
+	Accept Decision = iota
+	// Reject: the change-set newly violates at least one invariant, or
+	// some check exhausted its budget (conservative).
+	Reject
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	if d == Reject {
+		return "reject"
+	}
+	return "accept"
+}
+
+// Repair is one verified minimal-repair suggestion: removing the listed
+// changes (indices into the proposed change-set) from the proposal makes
+// it verify green — no invariant worse off than before the propose and no
+// budget-degraded check. Suggestions are found by re-verifying the
+// reduced change-set through the shadow pipeline, so every Repair
+// reported has actually been proven, never guessed.
+type Repair struct {
+	Drop []int
+}
+
+// ProposeResult is the outcome of one Propose: the full shadow report set
+// (what the network would look like after Commit), its Apply-shaped
+// stats, and the session's decision with supporting detail.
+type ProposeResult struct {
+	Reports []core.Report
+	Stats   ApplyStats
+	// Decision is advisory: the caller still chooses Commit or Rollback.
+	Decision Decision
+	// NewViolations counts checks unsatisfied under the shadow that were
+	// satisfied before the propose (pre-existing violations don't count).
+	NewViolations int
+	// BudgetExceeded counts shadow checks degraded by a budget.
+	BudgetExceeded int
+	// Repairs lists the smallest verified repair subsets found (all
+	// singletons that work, else all working pairs); empty when the
+	// decision is Accept, repair is disabled, or no small subset helps.
+	Repairs []Repair
+	// RepairTruncated marks a repair search cut off by the request
+	// deadline or the candidate cap before exhausting its size class.
+	RepairTruncated bool
+}
+
+// sessState is the session's mutable state as one value: what Propose
+// snapshots, shadows, and Commit installs. Group entries, groups and keys
+// are shared between base and shadow (the pipeline replaces these
+// containers wholesale instead of mutating them), so capture/install are
+// cheap pointer swaps.
+type sessState struct {
+	boxes    []mbox.Instance
+	policy   map[topo.NodeID]string
+	fibFor   func(topo.FailureScenario) tf.FIB
+	down     map[topo.NodeID]bool
+	invs     []inv.Invariant
+	needFull bool
+	groups   []symmetry.Group
+	keys     []string
+	entries  map[string]*groupEntry
+	seq      int
+	last     ApplyStats
+	totals   Totals
+}
+
+// capture snapshots the current state (by reference; pair with shadowOf
+// before running the pipeline against it).
+func (s *Session) capture() sessState {
+	return sessState{
+		boxes: s.net.Boxes, policy: s.net.PolicyClass, fibFor: s.net.FIBFor,
+		down: s.down, invs: s.invs, needFull: s.needFull,
+		groups: s.groups, keys: s.keys, entries: s.entries,
+		seq: s.seq, last: s.last, totals: s.totals,
+	}
+}
+
+// install makes st the session's current state.
+func (s *Session) install(st sessState) {
+	s.net.Boxes, s.net.PolicyClass, s.net.FIBFor = st.boxes, st.policy, st.fibFor
+	s.down, s.invs, s.needFull = st.down, st.invs, st.needFull
+	s.groups, s.keys, s.entries = st.groups, st.keys, st.entries
+	s.seq, s.last, s.totals = st.seq, st.last, st.totals
+}
+
+// shadowOf copies the containers the apply pipeline mutates in place
+// (boxes slice, policy and liveness maps, invariant list) so a shadow run
+// cannot leak into the base state.
+func shadowOf(st sessState) sessState {
+	sh := st
+	sh.boxes = append([]mbox.Instance(nil), st.boxes...)
+	if st.policy != nil {
+		sh.policy = make(map[topo.NodeID]string, len(st.policy))
+		for k, v := range st.policy {
+			sh.policy[k] = v
+		}
+	}
+	sh.down = make(map[topo.NodeID]bool, len(st.down))
+	for k, v := range st.down {
+		sh.down[k] = v
+	}
+	sh.invs = append([]inv.Invariant(nil), st.invs...)
+	return sh
+}
+
+// pendingTx is a proposed-but-undecided transaction.
+type pendingTx struct {
+	state   sessState // post-shadow state, installed by Commit
+	reports []core.Report
+	journal []cacheOp // verdict-cache writes/touches, replayed by Commit
+	result  *ProposeResult
+}
+
+// cacheView is the cache access path verifyGroup goes through; the
+// session swaps it for an overlay during shadow runs.
+type cacheView interface {
+	get(key []byte) (core.Report, *slices.Renaming, bool)
+	put(key []byte, r core.Report, ren *slices.Renaming)
+}
+
+// liveCacheView is the non-transactional path: the live cache under the
+// session's cache mutex.
+type liveCacheView struct{ s *Session }
+
+func (v liveCacheView) get(key []byte) (core.Report, *slices.Renaming, bool) {
+	v.s.cmu.Lock()
+	defer v.s.cmu.Unlock()
+	return v.s.cache.get(key)
+}
+
+func (v liveCacheView) put(key []byte, r core.Report, ren *slices.Renaming) {
+	v.s.cmu.Lock()
+	defer v.s.cmu.Unlock()
+	v.s.cache.put(key, r, ren)
+}
+
+// cacheOp is one journaled verdict-cache operation: a put, or a touch (a
+// hit whose recency refresh must be replayed on Commit).
+type cacheOp struct {
+	key    string
+	isPut  bool
+	report core.Report
+	ren    *slices.Renaming
+}
+
+// overlayEntry is a shadow-written cache line.
+type overlayEntry struct {
+	report core.Report
+	ren    *slices.Renaming
+}
+
+// overlayCacheView gives a shadow run read access to the warm live cache
+// without perturbing it (peek, no LRU touch) and absorbs its writes. When
+// record is set, hits and puts are journaled in order so Commit can
+// replay them against the live cache — leaving it exactly as a direct
+// Apply would have. Repair-candidate runs chain a scratch view over the
+// propose's overlay (parent): content-addressed keys make cross-run
+// reuse sound.
+type overlayCacheView struct {
+	s      *Session
+	parent *overlayCacheView
+	record bool
+
+	mu      sync.Mutex
+	entries map[string]overlayEntry
+	journal []cacheOp
+}
+
+func newOverlayView(s *Session, parent *overlayCacheView, record bool) *overlayCacheView {
+	return &overlayCacheView{s: s, parent: parent, record: record, entries: map[string]overlayEntry{}}
+}
+
+// lookup finds k in this overlay or its parents (callers hold v.mu; the
+// parent is quiescent during candidate runs, so its map is read-only).
+func (v *overlayCacheView) lookup(k string) (overlayEntry, bool) {
+	if e, ok := v.entries[k]; ok {
+		return e, true
+	}
+	if v.parent != nil {
+		return v.parent.lookup(k)
+	}
+	return overlayEntry{}, false
+}
+
+func (v *overlayCacheView) get(key []byte) (core.Report, *slices.Renaming, bool) {
+	k := string(key)
+	v.mu.Lock()
+	if e, ok := v.lookup(k); ok {
+		if v.record {
+			v.journal = append(v.journal, cacheOp{key: k})
+		}
+		v.mu.Unlock()
+		return e.report, e.ren, true
+	}
+	v.mu.Unlock()
+	v.s.cmu.Lock()
+	r, ren, ok := v.s.cache.peek(key)
+	v.s.cmu.Unlock()
+	if ok && v.record {
+		v.mu.Lock()
+		v.journal = append(v.journal, cacheOp{key: k})
+		v.mu.Unlock()
+	}
+	return r, ren, ok
+}
+
+func (v *overlayCacheView) put(key []byte, r core.Report, ren *slices.Renaming) {
+	k := string(key)
+	v.mu.Lock()
+	v.entries[k] = overlayEntry{report: r, ren: ren}
+	if v.record {
+		v.journal = append(v.journal, cacheOp{key: k, isPut: true, report: r, ren: ren})
+	}
+	v.mu.Unlock()
+}
+
+// ProposePending reports whether a proposed change-set awaits a decision.
+func (s *Session) ProposePending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending != nil
+}
+
+// Propose verifies a change-set against shadow state without committing
+// it: the returned result holds the verdicts the network would have after
+// the change, a decision, and — on new violations — verified
+// minimal-repair suggestions. The live session state, verdict cache,
+// stats and witnesses are untouched; follow with Commit to promote the
+// shadow atomically or Rollback to discard it. Changes must be
+// self-contained (ErrImpureChange otherwise); a failed Propose leaves the
+// session exactly as before (no poisoning — the shadow is simply
+// discarded).
+func (s *Session) Propose(changes []Change) (*ProposeResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != nil {
+		return nil, ErrProposePending
+	}
+	for _, ch := range changes {
+		if ch.Kind == KindBoxReconfig && ch.Model == nil {
+			return nil, ErrImpureChange
+		}
+	}
+	s.armDeadline()
+
+	base := s.capture()
+	baseUnsat := unsatCounts(s.assemble(s.effectiveScenarios()))
+
+	view := newOverlayView(s, nil, true)
+	reports, post, err := s.runShadow(base, view, changes)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ProposeResult{Reports: reports, Stats: post.last}
+	res.BudgetExceeded = post.last.BudgetExceeded
+	res.NewViolations = countNew(baseUnsat, unsatCounts(reports))
+	if res.NewViolations > 0 || res.BudgetExceeded > 0 {
+		res.Decision = Reject
+	}
+	if res.NewViolations > 0 && !s.sopts.NoRepair {
+		s.searchRepairs(base, baseUnsat, changes, view, res)
+	}
+
+	s.pending = &pendingTx{state: post, reports: reports, journal: view.journal, result: res}
+	return res, nil
+}
+
+// Commit promotes the pending shadow: state installs atomically (it was
+// fully computed at Propose time) and the journaled cache operations
+// replay, leaving the session identical to one that had Apply'd the
+// change-set directly. Returns the (already computed) report set.
+func (s *Session) Commit() ([]core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return nil, ErrNoPropose
+	}
+	p := s.pending
+	s.pending = nil
+	s.install(p.state)
+	s.cmu.Lock()
+	for _, op := range p.journal {
+		if op.isPut {
+			s.cache.put([]byte(op.key), op.report, op.ren)
+		} else {
+			s.cache.get([]byte(op.key))
+		}
+	}
+	s.cmu.Unlock()
+	return p.reports, nil
+}
+
+// Rollback discards the pending shadow. The session — verdicts,
+// witnesses, cache contents and recency, stats, sequence numbers — is
+// bit-identical to never having proposed.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return ErrNoPropose
+	}
+	s.pending = nil
+	return nil
+}
+
+// runShadow installs a shadow of base, runs the apply pipeline on it with
+// cache access through view, captures the post state, and restores base —
+// on every path, including pipeline errors (applyLocked contains panics
+// itself, so none escape past it).
+func (s *Session) runShadow(base sessState, view *overlayCacheView, changes []Change) (reports []core.Report, post sessState, err error) {
+	s.install(shadowOf(base))
+	prev := s.cview
+	s.cview = view
+	reports, err = s.applyLocked(changes)
+	s.cview = prev
+	if err == nil {
+		post = s.capture()
+	}
+	s.install(base)
+	return reports, post, err
+}
+
+// checkKey identifies one (invariant, scenario) check across report sets
+// (scenario node order normalized).
+func checkKey(r core.Report) string {
+	nodes := append([]topo.NodeID(nil), r.Scenario.Nodes()...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var b strings.Builder
+	b.WriteString(r.Invariant.Name())
+	for _, n := range nodes {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(n)))
+	}
+	return b.String()
+}
+
+// unsatCounts tallies unsatisfied checks per check key (counts, not sets:
+// duplicate invariant names stay comparable across regroupings).
+func unsatCounts(reports []core.Report) map[string]int {
+	m := map[string]int{}
+	for _, r := range reports {
+		if !r.Satisfied {
+			m[checkKey(r)]++
+		}
+	}
+	return m
+}
+
+// countNew sums the unsatisfied checks in after that base cannot account
+// for — the violations the change-set introduced.
+func countNew(base, after map[string]int) int {
+	n := 0
+	for k, c := range after {
+		if extra := c - base[k]; extra > 0 {
+			n += extra
+		}
+	}
+	return n
+}
+
+// repairGreen reports whether a candidate's reports leave no invariant
+// worse off than base and contain no budget-degraded verdict.
+func repairGreen(baseUnsat map[string]int, reports []core.Report) bool {
+	for _, r := range reports {
+		if r.BudgetExceeded {
+			return false
+		}
+	}
+	return countNew(baseUnsat, unsatCounts(reports)) == 0
+}
+
+// Repair search bounds: subsets up to pairs, and a hard cap on candidate
+// verifications (each candidate is one incremental shadow apply over warm
+// caches). A truncated search is reported, never silent.
+const maxRepairCandidates = 48
+
+// searchRepairs finds the smallest suspect subsets whose removal from the
+// change-set restores every newly violated invariant, by re-verifying
+// each candidate through the shadow pipeline (read-through over the
+// propose overlay keeps candidates warm). Suspects are the
+// network-mutating changes; invariant additions are never dropped (the
+// operator asked for them).
+func (s *Session) searchRepairs(base sessState, baseUnsat map[string]int, changes []Change, parent *overlayCacheView, res *ProposeResult) {
+	var suspects []int
+	for i, ch := range changes {
+		switch ch.Kind {
+		case KindNodeDown, KindNodeUp, KindFIB, KindBoxAdd, KindBoxRemove, KindBoxReconfig, KindRelabel:
+			suspects = append(suspects, i)
+		}
+	}
+	if len(suspects) == 0 {
+		return
+	}
+	tried := 0
+	evaluate := func(drop ...int) bool {
+		if tried >= maxRepairCandidates || s.expired() {
+			res.RepairTruncated = true
+			return false
+		}
+		tried++
+		skip := map[int]bool{}
+		for _, i := range drop {
+			skip[i] = true
+		}
+		remaining := make([]Change, 0, len(changes)-len(drop))
+		for i, ch := range changes {
+			if !skip[i] {
+				remaining = append(remaining, ch)
+			}
+		}
+		reports, _, err := s.runShadow(base, newOverlayView(s, parent, false), remaining)
+		if err != nil {
+			return false
+		}
+		return repairGreen(baseUnsat, reports)
+	}
+	for _, i := range suspects {
+		if res.RepairTruncated {
+			return
+		}
+		if evaluate(i) {
+			res.Repairs = append(res.Repairs, Repair{Drop: []int{i}})
+		}
+	}
+	if len(res.Repairs) > 0 {
+		return
+	}
+	for a := 0; a < len(suspects); a++ {
+		for b := a + 1; b < len(suspects); b++ {
+			if res.RepairTruncated {
+				return
+			}
+			if evaluate(suspects[a], suspects[b]) {
+				res.Repairs = append(res.Repairs, Repair{Drop: []int{suspects[a], suspects[b]}})
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package incr_test
+
+// Unit tests for the transactional layer (Propose/Commit/Rollback):
+// ordering errors, rollback bit-identity against a never-proposed twin,
+// commit equivalence against a direct-Apply twin, verified minimal-repair
+// suggestions, budget degradation, and session-level panic containment.
+// The twins reuse the fuzz targets (fuzz_test.go) so the change alphabet
+// and mirror bookkeeping stay in one place.
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+// compareStats asserts two ApplyStats are identical modulo wall-clock
+// duration. Cache hit/miss equality on applies AFTER a rollback is what
+// proves the rollback did not perturb verdict-cache contents or recency.
+func compareStats(t *testing.T, step string, got, want incr.ApplyStats) {
+	t.Helper()
+	got.Duration, want.Duration = 0, 0
+	if got != want {
+		t.Fatalf("%s: apply stats mismatch:\n got %+v\nwant %+v", step, got, want)
+	}
+}
+
+func TestTxnOrderingErrors(t *testing.T) {
+	a := newDCTarget(t, false, incr.Options{})
+	s := a.session()
+
+	if _, err := s.Commit(); err != incr.ErrNoPropose {
+		t.Fatalf("Commit without propose: got %v, want ErrNoPropose", err)
+	}
+	if err := s.Rollback(); err != incr.ErrNoPropose {
+		t.Fatalf("Rollback without propose: got %v, want ErrNoPropose", err)
+	}
+	if _, err := s.Propose([]incr.Change{incr.BoxReconfig(a.d.FW1)}); err != incr.ErrImpureChange {
+		t.Fatalf("Propose of in-place reconfig: got %v, want ErrImpureChange", err)
+	}
+	if s.ProposePending() {
+		t.Fatal("rejected propose left the session pending")
+	}
+
+	if _, err := s.Propose(a.probe(1)); err != nil {
+		t.Fatalf("Propose failed: %v", err)
+	}
+	if !s.ProposePending() {
+		t.Fatal("ProposePending false with a propose outstanding")
+	}
+	if _, err := s.Propose(a.probe(1)); err != incr.ErrProposePending {
+		t.Fatalf("double Propose: got %v, want ErrProposePending", err)
+	}
+	if _, err := s.Apply(nil); err != incr.ErrProposePending {
+		t.Fatalf("Apply while pending: got %v, want ErrProposePending", err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatalf("Rollback failed: %v", err)
+	}
+	if err := s.Rollback(); err != incr.ErrNoPropose {
+		t.Fatalf("second Rollback: got %v, want ErrNoPropose", err)
+	}
+	if _, err := s.Apply(nil); err != nil {
+		t.Fatalf("Apply after rollback failed: %v", err)
+	}
+}
+
+// TestProposeRollbackBitIdentical drives twin sessions through an
+// identical change stream; one takes a violating (and a topology-only)
+// Propose/Rollback detour before every step. After each step the
+// detouring session must be bit-identical to the clean twin: verdicts,
+// witnesses, and the full apply stats — cache hits included, so a single
+// leaked cache write or recency touch fails the test.
+func TestProposeRollbackBitIdentical(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		sopts incr.Options
+	}{
+		{"prefix", incr.Options{}},
+		{"node", incr.Options{NodeGranularity: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			a := newDCTarget(t, false, mode.sopts) // detours
+			b := newDCTarget(t, false, mode.sopts) // never proposes
+
+			// On the pristine network the fw-hole probe must be rejected
+			// with the one verified repair: drop the offending change.
+			pr, err := a.session().Propose(a.probe(0))
+			if err != nil {
+				t.Fatalf("violating Propose failed: %v", err)
+			}
+			if pr.Decision != incr.Reject || pr.NewViolations == 0 {
+				t.Fatalf("violating probe not rejected: %+v", pr)
+			}
+			if len(pr.Repairs) != 1 || len(pr.Repairs[0].Drop) != 1 || pr.Repairs[0].Drop[0] != 0 {
+				t.Fatalf("want repair [drop 0], got %+v", pr.Repairs)
+			}
+			if err := a.session().Rollback(); err != nil {
+				t.Fatalf("Rollback failed: %v", err)
+			}
+
+			// Interleave probes (violating or not — under churn the hole
+			// may be moot, e.g. with the firewall already down; the bar
+			// here is bit-identity, not the decision) with real churn.
+			stream := [][2]byte{{0, 2}, {3, 1}, {1, 0}, {0, 2}, {5, 1}}
+			for i, p := range stream {
+				op, arg := p[0], p[1]
+				step := "step " + string(rune('0'+i))
+
+				if _, err := a.session().Propose(a.probe(arg)); err != nil {
+					t.Fatalf("%s: Propose failed: %v", step, err)
+				}
+				if err := a.session().Rollback(); err != nil {
+					t.Fatalf("%s: Rollback failed: %v", step, err)
+				}
+
+				ra, errA := a.session().Apply(a.changes(op, arg))
+				rb, errB := b.session().Apply(b.changes(op, arg))
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s: twins disagree on applicability: %v vs %v", step, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				compareReports(t, step, ra, rb)
+				compareWitnesses(t, step, ra, rb)
+				compareStats(t, step, a.session().LastApply(), b.session().LastApply())
+			}
+		})
+	}
+}
+
+// TestProposeCommitEqualsApply: committing a proposed change-set must
+// leave the session indistinguishable from one that Apply'd it directly —
+// same reports and witnesses now, and same stats (cache behavior
+// included) on the next change.
+func TestProposeCommitEqualsApply(t *testing.T) {
+	a := newDCTarget(t, false, incr.Options{})
+	b := newDCTarget(t, false, incr.Options{})
+
+	pr, err := a.session().Propose(a.probe(1))
+	if err != nil {
+		t.Fatalf("Propose failed: %v", err)
+	}
+	committed, err := a.session().Commit()
+	if err != nil {
+		t.Fatalf("Commit failed: %v", err)
+	}
+	direct, err := b.session().Apply(b.probe(1))
+	if err != nil {
+		t.Fatalf("direct Apply failed: %v", err)
+	}
+	compareReports(t, "commit", committed, direct)
+	compareWitnesses(t, "commit", committed, direct)
+	compareReports(t, "commit vs propose result", committed, pr.Reports)
+	compareStats(t, "commit", a.session().LastApply(), b.session().LastApply())
+
+	// Follow-up churn: pure ops only (both twins swapped FW1's model, so
+	// the in-place reconfig alphabet would act on a stale pointer).
+	for i, p := range [][2]byte{{1, 0}, {0, 2}, {6, 1}, {0, 2}} {
+		step := "follow-up " + string(rune('0'+i))
+		ra, errA := a.session().Apply(a.changes(p[0], p[1]))
+		rb, errB := b.session().Apply(b.changes(p[0], p[1]))
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: apply failed: %v / %v", step, errA, errB)
+		}
+		compareReports(t, step, ra, rb)
+		compareWitnesses(t, step, ra, rb)
+		compareStats(t, step, a.session().LastApply(), b.session().LastApply())
+	}
+}
+
+// TestRepairSuggestionsVerifyGreen is the acceptance criterion for the
+// repair search: every suggestion, applied as proposed-minus-dropped to a
+// fresh twin session, verifies with no invariant worse off than before.
+func TestRepairSuggestionsVerifyGreen(t *testing.T) {
+	mkChanges := func(f *dcTarget) []incr.Change {
+		// Index 0 violates (allow hole through the isolation firewall);
+		// 1 and 2 are benign riders.
+		return append(f.probe(0),
+			incr.Relabel(f.d.Hosts[2][0], "canary"),
+			incr.NodeDown(f.d.IDS1))
+	}
+
+	a := newDCTarget(t, false, incr.Options{})
+	pr, err := a.session().Propose(mkChanges(a))
+	if err != nil {
+		t.Fatalf("Propose failed: %v", err)
+	}
+	if pr.Decision != incr.Reject || pr.NewViolations == 0 {
+		t.Fatalf("violating propose not rejected: %+v", pr)
+	}
+	if pr.RepairTruncated {
+		t.Fatalf("repair search truncated on a 3-change set")
+	}
+	if len(pr.Repairs) == 0 {
+		t.Fatal("no repair suggestions for a single-cause violation")
+	}
+	sawDropZero := false
+	for _, r := range pr.Repairs {
+		if len(r.Drop) == 1 && r.Drop[0] == 0 {
+			sawDropZero = true
+		}
+	}
+	if !sawDropZero {
+		t.Fatalf("want a [drop 0] repair, got %+v", pr.Repairs)
+	}
+	if err := a.session().Rollback(); err != nil {
+		t.Fatalf("Rollback failed: %v", err)
+	}
+
+	// Re-verify every suggestion on an untouched twin. The base network
+	// satisfies all invariants, so "no invariant worse off" means every
+	// report must come back satisfied.
+	for ri, rep := range pr.Repairs {
+		tw := newDCTarget(t, false, incr.Options{})
+		skip := map[int]bool{}
+		for _, i := range rep.Drop {
+			skip[i] = true
+		}
+		all := mkChanges(tw)
+		var remaining []incr.Change
+		for i, ch := range all {
+			if !skip[i] {
+				remaining = append(remaining, ch)
+			}
+		}
+		reports, err := tw.session().Apply(remaining)
+		if err != nil {
+			t.Fatalf("repair %d: apply failed: %v", ri, err)
+		}
+		for _, r := range reports {
+			if !r.Satisfied {
+				t.Fatalf("repair %d (drop %v) does not verify green: %s unsatisfied",
+					ri, rep.Drop, r.Invariant.Name())
+			}
+		}
+	}
+}
+
+// TestProposeBudgetExceeded: with an immediate request deadline every
+// check degrades to an explicit budget_exceeded verdict — outcome
+// unknown, conservatively unsatisfied, never cached — and the decision is
+// a conservative reject. The session survives and rolls back cleanly.
+func TestProposeBudgetExceeded(t *testing.T) {
+	a := newDCTarget(t, false, incr.Options{RequestTimeout: time.Nanosecond})
+	pr, err := a.session().Propose(a.probe(1))
+	if err != nil {
+		t.Fatalf("Propose failed: %v", err)
+	}
+	if pr.BudgetExceeded == 0 || pr.Stats.BudgetExceeded == 0 {
+		t.Fatalf("no budget-degraded checks under a 1ns deadline: %+v", pr.Stats)
+	}
+	if pr.Decision != incr.Reject {
+		t.Fatal("budget-degraded propose must be rejected conservatively")
+	}
+	exceeded := 0
+	for _, r := range pr.Reports {
+		if r.BudgetExceeded {
+			exceeded++
+			if r.Result.Outcome != inv.Unknown || r.Satisfied {
+				t.Fatalf("budget-degraded report must be unknown/unsatisfied, got %v/%v",
+					r.Result.Outcome, r.Satisfied)
+			}
+			if r.Engine != "budget" && !r.Reused {
+				t.Fatalf("budget-degraded report engine %q", r.Engine)
+			}
+		}
+	}
+	if exceeded != pr.BudgetExceeded {
+		t.Fatalf("result counts %d budget-degraded reports, found %d", pr.BudgetExceeded, exceeded)
+	}
+	if err := a.session().Rollback(); err != nil {
+		t.Fatalf("Rollback failed: %v", err)
+	}
+	if a.session().ProposePending() {
+		t.Fatal("session still pending after rollback")
+	}
+}
+
+// TestFaultHookContainment: a panic in the middle of a group solve (the
+// fault vmnd's inject_panic arms) must surface as an Apply error, not a
+// crash, and the next Apply must recover to verdicts identical to a
+// from-scratch verification.
+func TestFaultHookContainment(t *testing.T) {
+	var armed atomic.Bool
+	sopts := incr.Options{FaultHook: func(string) {
+		if armed.CompareAndSwap(true, false) {
+			panic("injected test fault")
+		}
+	}}
+	a := newDCTarget(t, false, sopts)
+
+	armed.Store(true)
+	_, err := a.session().Apply(a.changes(0, 2)) // fail FW1: dirties groups, triggers the hook
+	if err == nil {
+		t.Fatal("Apply swallowed an injected panic")
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "injected test fault") {
+		t.Fatalf("panic not surfaced in error: %v", err)
+	}
+
+	got, err := a.session().Apply(a.changes(0, 2)) // revert toggle: FW1 back up
+	if err != nil {
+		t.Fatalf("Apply after contained panic failed: %v", err)
+	}
+	want := baseline(t, a.session(), core.Options{Engine: core.EngineSAT}, true)
+	compareReports(t, "post-fault", got, want)
+	compareWitnesses(t, "post-fault", got, want)
+}

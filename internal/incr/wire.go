@@ -14,6 +14,19 @@ package incr
 // Supported ops: node_down, node_up, relabel, box_remove, box_reconfig,
 // fw_allow, fw_deny, fw_del (prepend/delete a firewall ACL entry and
 // announce the reconfiguration), inv_add, inv_remove, noop.
+//
+// Transactional ops wrap a change-set in a request envelope:
+//
+//	{"op":"propose","id":"r1","changes":[{"op":"fw_del","node":"fw1",
+//	  "src":"10.0.0.0/24","dst":"10.1.0.0/24"}]}
+//	{"op":"commit","id":"r2"}
+//	{"op":"rollback","id":"r3"}
+//
+// A propose verifies the change-set against shadow state and answers with
+// a decision plus verified repair suggestions on new violations; commit
+// promotes the shadow, rollback discards it bit-exactly. Propose bodies
+// never mutate live state: firewall ops clone the targeted firewall and
+// swap the edited clone in (only inside the shadow).
 
 import (
 	"encoding/json"
@@ -37,6 +50,16 @@ type WireChange struct {
 	Dst       string         `json:"dst,omitempty"` // CIDR prefix
 	Invariant *WireInvariant `json:"invariant,omitempty"`
 	Name      string         `json:"name,omitempty"`
+}
+
+// WireRequest is the JSON envelope of one non-array vmnd input line: a
+// plain change (promoted WireChange fields) or a transactional op
+// ("propose" with Changes, "commit", "rollback") with an optional request
+// id echoed in the response.
+type WireRequest struct {
+	WireChange
+	Id      string       `json:"id,omitempty"`
+	Changes []WireChange `json:"changes,omitempty"`
 }
 
 // WireInvariant is the JSON form of an invariant.
@@ -64,8 +87,11 @@ type WireReport struct {
 	Cached     bool     `json:"cached,omitempty"`
 	// CanonShared marks verdicts inherited from a canonical-equivalence-
 	// class representative (witness translated through the renamings).
-	CanonShared bool  `json:"canon_shared,omitempty"`
-	DurationNs  int64 `json:"duration_ns"`
+	CanonShared bool `json:"canon_shared,omitempty"`
+	// BudgetExceeded marks a check degraded by a budget (request
+	// deadline, solver conflict cap): outcome "unknown", unsatisfied.
+	BudgetExceeded bool  `json:"budget_exceeded,omitempty"`
+	DurationNs     int64 `json:"duration_ns"`
 }
 
 // WireResult is the JSON form of one Apply outcome.
@@ -86,19 +112,61 @@ type WireResult struct {
 	// RefinedClean counts groups kept clean by prefix/rule-level dirtying
 	// that node-granularity dirtying would have re-verified — the refined
 	// dependency index's savings, per Apply.
-	RefinedClean int          `json:"refined_clean,omitempty"`
-	CacheHits    int          `json:"cache_hits"`
-	CanonHits    int          `json:"canon_hits,omitempty"`
-	CacheMisses  int          `json:"cache_misses"`
-	DurationNs   int64        `json:"duration_ns"`
-	Unsatisfied  int          `json:"unsatisfied"`
-	Reports      []WireReport `json:"reports"`
+	RefinedClean int   `json:"refined_clean,omitempty"`
+	CacheHits    int   `json:"cache_hits"`
+	CanonHits    int   `json:"canon_hits,omitempty"`
+	CacheMisses  int   `json:"cache_misses"`
+	DurationNs   int64 `json:"duration_ns"`
+	// BudgetExceeded counts budget-degraded checks in this result.
+	BudgetExceeded int          `json:"budget_exceeded,omitempty"`
+	Unsatisfied    int          `json:"unsatisfied"`
+	Reports        []WireReport `json:"reports"`
+	// Id echoes the request id, when one was given.
+	Id string `json:"id,omitempty"`
 }
 
-// WireError is the JSON form of a rejected change-set.
+// WireError is the JSON form of a rejected request. Op and Id echo the
+// failing request when they could be parsed.
 type WireError struct {
 	Seq   int    `json:"seq"`
 	Error string `json:"error"`
+	Op    string `json:"op,omitempty"`
+	Id    string `json:"id,omitempty"`
+}
+
+// WireRepair is one verified minimal-repair suggestion: drop these
+// entries (0-based indices into the proposed change-set) and the proposal
+// verifies green. Ops describes the dropped changes for humans.
+type WireRepair struct {
+	Drop []int    `json:"drop"`
+	Ops  []string `json:"ops,omitempty"`
+}
+
+// WireProposeResult is the JSON form of one Propose outcome.
+type WireProposeResult struct {
+	Op             string       `json:"op"` // always "propose"
+	Id             string       `json:"id,omitempty"`
+	Decision       string       `json:"decision"`
+	NewViolations  int          `json:"new_violations"`
+	BudgetExceeded int          `json:"budget_exceeded,omitempty"`
+	Repairs        []WireRepair `json:"repairs,omitempty"`
+	// RepairTruncated marks a repair search cut off by the deadline or
+	// candidate cap before exhausting its subset size class.
+	RepairTruncated bool `json:"repair_truncated,omitempty"`
+	// Result is the full shadow verification result — the verdicts the
+	// network would have after Commit.
+	Result WireResult `json:"result"`
+}
+
+// WireTxAck is the JSON form of a commit/rollback (or inject_panic)
+// acknowledgement.
+type WireTxAck struct {
+	Op          string `json:"op"`
+	Id          string `json:"id,omitempty"`
+	Seq         int    `json:"seq"`
+	Committed   bool   `json:"committed,omitempty"`
+	RolledBack  bool   `json:"rolled_back,omitempty"`
+	Unsatisfied int    `json:"unsatisfied,omitempty"`
 }
 
 func parsePrefix(s string) (pkt.Prefix, error) {
@@ -338,6 +406,141 @@ func DecodeChangeSet(net *core.Network, line []byte) ([]Change, error) {
 	return out, nil
 }
 
+// DecodeProposeSet resolves a proposed change-set without touching live
+// state: where DecodeChangeSet's firewall ops mutate the targeted
+// LearningFirewall in place, the propose path clones it, edits the clone,
+// and emits a model swap — the live model stays untouched until Commit
+// installs the shadow. Successive firewall ops on the same node chain
+// their clones, so they compose exactly as the in-place path would.
+// In-place box_reconfig (no replacement model) cannot be shadowed and is
+// rejected with ErrImpureChange.
+func DecodeProposeSet(net *core.Network, wires []WireChange) ([]Change, error) {
+	var out []Change
+	clones := map[topo.NodeID]*mbox.LearningFirewall{}
+	for _, w := range wires {
+		if w.Op == "noop" || w.Op == "" {
+			continue
+		}
+		switch w.Op {
+		case "box_reconfig":
+			return nil, ErrImpureChange
+		case "fw_allow", "fw_deny", "fw_del":
+			n, err := nodeByName(net.Topo, w.Node)
+			if err != nil {
+				return nil, err
+			}
+			fw := clones[n]
+			if fw == nil {
+				var live *mbox.LearningFirewall
+				for _, b := range net.Boxes {
+					if b.Node == n {
+						var ok bool
+						if live, ok = b.Model.(*mbox.LearningFirewall); !ok {
+							return nil, fmt.Errorf("incr: node %q is not a learning firewall", w.Node)
+						}
+						break
+					}
+				}
+				if live == nil {
+					return nil, fmt.Errorf("incr: no middlebox model at %q", w.Node)
+				}
+				fw = &mbox.LearningFirewall{
+					InstanceName: live.InstanceName,
+					ACL:          append([]mbox.ACLEntry(nil), live.ACL...),
+					DefaultAllow: live.DefaultAllow,
+				}
+			} else {
+				// Chain: snapshot the previous op's clone so each change
+				// carries its own model.
+				fw = &mbox.LearningFirewall{
+					InstanceName: fw.InstanceName,
+					ACL:          append([]mbox.ACLEntry(nil), fw.ACL...),
+					DefaultAllow: fw.DefaultAllow,
+				}
+			}
+			src, err := parsePrefix(w.Src)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := parsePrefix(w.Dst)
+			if err != nil {
+				return nil, err
+			}
+			switch w.Op {
+			case "fw_allow":
+				fw.ACL = append([]mbox.ACLEntry{mbox.AllowEntry(src, dst)}, fw.ACL...)
+			case "fw_deny":
+				fw.ACL = append([]mbox.ACLEntry{mbox.DenyEntry(src, dst)}, fw.ACL...)
+			default: // fw_del
+				kept := fw.ACL[:0]
+				for _, e := range fw.ACL {
+					if e.Src != src || e.Dst != dst {
+						kept = append(kept, e)
+					}
+				}
+				fw.ACL = kept
+			}
+			clones[n] = fw
+			out = append(out, BoxSwap(n, fw))
+		default:
+			ch, mutate, err := decodeChange(net, w)
+			if err != nil {
+				return nil, err
+			}
+			if mutate != nil {
+				// Defensive: no remaining op should defer a live mutation.
+				return nil, ErrImpureChange
+			}
+			out = append(out, ch)
+		}
+	}
+	return out, nil
+}
+
+// describeChange renders one change for repair suggestions.
+func describeChange(t *topo.Topology, ch Change) string {
+	switch ch.Kind {
+	case KindInvAdd:
+		if ch.Invariant != nil {
+			return "inv-add " + ch.Invariant.Name()
+		}
+		return "inv-add"
+	case KindInvRemove:
+		return "inv-remove " + ch.Name
+	case KindFIB:
+		return "fib"
+	}
+	name := ""
+	if ch.Node >= 0 && int(ch.Node) < t.NumNodes() {
+		name = " " + t.Node(ch.Node).Name
+	}
+	return ch.Kind.String() + name
+}
+
+// EncodeProposeResult renders a Propose outcome on the wire; changes is
+// the decoded change-set (for describing repair drops).
+func EncodeProposeResult(t *topo.Topology, id string, changes []Change, pr *ProposeResult) WireProposeResult {
+	out := WireProposeResult{
+		Op:              "propose",
+		Id:              id,
+		Decision:        pr.Decision.String(),
+		NewViolations:   pr.NewViolations,
+		BudgetExceeded:  pr.BudgetExceeded,
+		RepairTruncated: pr.RepairTruncated,
+		Result:          EncodeResult(t, pr.Stats, pr.Reports),
+	}
+	for _, rp := range pr.Repairs {
+		wr := WireRepair{Drop: append([]int(nil), rp.Drop...)}
+		for _, i := range rp.Drop {
+			if i >= 0 && i < len(changes) {
+				wr.Ops = append(wr.Ops, describeChange(t, changes[i]))
+			}
+		}
+		out.Repairs = append(out.Repairs, wr)
+	}
+	return out
+}
+
 // EncodeResult renders an Apply outcome on the wire.
 func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) WireResult {
 	res := WireResult{
@@ -353,21 +556,23 @@ func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) Wir
 		CacheHits:       stats.CacheHits,
 		CanonHits:       stats.CanonHits,
 		CacheMisses:     stats.CacheMisses,
+		BudgetExceeded:  stats.BudgetExceeded,
 		DurationNs:      stats.Duration.Nanoseconds(),
 	}
 	for _, r := range reports {
 		wr := WireReport{
-			Invariant:   r.Invariant.Name(),
-			Outcome:     r.Result.Outcome.String(),
-			Satisfied:   r.Satisfied,
-			Engine:      r.Engine,
-			SliceHosts:  r.SliceHosts,
-			SliceBoxes:  r.SliceBoxes,
-			Whole:       r.Whole,
-			Reused:      r.Reused,
-			Cached:      r.Cached,
-			CanonShared: r.CanonShared,
-			DurationNs:  r.Duration.Nanoseconds(),
+			Invariant:      r.Invariant.Name(),
+			Outcome:        r.Result.Outcome.String(),
+			Satisfied:      r.Satisfied,
+			Engine:         r.Engine,
+			SliceHosts:     r.SliceHosts,
+			SliceBoxes:     r.SliceBoxes,
+			Whole:          r.Whole,
+			Reused:         r.Reused,
+			Cached:         r.Cached,
+			CanonShared:    r.CanonShared,
+			BudgetExceeded: r.BudgetExceeded,
+			DurationNs:     r.Duration.Nanoseconds(),
 		}
 		for _, n := range r.Scenario.Nodes() {
 			wr.Scenario = append(wr.Scenario, t.Node(n).Name)

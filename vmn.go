@@ -85,6 +85,34 @@ type (
 	SessionTotals = incr.Totals
 )
 
+// Transactional what-if verification: Session.Propose verifies a
+// change-set against shadow state and returns a decision with verified
+// minimal-repair suggestions on rejection; Session.Commit promotes the
+// shadow atomically; Session.Rollback leaves the session bit-identical
+// to never having proposed. See DESIGN.md.
+type (
+	// ProposeResult is the outcome of one Session.Propose.
+	ProposeResult = incr.ProposeResult
+	// ProposeDecision is the session's accept/reject verdict on a
+	// proposed change-set.
+	ProposeDecision = incr.Decision
+	// Repair is one verified minimal-repair suggestion (indices of
+	// proposed changes whose removal makes the change-set verify green).
+	Repair = incr.Repair
+)
+
+// Propose decisions and transactional-ordering errors.
+const (
+	ProposeAccept = incr.Accept
+	ProposeReject = incr.Reject
+)
+
+var (
+	ErrProposePending = incr.ErrProposePending
+	ErrNoPropose      = incr.ErrNoPropose
+	ErrImpureChange   = incr.ErrImpureChange
+)
+
 // NewSession builds a session over net, verifies invs once, and returns
 // the session plus the initial reports.
 func NewSession(net *Network, opts Options, invs []Invariant, sopts SessionOptions) (*Session, []Report, error) {
