@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke bench-json bench-multicore
+.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke bench-json bench-multicore bench-snapshot
 
 ci: fmt vet build race fuzz-smoke vmnd-smoke bench-smoke
 
@@ -20,8 +20,15 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-enabled tests plus a live-daemon smoke under the race detector
+# with the full observability surface armed (metrics/pprof listener,
+# phase tracing, slow-solve logging): the crash corpus drives spans and
+# counters from the worker pool concurrently with the HTTP exporter.
 race:
 	$(GO) test -race ./...
+	$(GO) run -race ./cmd/vmnd -network datacenter -groups 3 -fault-injection \
+		-http 127.0.0.1:0 -slow-solve 1ns \
+		< cmd/vmnd/testdata/crash_corpus.ndjson > /dev/null
 
 # One iteration of every Fig2 benchmark (SAT and explicit engines): a fast
 # sanity check that the measured paths still run.
@@ -33,11 +40,14 @@ bench-smoke:
 # to from-scratch VerifyAll in both dirtying granularities, now with
 # Propose/Commit/Rollback transaction modes riding the op bytes), the
 # wire decoder, and the transactional decoder (must never mutate live
-# state). `go test -fuzz` takes one target per invocation.
+# state), and the request-envelope parser the daemon runs per input line
+# (stats/trace/explain and transaction shapes must never panic).
+# `go test -fuzz` takes one target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzSessionDifferential$$' -fuzztime 15s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeChangeSet$$' -fuzztime 5s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeProposeSet$$' -fuzztime 5s
+	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s
 
 # vmnd crash-resilience smoke: pipe the malformed / out-of-order /
 # panic-injecting request corpus through a live daemon; the gate here is
@@ -60,3 +70,10 @@ bench-json:
 # this on the multi-core GitHub runner and uploads the JSON as an artifact.
 bench-multicore:
 	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail -runs 5 -json > bench-multicore.json
+
+# A quick churn snapshot with the observability metrics registry attached:
+# the JSON rows carry the per-figure metrics map (solve latency histogram,
+# dirty-fraction distribution, hit rates), so trends are diffable across
+# commits. CI uploads the file as an artifact.
+bench-snapshot:
+	$(GO) run ./cmd/vmnbench -fig churn -runs 3 -json -obs > bench-snapshot.json

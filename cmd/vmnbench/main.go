@@ -12,6 +12,10 @@
 // With -json the series are emitted as a single JSON array (duration
 // samples in nanoseconds, plus the explored-state count for explicit-
 // engine rows), for machine-readable benchmark trajectory tracking.
+// With -obs the incremental-session figures (churn, guardrail) run with
+// the observability registry attached and each series carries a flat
+// metrics snapshot (solve-latency histogram, dirty-fraction
+// distribution, hit-rate counters) in its Metrics field.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/obs"
 )
 
 func main() {
@@ -29,6 +34,7 @@ func main() {
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
 	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
+	withObs := flag.Bool("obs", false, "attach the metrics registry to incremental sessions and emit a per-figure snapshot")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -55,7 +61,17 @@ func main() {
 			return
 		}
 		ran = true
+		if *withObs {
+			// A fresh registry per figure: snapshots don't bleed across
+			// figures. The trace ring is present but never drained — the
+			// artifact of interest here is the metrics map.
+			bench.Instrument = obs.New(1024)
+		}
 		s := f()
+		if *withObs {
+			s.Metrics = bench.Instrument.Metrics.Snapshot()
+			bench.Instrument = nil
+		}
 		if *asJSON {
 			series = append(series, s)
 		} else {

@@ -46,6 +46,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	gonet "net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"sync/atomic"
 
@@ -53,6 +56,7 @@ import (
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/obs"
 )
 
 // netConfig selects and sizes a built-in evaluation network.
@@ -188,15 +192,14 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			}
 		}
 	}()
-	trimmed := bytes.TrimSpace(line)
-	if len(trimmed) == 0 {
+	if len(bytes.TrimSpace(line)) == 0 {
 		return nil
 	}
-	if trimmed[0] != '[' {
-		var req incr.WireRequest
-		if err := json.Unmarshal(trimmed, &req); err != nil {
-			return fail(fmt.Errorf("malformed request: %w", err))
-		}
+	req, envelope, err := incr.ParseRequest(line)
+	if err != nil {
+		return fail(err)
+	}
+	if envelope {
 		op, id = req.Op, req.Id
 		switch req.Op {
 		case "propose":
@@ -220,6 +223,8 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 					ack.Unsatisfied++
 				}
 			}
+			totals := incr.EncodeTotals(sess.TotalStats())
+			ack.Totals = &totals
 			return ack
 		case "rollback":
 			if err := sess.Rollback(); err != nil {
@@ -232,6 +237,29 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			}
 			hooks.armFault()
 			return incr.WireTxAck{Op: "inject_panic", Id: id, Seq: sess.LastApply().Seq}
+		case "stats":
+			return statsResponse(sess, id)
+		case "trace":
+			w := incr.WireTrace{Op: "trace", Id: id, Seq: sess.LastApply().Seq, Spans: []obs.SpanRecord{}}
+			if o := sess.Observability(); o != nil {
+				if spans := o.Trace.Drain(); spans != nil {
+					w.Spans = spans
+				}
+			}
+			return w
+		case "explain":
+			recs := sess.Explain()
+			if req.Name != "" {
+				recs = nil
+				if r, ok := sess.ExplainGroup(req.Name); ok {
+					recs = []incr.ExplainRecord{r}
+				}
+			}
+			w := incr.EncodeExplain(net.Topo, id, sess.LastApply().Seq, recs)
+			if w.Groups == nil {
+				w.Groups = []incr.WireExplainGroup{}
+			}
+			return w
 		}
 	}
 	// Plain change-set (single object or array): decode-and-apply. With a
@@ -251,6 +279,54 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 	res := incr.EncodeResult(net.Topo, sess.LastApply(), reports)
 	res.Id = id
 	return res
+}
+
+// statsResponse assembles the "stats" introspection answer from the
+// session's lifetime counters, canonicalization stats, aggregate solver
+// work, and (when observability is on) a flat metrics-registry snapshot.
+func statsResponse(sess *incr.Session, id string) incr.WireStats {
+	classes, sharedChecks, encTranslated := sess.CanonStats()
+	ss := sess.SolverStats()
+	w := incr.WireStats{
+		Op:                 "stats",
+		Id:                 id,
+		Seq:                sess.LastApply().Seq,
+		Totals:             incr.EncodeTotals(sess.TotalStats()),
+		CanonClasses:       classes,
+		CanonSharedChecks:  sharedChecks,
+		CanonEncTranslated: encTranslated,
+		Solver: incr.WireSolverStats{
+			Decisions:    ss.Decisions,
+			Propagations: ss.Propagations,
+			Conflicts:    ss.Conflicts,
+			Restarts:     ss.Restarts,
+			Learnt:       ss.Learnt,
+		},
+	}
+	if o := sess.Observability(); o != nil {
+		w.Metrics = o.Metrics.Snapshot()
+	}
+	return w
+}
+
+// serveHTTP exposes the metrics registry in Prometheus text format at
+// /metrics plus the stdlib pprof handlers at /debug/pprof/ on addr,
+// in the background for the life of the daemon.
+func serveHTTP(addr string, o *obs.Obs) (gonet.Addr, error) {
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		o.Metrics.WritePrometheus(w)
+	})
+	// net/http/pprof registers on the default mux; mount it under the
+	// canonical prefix.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	go http.Serve(ln, mux)
+	return ln.Addr(), nil
 }
 
 func main() {
@@ -273,6 +349,12 @@ func main() {
 			"per-solve SAT conflict budget (0 = unlimited); exhausted solves report outcome unknown with budget_exceeded")
 		faultInj = flag.Bool("fault-injection", false,
 			"enable the inject_panic test op (forces a panic in the next solve; containment testing only)")
+		httpAddr = flag.String("http", "",
+			"serve Prometheus metrics (/metrics) and pprof (/debug/pprof/) on this address (e.g. :9090; empty = off)")
+		slowSolve = flag.Duration("slow-solve", 0,
+			"log solves at or above this wall clock as NDJSON on stderr (e.g. 50ms; 0 = off)")
+		traceBuf = flag.Int("trace-buf", 4096,
+			"span ring-buffer capacity for the trace op (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -299,13 +381,25 @@ func main() {
 		fail("%v", err)
 	}
 
+	// The daemon always runs with observability on: the stats/trace wire
+	// ops and the -http endpoint serve from this handle. Library users get
+	// the nil (disabled) default unless they opt in.
+	o := obs.New(*traceBuf)
 	sopts := incr.Options{
 		Workers: *workers, NoSymmetry: *noSym, NodeGranularity: *nodeGran,
 		RequestTimeout: *timeout,
+		Obs:            o, SlowSolve: *slowSolve,
 	}
 	var hooks serveHooks
 	if *faultInj {
 		hooks = wireFaultInjection(&sopts)
+	}
+	if *httpAddr != "" {
+		addr, err := serveHTTP(*httpAddr, o)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "vmnd: metrics and pprof on http://%s\n", addr)
 	}
 	sess, reports, err := incr.NewSession(net, opts, invs, sopts)
 	if err != nil {

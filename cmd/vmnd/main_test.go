@@ -23,14 +23,24 @@ import (
 
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-var durationRe = regexp.MustCompile(`"duration_ns":\d+`)
+var (
+	durationRe = regexp.MustCompile(`"duration_ns":\d+`)
+	startRe    = regexp.MustCompile(`"start_ns":\d+`)
+	// Any JSON field whose key mentions seconds or _ns carries wall-clock
+	// data (span timestamps, latency-histogram buckets and sums, busy-time
+	// counters) and is zeroed; counts and verdicts stay exact.
+	timingRe = regexp.MustCompile(`"([^"]*(?:seconds|_ns)[^"]*)":[-+0-9.eE]+`)
+)
 
 func normalize(b []byte) []byte {
-	return durationRe.ReplaceAll(b, []byte(`"duration_ns":0`))
+	b = durationRe.ReplaceAll(b, []byte(`"duration_ns":0`))
+	b = startRe.ReplaceAll(b, []byte(`"start_ns":0`))
+	return timingRe.ReplaceAll(b, []byte(`"$1":0`))
 }
 
 // exchange builds a fresh session over the small datacenter and drives the
@@ -119,6 +129,15 @@ func TestGoldenWireProtocol(t *testing.T) {
 			`{"op":"rollback","id":"r2"}`,
 			`{"op":"noop"}`,
 		}},
+		// A propose whose shadow run benefits from prefix/rule-level
+		// dirtying: the response surfaces refined_clean — the number of
+		// groups the refined index kept clean where node-granularity
+		// dirtying would have re-verified them — so a deployment pipeline
+		// can see the blast-radius estimate for the proposed change.
+		{"propose_refined", []string{
+			`{"op":"propose","id":"rc1","changes":[{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}]}`,
+			`{"op":"rollback","id":"rc2"}`,
+		}},
 		// Out-of-order transaction sequences: every ordering violation is
 		// a typed error and the session keeps serving.
 		{"tx_ordering", []string{
@@ -150,6 +169,64 @@ func TestGoldenWireProtocol(t *testing.T) {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
 				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenObservability pins the introspection wire shapes: stats
+// (lifetime totals + canonicalization + solver work + metrics snapshot),
+// trace (drained span tree of the preceding applies), and explain
+// (dirtying provenance down to the witness read atom, plus how each
+// re-verified verdict was obtained). Sessions run with observability on
+// and Workers:1, which makes span ids, orders, and all counters
+// deterministic; wall-clock fields are normalized to 0.
+func TestGoldenObservability(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+	}{
+		// A liveness change dirties via the coarse node channel: explain
+		// names the node and the change that took it down.
+		{"obs_explain_node", []string{
+			`{"op":"node_down","node":"fw1"}`,
+			`{"op":"explain","id":"e1"}`,
+		}},
+		// A firewall rule deletion dirties via the box rule-read projection
+		// channel: explain names the reconfigured box, and only the groups
+		// whose projection actually changed re-verify (fresh solves here —
+		// the others stay refined-clean and have no record).
+		{"obs_explain_fwdel", []string{
+			`{"op":"fw_del","node":"fw1","src":"10.0.0.0/24","dst":"10.1.0.0/24"}`,
+			`{"op":"explain","id":"e1"}`,
+		}},
+		{"obs_stats", []string{
+			`{"op":"node_down","node":"fw1"}`,
+			`{"op":"stats","id":"s1"}`,
+		}},
+		{"obs_trace", []string{
+			`{"op":"node_down","node":"fw1"}`,
+			`{"op":"trace","id":"t1"}`,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := exchangeOpts(t, c.lines,
+				incr.Options{Workers: 1, Obs: obs.New(256)}, false)
+			path := filepath.Join("testdata", "golden", c.name+".ndjson")
+			if *update {
 				if err := os.WriteFile(path, got, 0o644); err != nil {
 					t.Fatal(err)
 				}

@@ -8,9 +8,27 @@ import (
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/obs"
 	"github.com/netverify/vmn/internal/tf"
 	"github.com/netverify/vmn/internal/topo"
 )
+
+// Instrument, when non-nil, is attached to every incremental session the
+// scenario drivers build (churn, guardrail), so a run can export the
+// metrics registry alongside the timing rows (vmnbench -obs) and the
+// instrumentation overhead can be measured against the nil default
+// (BenchmarkChurnApplyObs*). nil — the default — keeps the sessions on
+// the library's zero-overhead disabled path.
+var Instrument *obs.Obs
+
+// instrumented attaches the package Instrument hook to session options
+// that don't already carry an observability instance.
+func instrumented(sopts incr.Options) incr.Options {
+	if sopts.Obs == nil {
+		sopts.Obs = Instrument
+	}
+	return sopts
+}
 
 // Churn sizes: rack-local changes touch ~2/groups of the invariant set,
 // so 12 groups keeps the dirtied fraction under 20% per step.
@@ -83,7 +101,7 @@ func churnDatacenterFIB(steps int, seed int64, sopts incr.Options, inc, full *Ro
 	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
 	invs := d.AllIsolationInvariants()
 	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
-	sess, _, err := incr.NewSession(d.Net, opts, invs, sopts)
+	sess, _, err := incr.NewSession(d.Net, opts, invs, instrumented(sopts))
 	if err != nil {
 		panic(err)
 	}
@@ -171,7 +189,7 @@ func churnDatacenter(steps int, seed int64, sopts incr.Options, inc, full *Row) 
 	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
 	invs := d.AllIsolationInvariants()
 	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
-	sess, _, err := incr.NewSession(d.Net, opts, invs, sopts)
+	sess, _, err := incr.NewSession(d.Net, opts, invs, instrumented(sopts))
 	if err != nil {
 		panic(err)
 	}
@@ -247,7 +265,7 @@ func churnMultiTenant(steps int, seed int64, sopts incr.Options, inc, full *Row)
 		}
 	}
 	opts := core.Options{Engine: core.EngineSAT, Seed: seed}
-	sess, _, err := incr.NewSession(m.Net, opts, invs, sopts)
+	sess, _, err := incr.NewSession(m.Net, opts, invs, instrumented(sopts))
 	if err != nil {
 		panic(err)
 	}

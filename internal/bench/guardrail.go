@@ -68,7 +68,7 @@ type guardrailSession struct {
 func newGuardrailSession(seed int64) *guardrailSession {
 	d := NewDatacenter(DCConfig{Groups: guardrailGroups, HostsPerGroup: 1})
 	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT, Seed: seed},
-		d.AllIsolationInvariants(), incr.Options{})
+		d.AllIsolationInvariants(), instrumented(incr.Options{}))
 	if err != nil {
 		panic(err)
 	}

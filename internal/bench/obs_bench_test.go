@@ -1,0 +1,49 @@
+package bench
+
+// Instrumentation overhead on the churn hot path: the same
+// steering-rule toggle stream at the shared aggregation switch (the
+// churnDatacenterFIB workload) with observability disabled (the library
+// default — every hook is a nil check) and fully enabled (span tree,
+// metrics registry, periodic trace drain simulating a scraper). The
+// DESIGN.md overhead budget (≤1% disabled) is asserted against these two
+// numbers:
+//
+//	go test ./internal/bench -run '^$' -bench ChurnApplyObs -count 10
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/obs"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func benchChurnStream(b *testing.B, o *obs.Obs) {
+	const G = churnGroups
+	d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1})
+	sess, _, err := incr.NewSession(d.Net, core.Options{Engine: core.EngineSAT},
+		d.AllIsolationInvariants(), incr.Options{Obs: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseFIB := d.Net.FIBFor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rules []tf.Rule
+		if i%2 == 0 {
+			rules = []tf.Rule{{Match: ClientPrefix(i % G), In: topo.NodeNone, Out: d.FW1, Priority: 11}}
+		}
+		ch := incr.FIBUpdate(overlayFIB(baseFIB, map[topo.NodeID][]tf.Rule{d.Agg: rules}))
+		if _, err := sess.Apply([]incr.Change{ch}); err != nil {
+			b.Fatal(err)
+		}
+		if o != nil && i%64 == 63 {
+			o.Trace.Drain() // a scraper keeps the ring from saturating
+		}
+	}
+}
+
+func BenchmarkChurnApplyObsOff(b *testing.B) { benchChurnStream(b, nil) }
+func BenchmarkChurnApplyObsOn(b *testing.B)  { benchChurnStream(b, obs.New(4096)) }

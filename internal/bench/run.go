@@ -77,6 +77,11 @@ type Series struct {
 	Fig   string
 	Title string
 	Rows  []Row
+	// Metrics is a flat snapshot of the observability registry taken
+	// after the figure's runs (vmnbench -obs): solve-latency and
+	// dirty-fraction histograms, hit-rate counters, class sizes. Empty
+	// unless the run attached bench.Instrument.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Print renders the series as a table (min / p5 / median / p95 / max).

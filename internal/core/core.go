@@ -20,7 +20,9 @@ import (
 	"github.com/netverify/vmn/internal/explore"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/obs"
 	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/sat"
 	"github.com/netverify/vmn/internal/slices"
 	"github.com/netverify/vmn/internal/symmetry"
 	"github.com/netverify/vmn/internal/tf"
@@ -109,6 +111,12 @@ type Options struct {
 	// canonical mode is verdict- and trace-identical by construction (and
 	// by the differential suite in internal/bench).
 	NoCanon bool
+	// Obs, when non-nil, receives phase spans (encode/solve) and registers
+	// export-time gauges (cache and canonicalization counters, aggregate
+	// solver statistics) on its metrics registry. Nil disables all
+	// instrumentation at the cost of one pointer check per site. Not part
+	// of any content fingerprint.
+	Obs *obs.Obs
 }
 
 // Report is the verdict for one (invariant, scenario) pair.
@@ -175,6 +183,10 @@ type Verifier struct {
 	canonClasses       int64
 	canonShared        int64
 	canonEncTranslated int64
+
+	// retiredSolver accumulates the solver statistics of evicted encodings
+	// so SolverStats stays a lifetime aggregate across LRU churn.
+	retiredSolver sat.Stats
 }
 
 // encSlot is one encoding-cache entry. The slot is inserted before the
@@ -213,13 +225,88 @@ func NewVerifier(net *Network, opts Options) (*Verifier, error) {
 	if net.Registry == nil {
 		net.Registry = pkt.NewRegistry()
 	}
-	return &Verifier{
+	v := &Verifier{
 		net:       net,
 		opts:      opts,
 		engines:   map[uint64][]*tf.Engine{},
 		journeys:  encode.NewJourneyCache(),
 		encodings: map[string]*encSlot{},
-	}, nil
+	}
+	v.registerMetrics()
+	return v, nil
+}
+
+// registerMetrics publishes the verifier's cache, canonicalization and
+// aggregate solver counters as export-time gauges: nothing on the verify
+// hot path changes, the registry reads the counters the verifier already
+// keeps when a snapshot or scrape asks for them.
+func (v *Verifier) registerMetrics() {
+	o := v.opts.Obs
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	m := o.Metrics
+	m.RegisterFunc("vmn_core_encoding_cache_hits", func() float64 {
+		h, _ := v.EncodingCacheStats()
+		return float64(h)
+	})
+	m.RegisterFunc("vmn_core_encoding_cache_misses", func() float64 {
+		_, mi := v.EncodingCacheStats()
+		return float64(mi)
+	})
+	m.RegisterFunc("vmn_core_journey_cache_hits", func() float64 {
+		h, _ := v.JourneyCacheStats()
+		return float64(h)
+	})
+	m.RegisterFunc("vmn_core_journey_cache_misses", func() float64 {
+		_, mi := v.JourneyCacheStats()
+		return float64(mi)
+	})
+	m.RegisterFunc("vmn_core_canon_classes", func() float64 {
+		c, _, _ := v.CanonStats()
+		return float64(c)
+	})
+	m.RegisterFunc("vmn_core_canon_shared_checks", func() float64 {
+		_, s, _ := v.CanonStats()
+		return float64(s)
+	})
+	m.RegisterFunc("vmn_core_canon_enc_translated", func() float64 {
+		_, _, tr := v.CanonStats()
+		return float64(tr)
+	})
+	m.RegisterFunc("vmn_sat_decisions_total", func() float64 { return float64(v.SolverStats().Decisions) })
+	m.RegisterFunc("vmn_sat_propagations_total", func() float64 { return float64(v.SolverStats().Propagations) })
+	m.RegisterFunc("vmn_sat_conflicts_total", func() float64 { return float64(v.SolverStats().Conflicts) })
+	m.RegisterFunc("vmn_sat_restarts_total", func() float64 { return float64(v.SolverStats().Restarts) })
+	m.RegisterFunc("vmn_sat_learnt_total", func() float64 { return float64(v.SolverStats().Learnt) })
+}
+
+// SolverStats aggregates SAT solver work counters (decisions,
+// propagations, conflicts, restarts, learnt clauses) across every slice
+// encoding this verifier has built — live cached encodings plus the
+// retired tally of evicted ones. Explicit-engine checks contribute
+// nothing.
+func (v *Verifier) SolverStats() sat.Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	total := v.retiredSolver
+	for _, slot := range v.encodings {
+		if slot.done.Load() && slot.enc != nil {
+			total = addSolverStats(total, slot.enc.SolverStats())
+		}
+	}
+	return total
+}
+
+func addSolverStats(a, b sat.Stats) sat.Stats {
+	a.Decisions += b.Decisions
+	a.Propagations += b.Propagations
+	a.Conflicts += b.Conflicts
+	a.Restarts += b.Restarts
+	a.Learnt += b.Learnt
+	a.DeletedCls += b.DeletedCls
+	a.MinimizedLit += b.MinimizedLit
+	return a
 }
 
 // maxCachedEngines bounds the compiled-engine cache of a long-lived
@@ -320,6 +407,9 @@ func (v *Verifier) encSlotFor(key string) (*encSlot, bool) {
 	if len(v.encodings) >= maxCachedEncodings {
 		for victim := v.encTail; victim != nil; victim = victim.prev {
 			if victim.done.Load() {
+				if victim.enc != nil {
+					v.retiredSolver = addSolverStats(v.retiredSolver, victim.enc.SolverStats())
+				}
 				v.encUnlink(victim)
 				delete(v.encodings, victim.key)
 				break
@@ -365,12 +455,14 @@ func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options, plan *check
 	}
 	slot, wasHit := v.encSlotFor(key)
 	slot.once.Do(func() {
+		sp := v.opts.Obs.Span("encode")
 		slot.enc, slot.err = encode.NewSliceEncoding(p, encOpts)
 		slot.exact = exact
 		if canon {
 			slot.ren = plan.encRen
 		}
 		slot.done.Store(true)
+		sp.End()
 	})
 	if slot.err != nil {
 		return inv.Result{}, slot.err
@@ -378,7 +470,10 @@ func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options, plan *check
 	if bytes.Equal(slot.exact, exact) {
 		// Same namespace (the common case: many invariants over one
 		// slice): solve directly.
-		return slot.enc.Verify(p, encOpts)
+		sp := v.opts.Obs.Span("solve")
+		res, err := slot.enc.Verify(p, encOpts)
+		sp.End()
+		return res, err
 	}
 	// Isomorphic-but-renamed slice: carry the invariant and alphabet into
 	// the encoding's namespace, solve warm, translate the witness back.
@@ -401,14 +496,19 @@ func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options, plan *check
 	}
 	xslot, _ := v.encSlotFor("x" + string(exact))
 	xslot.once.Do(func() {
+		sp := v.opts.Obs.Span("encode")
 		xslot.enc, xslot.err = encode.NewSliceEncoding(p, encOpts)
 		xslot.exact = exact
 		xslot.done.Store(true)
+		sp.End()
 	})
 	if xslot.err != nil {
 		return inv.Result{}, xslot.err
 	}
-	return xslot.enc.Verify(p, encOpts)
+	sp := v.opts.Obs.Span("solve")
+	res, err = xslot.enc.Verify(p, encOpts)
+	sp.End()
+	return res, err
 }
 
 // verifySATTranslated solves p on a warm encoding built from an isomorphic
@@ -426,7 +526,9 @@ func (v *Verifier) verifySATTranslated(p *inv.Problem, encOpts encode.Options, p
 	pp := *p
 	pp.Invariant = ti
 	pp.Samples = ts
+	sp := v.opts.Obs.Span("solve").Label("translated")
 	res, err := slot.enc.Verify(&pp, encOpts)
+	sp.End()
 	if err != nil {
 		return inv.Result{}, false, err
 	}

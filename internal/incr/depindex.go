@@ -65,8 +65,26 @@ func (s elemSet) addAll(nodes []topo.NodeID) {
 
 // intersects reports whether any of nodes is in the set.
 func (s elemSet) intersects(nodes []topo.NodeID) bool {
+	_, ok := s.firstOf(nodes)
+	return ok
+}
+
+// firstOf returns the first of nodes present in the set — the dirtying
+// witness element for provenance records.
+func (s elemSet) firstOf(nodes []topo.NodeID) (topo.NodeID, bool) {
 	for _, n := range nodes {
 		if s[n] {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// nodeListed reports membership in an unsorted node slice (change-set
+// node lists are caller-ordered).
+func nodeListed(nodes []topo.NodeID, n topo.NodeID) bool {
+	for _, m := range nodes {
+		if m == n {
 			return true
 		}
 	}
@@ -122,11 +140,19 @@ func newFIBDelta(old, new []tf.Rule) *fibDelta {
 }
 
 // dirtyFor reports whether any read atom resolves differently under the
-// new table. The common case — a change entirely outside the group's
-// address space — exits on the set-level prescreen: one
-// AtomSet.IntersectsPrefix binary search per changed prefix. Only groups
-// that survive it pay for per-atom matching-subsequence comparison.
+// new table (dirtyAtom without the provenance witness).
 func (d *fibDelta) dirtyFor(atoms topo.AtomSet) bool {
+	_, dirty := d.dirtyAtom(atoms)
+	return dirty
+}
+
+// dirtyAtom reports whether any read atom resolves differently under the
+// new table, returning the first such atom as the provenance witness. The
+// common case — a change entirely outside the group's address space —
+// exits on the set-level prescreen: one AtomSet.IntersectsPrefix binary
+// search per changed prefix. Only groups that survive it pay for per-atom
+// matching-subsequence comparison.
+func (d *fibDelta) dirtyAtom(atoms topo.AtomSet) (pkt.Addr, bool) {
 	hit := false
 	for _, p := range d.changed {
 		if atoms.IntersectsPrefix(p) {
@@ -135,7 +161,7 @@ func (d *fibDelta) dirtyFor(atoms topo.AtomSet) bool {
 		}
 	}
 	if !hit {
-		return false
+		return 0, false
 	}
 	for _, a := range atoms {
 		covered := false
@@ -154,10 +180,10 @@ func (d *fibDelta) dirtyFor(atoms topo.AtomSet) bool {
 			d.memo[a] = dirty
 		}
 		if dirty {
-			return true
+			return a, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // equalMatching compares the ordered subsequences of rules matching a.
@@ -185,15 +211,56 @@ func equalMatching(old, new []tf.Rule, a pkt.Addr) bool {
 }
 
 // impact is the classified effect of one change-set (see the package
-// comment above for the three channels).
+// comment above for the three channels). The src maps carry provenance:
+// the index (into the Apply's change-set) of the first change that put
+// each element on its channel, -1 or absent when not attributable to a
+// single change.
 type impact struct {
 	nodes elemSet
 	fib   map[topo.NodeID][]*fibDelta
 	boxes elemSet
+
+	nodeSrc map[topo.NodeID]int
+	fibSrc  map[topo.NodeID]int
+	boxSrc  map[topo.NodeID]int
 }
 
 func newImpact() *impact {
-	return &impact{nodes: elemSet{}, fib: map[topo.NodeID][]*fibDelta{}, boxes: elemSet{}}
+	return &impact{
+		nodes: elemSet{}, fib: map[topo.NodeID][]*fibDelta{}, boxes: elemSet{},
+		nodeSrc: map[topo.NodeID]int{}, fibSrc: map[topo.NodeID]int{}, boxSrc: map[topo.NodeID]int{},
+	}
+}
+
+// addNode records n on the node channel, attributed to change ci
+// (first change wins).
+func (im *impact) addNode(n topo.NodeID, ci int) {
+	im.nodes.add(n)
+	if _, ok := im.nodeSrc[n]; !ok {
+		im.nodeSrc[n] = ci
+	}
+}
+
+func (im *impact) addNodes(nodes []topo.NodeID, ci int) {
+	for _, n := range nodes {
+		im.addNode(n, ci)
+	}
+}
+
+// addBox records n on the box channel, attributed to change ci.
+func (im *impact) addBox(n topo.NodeID, ci int) {
+	im.boxes.add(n)
+	if _, ok := im.boxSrc[n]; !ok {
+		im.boxSrc[n] = ci
+	}
+}
+
+// srcOf looks up an attribution map (-1 when absent).
+func srcOf(m map[topo.NodeID]int, n topo.NodeID) int {
+	if ci, ok := m[n]; ok {
+		return ci
+	}
+	return -1
 }
 
 // diffFIBs appends a fibDelta for every node whose rule list differs
@@ -226,10 +293,12 @@ const (
 )
 
 // classify decides whether the changes recorded in the impact can affect a
-// group with the given read-set memory.
-func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe topo.AtomSet) (string, bool)) groupVerdict {
-	if im.nodes.intersects(e.touched) {
-		return groupDirty
+// group with the given read-set memory. On groupDirty the returned cause
+// names the channel, the witness element (and read atom, for refined FIB
+// dirtying), and the attributable change index.
+func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe topo.AtomSet) (string, bool)) (groupVerdict, DirtyCause) {
+	if n, ok := im.nodes.firstOf(e.touched); ok {
+		return groupDirty, DirtyCause{Reason: CauseNode, Node: n, HasNode: true, Change: srcOf(im.nodeSrc, n)}
 	}
 	refined := false
 	for n, deltas := range im.fib {
@@ -237,7 +306,7 @@ func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe to
 			continue
 		}
 		if e.coarse {
-			return groupDirty
+			return groupDirty, DirtyCause{Reason: CauseFIB, Node: n, HasNode: true, Change: srcOf(im.fibSrc, n)}
 		}
 		atoms := e.fib[n]
 		if len(atoms) == 0 {
@@ -248,8 +317,11 @@ func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe to
 			continue
 		}
 		for _, d := range deltas {
-			if d.dirtyFor(atoms) {
-				return groupDirty
+			if a, dirty := d.dirtyAtom(atoms); dirty {
+				return groupDirty, DirtyCause{
+					Reason: CauseFIBAtom, Node: n, HasNode: true,
+					Atom: a, HasAtom: true, Change: srcOf(im.fibSrc, n),
+				}
 			}
 		}
 		refined = true
@@ -259,25 +331,25 @@ func (im *impact) classify(e *groupEntry, boxKey func(n topo.NodeID, universe to
 			continue
 		}
 		if e.coarse {
-			return groupDirty
+			return groupDirty, DirtyCause{Reason: CauseBoxConfig, Node: n, HasNode: true, Change: srcOf(im.boxSrc, n)}
 		}
 		stored, ok := e.boxKeys[n]
 		if !ok {
 			// The box was not part of the group's slice when verified (or
 			// its model has no rule-read projection): no stored read to
 			// compare against, dirty at node granularity.
-			return groupDirty
+			return groupDirty, DirtyCause{Reason: CauseBoxConfig, Node: n, HasNode: true, Change: srcOf(im.boxSrc, n)}
 		}
 		cur, ok := boxKey(n, e.universe)
 		if !ok || cur != stored {
-			return groupDirty
+			return groupDirty, DirtyCause{Reason: CauseBoxConfig, Node: n, HasNode: true, Change: srcOf(im.boxSrc, n)}
 		}
 		refined = true
 	}
 	if refined {
-		return groupRefinedClean
+		return groupRefinedClean, DirtyCause{}
 	}
-	return groupClean
+	return groupClean, DirtyCause{}
 }
 
 func rulesEqual(a, b []tf.Rule) bool {

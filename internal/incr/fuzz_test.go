@@ -17,6 +17,7 @@ package incr_test
 // prefix- and node-granularity sessions must not share one.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -527,6 +528,47 @@ func FuzzDecodeProposeSet(f *testing.F) {
 			if ch.Kind == incr.KindBoxReconfig && ch.Model == nil {
 				t.Fatal("propose decode produced an impure in-place reconfig")
 			}
+		}
+	})
+}
+
+// FuzzDecodeRequest hardens the request-envelope parser the daemon runs
+// on every input line — including the new introspection shapes (stats,
+// trace, explain with group filters) and transaction envelopes: arbitrary
+// bytes must parse into an envelope, be classified as a plain change-set
+// line, or fail cleanly; never panic.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"propose","id":"p1","changes":[{"op":"node_down","node":"fw1"}]}`,
+		`{"op":"commit","id":"c1"}`,
+		`{"op":"rollback","id":"r1"}`,
+		`{"op":"stats","id":"s1"}`,
+		`{"op":"trace","id":"t1"}`,
+		`{"op":"explain"}`,
+		`{"op":"explain","name":"simple|tier-1|tier-0"}`,
+		`{"op":"propose","changes":"not an array"}`,
+		`{"op":"node_down","node":"fw1"}`,
+		`[{"op":"noop"}]`,
+		`  `,
+		`not json`,
+		`{"op":`,
+		`{"op":123}`,
+		`{"op":"stats","id":{"nested":true}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		orig := append([]byte(nil), line...)
+		req, envelope, err := incr.ParseRequest(line)
+		if !bytes.Equal(line, orig) {
+			t.Fatal("ParseRequest mutated its input")
+		}
+		if err != nil && envelope {
+			t.Fatalf("error %v alongside a claimed envelope", err)
+		}
+		if !envelope && (req.Op != "" || req.Id != "" || req.Name != "" || req.Changes != nil) {
+			t.Fatalf("non-envelope parse leaked fields: %+v", req)
 		}
 	})
 }

@@ -2,7 +2,11 @@ package incr
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +15,8 @@ import (
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/obs"
+	"github.com/netverify/vmn/internal/sat"
 	"github.com/netverify/vmn/internal/slices"
 	"github.com/netverify/vmn/internal/symmetry"
 	"github.com/netverify/vmn/internal/tf"
@@ -49,6 +55,20 @@ type Options struct {
 	// (worker recover → Apply error → invalidate, or propose shadow
 	// discard) without a real solver bug.
 	FaultHook func(stage string)
+	// Obs, when non-nil, receives phase spans (dirty → atom-prescreen →
+	// canonicalize → per-class solve → cache-install, per Apply/Propose)
+	// and metric registrations from the session, and is forwarded to the
+	// underlying core.Verifier for encode/solve spans and cache gauges.
+	// Nil disables all instrumentation at the cost of a pointer check per
+	// site.
+	Obs *obs.Obs
+	// SlowSolve, when > 0, logs every fresh group solve whose wall clock
+	// meets the threshold as one structured NDJSON line (canonical class
+	// key, group size, solver stats) on SlowSolveWriter.
+	SlowSolve time.Duration
+	// SlowSolveWriter overrides the slow-solve log destination
+	// (default os.Stderr).
+	SlowSolveWriter io.Writer
 }
 
 // ApplyStats describes one Apply call.
@@ -164,11 +184,58 @@ type Session struct {
 	seq    int
 	last   ApplyStats
 	totals Totals
+
+	// metrics caches the session's registered metric handles (nil when
+	// Options.Obs carries no registry — the disabled mode).
+	metrics *sessMetrics
+	// lastExplain holds the provenance records of the most recent Apply's
+	// dirty groups (see explain.go); swapped with the rest of the mutable
+	// state across Propose/Commit/Rollback.
+	lastExplain []ExplainRecord
+	// slowMu serializes slow-solve log lines across pool workers.
+	slowMu sync.Mutex
+}
+
+// sessMetrics holds the session's pre-registered metric handles so the
+// apply hot path never takes the registry lock.
+type sessMetrics struct {
+	applies, solves, cacheHits, canonHits, canonShared *obs.Counter
+	refinedClean, budgetExceeded, dirtyGroups          *obs.Counter
+	workerBusyNs                                       *obs.Counter
+	groups, invariants                                 *obs.Gauge
+	applySeconds, solveSeconds                         *obs.Histogram
+	dirtyFraction, classSize                           *obs.Histogram
+}
+
+func newSessMetrics(r *obs.Registry) *sessMetrics {
+	return &sessMetrics{
+		applies:        r.Counter("vmn_incr_applies_total"),
+		solves:         r.Counter("vmn_incr_solves_total"),
+		cacheHits:      r.Counter("vmn_incr_cache_hits_total"),
+		canonHits:      r.Counter("vmn_incr_canon_hits_total"),
+		canonShared:    r.Counter("vmn_incr_canon_shared_total"),
+		refinedClean:   r.Counter("vmn_incr_refined_clean_total"),
+		budgetExceeded: r.Counter("vmn_incr_budget_exceeded_total"),
+		dirtyGroups:    r.Counter("vmn_incr_dirty_groups_total"),
+		workerBusyNs:   r.Counter("vmn_incr_worker_busy_ns_total"),
+		groups:         r.Gauge("vmn_incr_groups"),
+		invariants:     r.Gauge("vmn_incr_invariants"),
+		applySeconds:   r.Histogram("vmn_incr_apply_seconds", obs.LatencyBuckets),
+		solveSeconds:   r.Histogram("vmn_incr_solve_seconds", obs.LatencyBuckets),
+		dirtyFraction:  r.Histogram("vmn_incr_dirty_fraction", obs.FractionBuckets),
+		classSize:      r.Histogram("vmn_incr_class_size", obs.SizeBuckets),
+	}
 }
 
 // NewSession builds a session and runs the initial full verification,
 // returning its reports (ordered exactly as core.VerifyAll orders them).
 func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopts Options) (*Session, []core.Report, error) {
+	if opts.Obs == nil {
+		// One handle observes the whole pipeline: forward the session's to
+		// the verifier so encode/solve spans and cache gauges land in the
+		// same tracer and registry.
+		opts.Obs = sopts.Obs
+	}
 	v, err := core.NewVerifier(net, opts)
 	if err != nil {
 		return nil, nil, err
@@ -185,6 +252,9 @@ func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopt
 		cache:    newVerdictCache(sopts.CacheCap),
 	}
 	s.cview = liveCacheView{s}
+	if sopts.Obs != nil && sopts.Obs.Metrics != nil {
+		s.metrics = newSessMetrics(sopts.Obs.Metrics)
+	}
 	reports, err := s.Apply(nil)
 	if err != nil {
 		return nil, nil, err
@@ -371,10 +441,12 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	start := time.Now()
 	s.seq++
 
+	root := s.sopts.Obs.Span("apply")
+	defer root.End()
+
 	dirtyAll := s.needFull
 	mutated := len(changes) > 0 || s.needFull
 	im := newImpact()
-	affected := im.nodes
 	relabeled := false
 
 	// Snapshot old forwarding state for diffing before mutating.
@@ -392,8 +464,10 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 		}
 	}
 
-	// Phase 1: mutate the network and collect affected elements.
-	for _, ch := range changes {
+	// Phase 1: mutate the network and collect affected elements, each
+	// attributed to the change index that put it on its channel
+	// (provenance for explain).
+	for ci, ch := range changes {
 		switch ch.Kind {
 		case KindNodeDown:
 			if err := s.validNode(ch.Node); err != nil {
@@ -402,7 +476,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			}
 			if !s.down[ch.Node] {
 				s.down[ch.Node] = true
-				affected.add(ch.Node)
+				im.addNode(ch.Node, ci)
 			}
 		case KindNodeUp:
 			if err := s.validNode(ch.Node); err != nil {
@@ -411,13 +485,13 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			}
 			if s.down[ch.Node] {
 				delete(s.down, ch.Node)
-				affected.add(ch.Node)
+				im.addNode(ch.Node, ci)
 			}
 		case KindFIB:
 			if ch.FIBFor != nil {
 				s.net.FIBFor = ch.FIBFor
 			}
-			affected.addAll(ch.Nodes)
+			im.addNodes(ch.Nodes, ci)
 		case KindBoxAdd:
 			if err := s.validNode(ch.Node); err != nil {
 				s.invalidate()
@@ -439,7 +513,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 				// footprints, so dirty everything.
 				dirtyAll = true
 			}
-			affected.add(ch.Node)
+			im.addNode(ch.Node, ci)
 		case KindBoxRemove:
 			bi := s.findBox(ch.Node)
 			if bi < 0 {
@@ -451,7 +525,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 				dirtyAll = true
 			}
 			s.net.Boxes = append(s.net.Boxes[:bi], s.net.Boxes[bi+1:]...)
-			affected.add(ch.Node)
+			im.addNode(ch.Node, ci)
 		case KindBoxReconfig:
 			bi := s.findBox(ch.Node)
 			if bi < 0 {
@@ -470,7 +544,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			// whose rule-read projection of this box is unchanged stay
 			// clean (classify falls back to node granularity when no
 			// projection was stored).
-			im.boxes.add(ch.Node)
+			im.addBox(ch.Node, ci)
 		case KindRelabel:
 			if err := s.validNode(ch.Node); err != nil {
 				s.invalidate()
@@ -484,7 +558,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			} else {
 				s.net.PolicyClass[ch.Node] = ch.Class
 			}
-			affected.add(ch.Node)
+			im.addNode(ch.Node, ci)
 			relabeled = true
 		case KindInvAdd:
 			if ch.Invariant == nil {
@@ -537,37 +611,76 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 				im.diffFIBs(oldFIBs[i], fibs[i])
 			}
 		}
+		// Attribute each changed table to a change: the first KindFIB
+		// change announcing the node, else the first change that could
+		// move forwarding state at all (FIB diffs are aggregate across the
+		// set, so finer attribution is not possible).
+		fallback := -1
+		for ci, ch := range changes {
+			switch ch.Kind {
+			case KindNodeDown, KindNodeUp, KindFIB:
+				fallback = ci
+			}
+			if fallback >= 0 {
+				break
+			}
+		}
+		for n := range im.fib {
+			src := fallback
+			for ci, ch := range changes {
+				if ch.Kind == KindFIB && nodeListed(ch.Nodes, n) {
+					src = ci
+					break
+				}
+			}
+			im.fibSrc[n] = src
+		}
 	}
 	if s.sopts.NodeGranularity {
 		// Escape hatch: collapse the refined channels into element-level
-		// dirtying (the PR 2 baseline).
+		// dirtying (the PR 2 baseline), carrying the attribution along.
 		for n := range im.fib {
-			im.nodes.add(n)
+			im.addNode(n, srcOf(im.fibSrc, n))
 		}
 		im.fib = map[topo.NodeID][]*fibDelta{}
 		for n := range im.boxes {
-			im.nodes.add(n)
+			im.addNode(n, srcOf(im.boxSrc, n))
 		}
 		im.boxes = elemSet{}
 	}
 
-	// Phase 3: regroup and decide what is dirty.
+	// Phase 3: regroup and decide what is dirty, recording a cause per
+	// dirty group (position-aligned with dirty).
+	dirtySpan := root.Child("dirty")
 	groups, keys := s.grouping()
 	newEntries := make(map[string]*groupEntry, len(groups))
 	var dirty []int
+	var causes []DirtyCause
 	refinedClean := 0
+	prescreen := dirtySpan.Child("atom-prescreen")
 	for gi := range groups {
 		old, ok := s.entries[keys[gi]]
-		if !ok || dirtyAll || old.exceeded {
-			// Entries holding budget-degraded verdicts re-run
-			// unconditionally: the Unknown was a budget artifact, not a
-			// property of the network.
+		if dirtyAll || !ok || old.exceeded {
+			cause := DirtyCause{Reason: CauseFull, Change: -1}
+			switch {
+			case dirtyAll:
+			case !ok:
+				cause.Reason = CauseNewGroup
+			default:
+				// Entries holding budget-degraded verdicts re-run
+				// unconditionally: the Unknown was a budget artifact, not a
+				// property of the network.
+				cause.Reason = CauseBudgetRetry
+			}
 			dirty = append(dirty, gi)
+			causes = append(causes, cause)
 			continue
 		}
-		switch im.classify(old, s.ruleReadKey) {
+		verdict, cause := im.classify(old, s.ruleReadKey)
+		switch verdict {
 		case groupDirty:
 			dirty = append(dirty, gi)
+			causes = append(causes, cause)
 		case groupRefinedClean:
 			refinedClean++
 			newEntries[keys[gi]] = old
@@ -575,6 +688,11 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			newEntries[keys[gi]] = old
 		}
 	}
+	prescreen.End()
+	if dirtySpan.Enabled() {
+		dirtySpan = dirtySpan.Label(fmt.Sprintf("groups=%d dirty=%d refined_clean=%d", len(groups), len(dirty), refinedClean))
+	}
+	dirtySpan.End()
 
 	stats := ApplyStats{
 		Seq:          s.seq,
@@ -595,6 +713,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	// members inherit translated verdicts. This is dirtying at class
 	// granularity: a change that dirties twenty isomorphic tenant pairs
 	// costs one solve.
+	origins := make([][]CheckOrigin, len(dirty))
 	if len(dirty) > 0 {
 		workers := s.sopts.Workers
 		if workers <= 0 {
@@ -604,9 +723,13 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 		// Plan in parallel: in canonical mode most dirty groups never
 		// reach a solver, so key construction would otherwise serialize
 		// the Apply.
+		canonSpan := root.Child("canonicalize")
 		gplans := make([]*groupPlan, len(dirty))
 		err := core.ForEachIndexed(len(dirty), workers, func(di int) error {
 			gp, err := s.planGroup(groups[dirty[di]].Representative, scens, engs)
+			if gp != nil {
+				gp.members = len(groups[dirty[di]].Members)
+			}
 			gplans[di] = gp
 			return err
 		})
@@ -625,26 +748,45 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			return []byte(gplans[di].cluster)
 		})
 		stats.DirtyClasses = len(clusters)
+		if canonSpan.Enabled() {
+			canonSpan = canonSpan.Label(fmt.Sprintf("dirty=%d classes=%d", len(dirty), len(clusters)))
+		}
+		canonSpan.End()
 
 		results := make([]*groupEntry, len(dirty))
-		hits := make([]int, len(dirty))
-		canonHits := make([]int, len(dirty))
-		misses := make([]int, len(dirty))
-		shared := make([]int, len(dirty))
+		stat := make([]verifyStats, len(dirty))
+		m := s.metrics
 		err = core.ForEachIndexed(len(clusters), workers, func(ci int) error {
+			// One span per canonical class; each class is one pool work
+			// unit, so these double as per-worker busy intervals
+			// (worker_busy_ns sums them).
+			csp := root.Child("class")
+			if csp.Enabled() {
+				csp = csp.Label(fmt.Sprintf("class=%d size=%d", ci, len(clusters[ci].Members)))
+			}
+			taskStart := time.Now()
+			defer func() {
+				csp.End()
+				if m != nil {
+					m.workerBusyNs.Add(time.Since(taskStart).Nanoseconds())
+				}
+			}()
+			if m != nil {
+				m.classSize.Observe(float64(len(clusters[ci].Members)))
+			}
 			lead := clusters[ci].Members[0].Group
-			e, h, ch, m, err := s.verifyGroup(gplans[lead], scens, fibs)
+			e, vs, err := s.verifyGroup(gplans[lead], scens, fibs)
 			if err != nil {
 				return err
 			}
-			results[lead], hits[lead], canonHits[lead], misses[lead] = e, h, ch, m
+			results[lead], stat[lead] = e, vs
 			for _, member := range clusters[ci].Members[1:] {
 				di := member.Group
-				me, n, solved, err := s.translateGroup(e, gplans[lead], gplans[di], scens)
+				me, ms, err := s.translateGroup(e, gplans[lead], gplans[di], scens)
 				if err != nil {
 					return err
 				}
-				results[di], shared[di], misses[di] = me, n, solved
+				results[di], stat[di] = me, ms
 			}
 			return nil
 		})
@@ -654,22 +796,47 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 		}
 		for di, gi := range dirty {
 			newEntries[keys[gi]] = results[di]
-			stats.CacheHits += hits[di]
-			stats.CanonHits += canonHits[di]
-			stats.CacheMisses += misses[di]
-			stats.CanonShared += shared[di]
+			stats.CacheHits += stat[di].hits
+			stats.CanonHits += stat[di].canonHits
+			stats.CacheMisses += stat[di].misses
+			stats.CanonShared += stat[di].shared
+			origins[di] = stat[di].origins
 		}
 	}
 
 	// Phase 5: commit and assemble the full report set.
+	installSpan := root.Child("cache-install")
 	s.groups, s.keys, s.entries = groups, keys, newEntries
 	s.needFull = false
 	out := s.assemble(scens)
+	installSpan.End()
 	for _, r := range out {
 		if r.BudgetExceeded {
 			stats.BudgetExceeded++
 		}
 	}
+
+	// Provenance: one record per re-verified group, naming the dirtying
+	// change (rendered lazily — only dirty groups pay) and how each
+	// verdict was obtained.
+	recs := make([]ExplainRecord, 0, len(dirty))
+	for di, gi := range dirty {
+		c := causes[di]
+		if c.Change >= 0 && c.Change < len(changes) {
+			c.ChangeDesc = describeChange(s.net.Topo, changes[c.Change])
+		} else {
+			c.Change = -1
+		}
+		members := make([]string, 0, len(groups[gi].Members))
+		for _, mi := range groups[gi].Members {
+			members = append(members, mi.Name())
+		}
+		recs = append(recs, ExplainRecord{
+			Seq: s.seq, GroupKey: keys[gi], Members: members,
+			Cause: c, Checks: origins[di],
+		})
+	}
+	s.lastExplain = recs
 
 	stats.Duration = time.Since(start)
 	s.last = stats
@@ -683,6 +850,22 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	s.totals.DirtyInvs += stats.DirtyInvariants
 	s.totals.TotalInvs += stats.Invariants
 	s.totals.ReusedInvs += len(out) - len(s.groups)*len(scens)
+	if m := s.metrics; m != nil {
+		m.applies.Inc()
+		m.solves.Add(int64(stats.CacheMisses))
+		m.cacheHits.Add(int64(stats.CacheHits))
+		m.canonHits.Add(int64(stats.CanonHits))
+		m.canonShared.Add(int64(stats.CanonShared))
+		m.refinedClean.Add(int64(stats.RefinedClean))
+		m.budgetExceeded.Add(int64(stats.BudgetExceeded))
+		m.dirtyGroups.Add(int64(stats.DirtyGroups))
+		m.groups.Set(int64(stats.Groups))
+		m.invariants.Set(int64(stats.Invariants))
+		m.applySeconds.Observe(stats.Duration.Seconds())
+		if stats.Groups > 0 {
+			m.dirtyFraction.Observe(float64(stats.DirtyGroups) / float64(stats.Groups))
+		}
+	}
 	return out, nil
 }
 
@@ -695,6 +878,19 @@ func (s *Session) CanonStats() (classes, shared, encTranslated int64) {
 	return s.verifier.CanonStats()
 }
 
+// SolverStats aggregates SAT solver work counters across every encoding
+// the session's verifier has built (see core.Verifier.SolverStats).
+func (s *Session) SolverStats() sat.Stats {
+	return s.verifier.SolverStats()
+}
+
+// Observability returns the session's obs handle (nil when
+// instrumentation is disabled) — the daemon serves stats/trace snapshots
+// and the Prometheus endpoint from it.
+func (s *Session) Observability() *obs.Obs {
+	return s.sopts.Obs
+}
+
 // groupPlan is the planned identity of one dirty group: per-scenario check
 // plans (slice + canonical identity), per-scenario dependency read-sets,
 // and the joined canonical key that clusters isomorphic dirty groups ("" =
@@ -704,6 +900,9 @@ type groupPlan struct {
 	plans   []*core.CheckPlan
 	reads   []slices.ReadSet
 	cluster string
+	// members is the group's invariant count (filled at the plan call
+	// site; provenance for the slow-solve log).
+	members int
 }
 
 // planGroup plans one representative across the effective scenarios.
@@ -824,12 +1023,12 @@ func unionTouched(reads []slices.ReadSet) []topo.NodeID {
 // cached witness is translated through the renamings. The per-scenario
 // engines were compiled once in Apply phase 2 and are shared by every
 // dirty group and pool worker.
-func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs []tf.FIB) (*groupEntry, int, int, int, error) {
+func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs []tf.FIB) (*groupEntry, verifyStats, error) {
 	if hook := s.sopts.FaultHook; hook != nil {
 		hook("solve")
 	}
 	e := s.newEntry(gp)
-	hits, canonHits, misses := 0, 0, 0
+	var vs verifyStats
 	for si, sc := range scens {
 		cp := gp.plans[si]
 		var key []byte
@@ -842,6 +1041,7 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		}
 		var r core.Report
 		hit := false
+		source := ""
 		if key != nil {
 			cached, ren, found := s.cview.get(key)
 			if found && canon {
@@ -856,7 +1056,11 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 					// on the very same slice is a plain cached verdict.
 					r.CanonShared = !ren.Equal(cp.Renaming())
 					hit = true
-					canonHits++
+					vs.canonHits++
+					source = SourceCanonHit
+					if r.CanonShared {
+						source = SourceCanonHitTranslated
+					}
 				}
 			} else if found {
 				r = cached
@@ -865,22 +1069,29 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 				r.Cached = true
 				r.Duration = 0
 				hit = true
+				source = SourceExactHit
 			}
 		}
 		if hit {
-			hits++
+			vs.hits++
 		} else if s.expired() {
 			// Past the request deadline: degrade to an explicit
 			// budget-exceeded verdict instead of queueing another solve.
 			// Cache hits above still answer (they cost nothing).
 			r = budgetReport(gp.rep, sc, cp)
+			source = SourceBudgetExceeded
 		} else {
 			var err error
 			r, err = s.verifier.VerifyPlanned(cp)
 			if err != nil {
-				return nil, 0, 0, 0, err
+				return nil, verifyStats{}, err
 			}
-			misses++
+			vs.misses++
+			source = SourceFreshSolve
+			if r.BudgetExceeded {
+				source = SourceBudgetExceeded
+			}
+			s.observeSolve(gp, si, r)
 			// Budget-degraded verdicts are artifacts of this request's
 			// budget, not of the network: never cache them.
 			if key != nil && !r.BudgetExceeded {
@@ -890,9 +1101,78 @@ func (s *Session) verifyGroup(gp *groupPlan, scens []topo.FailureScenario, fibs 
 		if r.BudgetExceeded {
 			e.exceeded = true
 		}
+		vs.origins = append(vs.origins, checkOrigin(si, source, hit, r))
 		e.reports = append(e.reports, r)
 	}
-	return e, hits, canonHits, misses, nil
+	return e, vs, nil
+}
+
+// verifyStats aggregates the cache accounting of one group's
+// re-verification, plus the per-scenario verdict origins for explain.
+type verifyStats struct {
+	hits, canonHits, misses, shared int
+	origins                         []CheckOrigin
+}
+
+// checkOrigin builds one provenance entry; solve time and conflicts are
+// recorded only for checks that actually ran (hits and inherited verdicts
+// cost nothing).
+func checkOrigin(si int, source string, hit bool, r core.Report) CheckOrigin {
+	o := CheckOrigin{Scenario: si, Source: source}
+	if !hit {
+		o.DurationNs = r.Duration.Nanoseconds()
+		o.Conflicts = r.Result.SolverConflicts
+	}
+	return o
+}
+
+// observeSolve feeds one fresh solve into the latency histogram and, past
+// the configured threshold, the slow-solve NDJSON log.
+func (s *Session) observeSolve(gp *groupPlan, scenario int, r core.Report) {
+	if m := s.metrics; m != nil {
+		m.solveSeconds.Observe(r.Duration.Seconds())
+	}
+	if t := s.sopts.SlowSolve; t > 0 && r.Duration >= t {
+		s.logSlowSolve(gp, scenario, r)
+	}
+}
+
+// logSlowSolve emits one structured NDJSON line for a solve that crossed
+// the SlowSolve threshold: which invariant and scenario, the canonical
+// class key (fnv64a-hashed for line width; "exact" when the check did not
+// canonicalize), the group's invariant count, and the solver's work
+// counters.
+func (s *Session) logSlowSolve(gp *groupPlan, scenario int, r core.Report) {
+	w := s.sopts.SlowSolveWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	classKey := "exact"
+	if gp.cluster != "" {
+		h := fnv.New64a()
+		io.WriteString(h, gp.cluster)
+		classKey = fmt.Sprintf("%016x", h.Sum64())
+	}
+	line, err := json.Marshal(struct {
+		Event      string `json:"event"`
+		Invariant  string `json:"invariant"`
+		Scenario   int    `json:"scenario"`
+		ClassKey   string `json:"class_key"`
+		Invariants int    `json:"invariants"`
+		Engine     string `json:"engine"`
+		DurationNs int64  `json:"duration_ns"`
+		Conflicts  int64  `json:"conflicts"`
+	}{
+		Event: "slow_solve", Invariant: gp.rep.Name(), Scenario: scenario,
+		ClassKey: classKey, Invariants: gp.members, Engine: r.Engine,
+		DurationNs: r.Duration.Nanoseconds(), Conflicts: r.Result.SolverConflicts,
+	})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	w.Write(append(line, '\n'))
 }
 
 // budgetReport is the degraded verdict for a check the request deadline
@@ -920,30 +1200,39 @@ func budgetReport(rep inv.Invariant, sc topo.FailureScenario, cp *core.CheckPlan
 // checked) fall back to solving the member directly. Returns the entry,
 // how many reports were inherited, and how many fell back to a solve (the
 // caller accounts those as cache misses — they are real solver work).
-func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan, scens []topo.FailureScenario) (*groupEntry, int, int, error) {
+func (s *Session) translateGroup(lead *groupEntry, leadPlan, memPlan *groupPlan, scens []topo.FailureScenario) (*groupEntry, verifyStats, error) {
 	e := s.newEntry(memPlan)
-	shared, solved := 0, 0
+	var vs verifyStats
 	for si := range scens {
 		r, ok := core.TranslatePlannedReport(lead.reports[si], leadPlan.plans[si].Renaming(), memPlan.plans[si])
+		source := SourceCanonShared
+		inherited := true
 		if ok {
 			// The member's report is not re-cached under its own key: the
 			// member and representative share one canonical key, so the
 			// representative's entry answers both on the next Apply.
 			r.Cached = lead.reports[si].Cached
-			shared++
+			vs.shared++
 		} else {
 			var err error
 			if r, err = s.verifier.VerifyPlanned(memPlan.plans[si]); err != nil {
-				return nil, 0, 0, err
+				return nil, verifyStats{}, err
 			}
-			solved++
+			vs.misses++
+			source = SourceFreshSolve
+			if r.BudgetExceeded {
+				source = SourceBudgetExceeded
+			}
+			inherited = false
+			s.observeSolve(memPlan, si, r)
 		}
 		if r.BudgetExceeded {
 			e.exceeded = true
 		}
+		vs.origins = append(vs.origins, checkOrigin(si, source, inherited, r))
 		e.reports = append(e.reports, r)
 	}
-	return e, shared, solved, nil
+	return e, vs, nil
 }
 
 // assemble renders the complete report set in core.VerifyAll order:

@@ -92,6 +92,12 @@ type ProposeResult struct {
 	NewViolations int
 	// BudgetExceeded counts shadow checks degraded by a budget.
 	BudgetExceeded int
+	// RefinedClean counts groups the prefix/rule-level dependency index
+	// kept clean on the shadow run — the refinement savings an Apply of
+	// this change-set would see (mirrors ApplyStats.RefinedClean, surfaced
+	// here so guardrail users see refinement effectiveness on rejected
+	// change-sets too).
+	RefinedClean int
 	// Repairs lists the smallest verified repair subsets found (all
 	// singletons that work, else all working pairs); empty when the
 	// decision is Accept, repair is disabled, or no small subset helps.
@@ -119,6 +125,7 @@ type sessState struct {
 	seq      int
 	last     ApplyStats
 	totals   Totals
+	explain  []ExplainRecord
 }
 
 // capture snapshots the current state (by reference; pair with shadowOf
@@ -128,7 +135,7 @@ func (s *Session) capture() sessState {
 		boxes: s.net.Boxes, policy: s.net.PolicyClass, fibFor: s.net.FIBFor,
 		down: s.down, invs: s.invs, needFull: s.needFull,
 		groups: s.groups, keys: s.keys, entries: s.entries,
-		seq: s.seq, last: s.last, totals: s.totals,
+		seq: s.seq, last: s.last, totals: s.totals, explain: s.lastExplain,
 	}
 }
 
@@ -138,6 +145,7 @@ func (s *Session) install(st sessState) {
 	s.down, s.invs, s.needFull = st.down, st.invs, st.needFull
 	s.groups, s.keys, s.entries = st.groups, st.keys, st.entries
 	s.seq, s.last, s.totals = st.seq, st.last, st.totals
+	s.lastExplain = st.explain
 }
 
 // shadowOf copies the containers the apply pipeline mutates in place
@@ -311,6 +319,7 @@ func (s *Session) Propose(changes []Change) (*ProposeResult, error) {
 
 	res := &ProposeResult{Reports: reports, Stats: post.last}
 	res.BudgetExceeded = post.last.BudgetExceeded
+	res.RefinedClean = post.last.RefinedClean
 	res.NewViolations = countNew(baseUnsat, unsatCounts(reports))
 	if res.NewViolations > 0 || res.BudgetExceeded > 0 {
 		res.Decision = Reject

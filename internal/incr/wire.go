@@ -29,6 +29,7 @@ package incr
 // swap the edited clone in (only inside the shadow).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -37,6 +38,7 @@ import (
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/obs"
 	"github.com/netverify/vmn/internal/pkt"
 	"github.com/netverify/vmn/internal/topo"
 )
@@ -144,12 +146,17 @@ type WireRepair struct {
 
 // WireProposeResult is the JSON form of one Propose outcome.
 type WireProposeResult struct {
-	Op             string       `json:"op"` // always "propose"
-	Id             string       `json:"id,omitempty"`
-	Decision       string       `json:"decision"`
-	NewViolations  int          `json:"new_violations"`
-	BudgetExceeded int          `json:"budget_exceeded,omitempty"`
-	Repairs        []WireRepair `json:"repairs,omitempty"`
+	Op             string `json:"op"` // always "propose"
+	Id             string `json:"id,omitempty"`
+	Decision       string `json:"decision"`
+	NewViolations  int    `json:"new_violations"`
+	BudgetExceeded int    `json:"budget_exceeded,omitempty"`
+	// RefinedClean counts groups the prefix/rule-level dependency index
+	// kept clean on the shadow run (mirrors the Apply-path refined_clean,
+	// so guardrail users see refinement effectiveness on rejected
+	// change-sets too).
+	RefinedClean int          `json:"refined_clean,omitempty"`
+	Repairs      []WireRepair `json:"repairs,omitempty"`
 	// RepairTruncated marks a repair search cut off by the deadline or
 	// candidate cap before exhausting its subset size class.
 	RepairTruncated bool `json:"repair_truncated,omitempty"`
@@ -167,6 +174,132 @@ type WireTxAck struct {
 	Committed   bool   `json:"committed,omitempty"`
 	RolledBack  bool   `json:"rolled_back,omitempty"`
 	Unsatisfied int    `json:"unsatisfied,omitempty"`
+	// Totals snapshots the session-lifetime counters after a commit — the
+	// state the installed shadow run left them in (absent on rollback and
+	// inject_panic acks).
+	Totals *WireTotals `json:"totals,omitempty"`
+}
+
+// WireTotals is the JSON form of the session-lifetime Totals counters.
+type WireTotals struct {
+	Applies      int `json:"applies"`
+	Solves       int `json:"solves"`
+	CacheHits    int `json:"cache_hits"`
+	CanonHits    int `json:"canon_hits"`
+	CanonShared  int `json:"canon_shared"`
+	Classes      int `json:"classes"`
+	RefinedClean int `json:"refined_clean"`
+	DirtyInvs    int `json:"dirty_invariants"`
+	TotalInvs    int `json:"total_invariants"`
+	ReusedInvs   int `json:"reused_invariants"`
+}
+
+// EncodeTotals renders session-lifetime counters on the wire.
+func EncodeTotals(t Totals) WireTotals {
+	return WireTotals{
+		Applies: t.Applies, Solves: t.Solves,
+		CacheHits: t.CacheHits, CanonHits: t.CanonHits, CanonShared: t.CanonShared,
+		Classes: t.Classes, RefinedClean: t.RefinedClean,
+		DirtyInvs: t.DirtyInvs, TotalInvs: t.TotalInvs, ReusedInvs: t.ReusedInvs,
+	}
+}
+
+// WireSolverStats is the JSON form of aggregate SAT solver counters.
+type WireSolverStats struct {
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+	Learnt       int64 `json:"learnt"`
+}
+
+// WireStats is the response to the "stats" introspection op: lifetime
+// totals, canonicalization counters, aggregate solver work, and a flat
+// snapshot of the metrics registry (absent when the daemon runs without
+// observability).
+type WireStats struct {
+	Op     string     `json:"op"` // always "stats"
+	Id     string     `json:"id,omitempty"`
+	Seq    int        `json:"seq"`
+	Totals WireTotals `json:"totals"`
+	// Canonicalization counters (core.Verifier.CanonStats).
+	CanonClasses       int64              `json:"canon_classes"`
+	CanonSharedChecks  int64              `json:"canon_shared_checks"`
+	CanonEncTranslated int64              `json:"canon_enc_translated"`
+	Solver             WireSolverStats    `json:"solver"`
+	Metrics            map[string]float64 `json:"metrics,omitempty"`
+}
+
+// WireTrace is the response to the "trace" op: the tracer's buffered
+// spans, drained (a second trace request returns only spans recorded
+// since). Empty when tracing is disabled.
+type WireTrace struct {
+	Op    string           `json:"op"` // always "trace"
+	Id    string           `json:"id,omitempty"`
+	Seq   int              `json:"seq"`
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// WireCheckOrigin is the JSON form of one verdict's provenance.
+type WireCheckOrigin struct {
+	Scenario   int    `json:"scenario"`
+	Source     string `json:"source"`
+	DurationNs int64  `json:"duration_ns"`
+	Conflicts  int64  `json:"conflicts,omitempty"`
+}
+
+// WireExplainGroup is the JSON form of one re-verified group's provenance.
+type WireExplainGroup struct {
+	Group      string   `json:"group"`
+	Invariants []string `json:"invariants"`
+	Reason     string   `json:"reason"`
+	// Node and Atom name the dirtying element and witness read address
+	// (present for the node/fib/box channels resp. refined FIB dirtying).
+	Node string `json:"node,omitempty"`
+	Atom string `json:"atom,omitempty"`
+	// ChangeIndex is the dirtying change's position in the request's
+	// change-set (-1 when the cause is not attributable to one change).
+	ChangeIndex int               `json:"change_index"`
+	Change      string            `json:"change,omitempty"`
+	Checks      []WireCheckOrigin `json:"checks"`
+}
+
+// WireExplain is the response to the "explain" op: provenance for every
+// group the most recent Apply (or the pending Propose's shadow) had to
+// re-verify. An optional "name" filter restricts it to one group key.
+type WireExplain struct {
+	Op     string             `json:"op"` // always "explain"
+	Id     string             `json:"id,omitempty"`
+	Seq    int                `json:"seq"`
+	Groups []WireExplainGroup `json:"groups"`
+}
+
+// EncodeExplain renders provenance records on the wire.
+func EncodeExplain(t *topo.Topology, id string, seq int, recs []ExplainRecord) WireExplain {
+	out := WireExplain{Op: "explain", Id: id, Seq: seq}
+	for _, rec := range recs {
+		g := WireExplainGroup{
+			Group:       rec.GroupKey,
+			Invariants:  rec.Members,
+			Reason:      rec.Cause.Reason,
+			ChangeIndex: rec.Cause.Change,
+			Change:      rec.Cause.ChangeDesc,
+		}
+		if rec.Cause.HasNode && rec.Cause.Node >= 0 && int(rec.Cause.Node) < t.NumNodes() {
+			g.Node = t.Node(rec.Cause.Node).Name
+		}
+		if rec.Cause.HasAtom {
+			g.Atom = rec.Cause.Atom.String()
+		}
+		for _, c := range rec.Checks {
+			g.Checks = append(g.Checks, WireCheckOrigin{
+				Scenario: c.Scenario, Source: c.Source,
+				DurationNs: c.DurationNs, Conflicts: c.Conflicts,
+			})
+		}
+		out.Groups = append(out.Groups, g)
+	}
+	return out
 }
 
 func parsePrefix(s string) (pkt.Prefix, error) {
@@ -497,6 +630,23 @@ func DecodeProposeSet(net *core.Network, wires []WireChange) ([]Change, error) {
 	return out, nil
 }
 
+// ParseRequest parses one wire line into its request envelope. Array
+// lines (plain change-set batches) and blank lines return envelope=false
+// and a zero request — decode those with DecodeChangeSet. ParseRequest
+// validates JSON shape only; it never resolves names or mutates network
+// state, so it is safe on untrusted input (the daemon and the decode fuzz
+// target share it).
+func ParseRequest(line []byte) (req WireRequest, envelope bool, err error) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 || trimmed[0] == '[' {
+		return WireRequest{}, false, nil
+	}
+	if err := json.Unmarshal(trimmed, &req); err != nil {
+		return WireRequest{}, false, fmt.Errorf("incr: malformed request: %w", err)
+	}
+	return req, true, nil
+}
+
 // describeChange renders one change for repair suggestions.
 func describeChange(t *topo.Topology, ch Change) string {
 	switch ch.Kind {
@@ -526,6 +676,7 @@ func EncodeProposeResult(t *topo.Topology, id string, changes []Change, pr *Prop
 		Decision:        pr.Decision.String(),
 		NewViolations:   pr.NewViolations,
 		BudgetExceeded:  pr.BudgetExceeded,
+		RefinedClean:    pr.RefinedClean,
 		RepairTruncated: pr.RepairTruncated,
 		Result:          EncodeResult(t, pr.Stats, pr.Reports),
 	}
