@@ -65,11 +65,13 @@ bench-json:
 # explicit-engine worker sweep, the SAT solver-reuse comparison, the
 # canonical-normalization comparison (class counts + encoding/verdict reuse
 # rates), the churn comparison (incremental vs full, with the
-# prefix-level vs node-level dirty-fraction series) and the transactional
-# guardrail comparison (propose/rollback vs apply-then-revert). CI runs
-# this on the multi-core GitHub runner and uploads the JSON as an artifact.
+# prefix-level vs node-level dirty-fraction series), the transactional
+# guardrail comparison (propose/rollback vs apply-then-revert) and the
+# streaming-pipeline comparison (pipelined+coalesced vs pipelined vs
+# serial updates/sec under sustained FIB churn). CI runs this on the
+# multi-core GitHub runner and uploads the JSON as an artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail,stream -runs 5 -json > bench-multicore.json
 
 # A quick churn snapshot with the observability metrics registry attached:
 # the JSON rows carry the per-figure metrics map (solve latency histogram,

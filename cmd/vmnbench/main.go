@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream or all")
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
 	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
@@ -69,7 +69,16 @@ func main() {
 		}
 		s := f()
 		if *withObs {
-			s.Metrics = bench.Instrument.Metrics.Snapshot()
+			// Merge, don't assign: figures like stream pre-populate
+			// Metrics with derived throughput keys of their own.
+			snap := bench.Instrument.Metrics.Snapshot()
+			if s.Metrics == nil {
+				s.Metrics = snap
+			} else {
+				for k, v := range snap {
+					s.Metrics[k] = v
+				}
+			}
 			bench.Instrument = nil
 		}
 		if *asJSON {
@@ -92,9 +101,10 @@ func main() {
 	run("canon", func() bench.Series { return bench.FigCanon(*runs) })
 	run("churn", func() bench.Series { return bench.Churn(8*sc, *runs) })
 	run("guardrail", func() bench.Series { return bench.Guardrail(4*sc, *runs) })
+	run("stream", func() bench.Series { return bench.Stream(1000*sc, *runs) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *asJSON {

@@ -17,6 +17,17 @@
 //	{"op":"inv_add","invariant":{"type":"simple_isolation","dst":"h1-0","src_addr":"10.2.0.1"}}
 //	{"op":"noop"}
 //
+// An apply_batch envelope submits a change list for coalescing before
+// the (single, atomic) apply: repeated updates to one element collapse
+// to the last writer, an add-then-delete pair nets out to nothing. The
+// result line reports the raw (enqueued) and eliminated (coalesced)
+// change counts; verdicts are bit-identical to applying the same
+// changes one at a time.
+//
+//	{"op":"apply_batch","id":"b1","changes":[
+//	  {"op":"fw_deny","node":"fw1","src":"10.0.0.0/16","dst":"10.1.0.0/16"},
+//	  {"op":"relabel","node":"h0-0","class":"x"},{"op":"relabel","node":"h0-0","class":""}]}
+//
 // Transactional requests verify a change-set against shadow state before
 // deciding — the deployment-guardrail pattern:
 //
@@ -140,36 +151,65 @@ func wireFaultInjection(sopts *incr.Options) serveHooks {
 	return serveHooks{armFault: func() { armed.Store(true) }}
 }
 
+// ingestQueue bounds how far the reader stage may run ahead of the
+// verifier, and the verifier ahead of the writer. Backpressure, not
+// buffering: a slow consumer eventually blocks stdin.
+const ingestQueue = 64
+
 // serve runs the NDJSON loop: one initial result line for the session's
 // first verification, then one result (or error) line per input line.
 // This is the whole wire protocol of vmnd; the golden-file tests in
 // main_test.go drive it directly. Every request is handled under a
 // recover(), so a bug anywhere in decode or verification degrades to a
 // structured error line and the daemon keeps serving.
+//
+// The loop is pipelined into three stages — read, handle (decode +
+// verify), encode+flush — connected by bounded channels, so input
+// ingest and response serialization overlap verification instead of
+// serialising behind it. Each stage is a single goroutine draining a
+// FIFO, so the response stream stays totally ordered: response i
+// reflects requests 1..i and nothing later.
 func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer, hooks serveHooks) error {
+	lines := make(chan []byte, ingestQueue)
+	resps := make(chan any, ingestQueue)
+
+	var readErr error
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			// The scanner reuses its buffer; the line crosses a stage
+			// boundary and must be owned by the receiver.
+			lines <- append([]byte(nil), sc.Bytes()...)
+		}
+		readErr = sc.Err()
+	}()
+
+	go func() {
+		defer close(resps)
+		resps <- incr.EncodeResult(net.Topo, sess.LastApply(), reports)
+		for line := range lines {
+			if resp := handle(sess, net, hooks, line); resp != nil {
+				resps <- resp
+			}
+		}
+	}()
+
 	bw := bufio.NewWriter(out)
 	enc := json.NewEncoder(bw)
-	emit := func(v any) error {
+	for v := range resps {
 		if err := enc.Encode(v); err != nil {
 			return err
 		}
-		return bw.Flush()
-	}
-	if err := emit(incr.EncodeResult(net.Topo, sess.LastApply(), reports)); err != nil {
-		return err
-	}
-
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		if resp := handle(sess, net, hooks, sc.Bytes()); resp != nil {
-			if err := emit(resp); err != nil {
-				return err
-			}
+		if err := bw.Flush(); err != nil {
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("reading stdin: %w", err)
+	// resps closing means the handler drained lines, which means the
+	// reader finished: readErr is settled and visible.
+	if readErr != nil {
+		return fmt.Errorf("reading stdin: %w", readErr)
 	}
 	return nil
 }
@@ -202,6 +242,23 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 	if envelope {
 		op, id = req.Op, req.Id
 		switch req.Op {
+		case "apply_batch":
+			// Guard before decoding: firewall ops mutate live state at
+			// decode time, which would leak past a pending shadow.
+			if sess.ProposePending() {
+				return fail(incr.ErrProposePending)
+			}
+			changes, err := incr.DecodeChanges(net, req.Changes)
+			if err != nil {
+				return fail(err)
+			}
+			reports, err := sess.ApplyBatch(changes)
+			if err != nil {
+				return fail(err)
+			}
+			res := incr.EncodeResult(net.Topo, sess.LastApply(), reports)
+			res.Id = id
+			return res
 		case "propose":
 			changes, err := incr.DecodeProposeSet(net, req.Changes)
 			if err != nil {

@@ -112,6 +112,43 @@ func TestGoldenWireProtocol(t *testing.T) {
 			`{"op":"inv_add","invariant":{"type":"weird","dst":"h0-0"}}`,
 			`{"op":"noop"}`,
 		}},
+		// A batch where coalescing is visible on the wire: two relabels of
+		// one host keep only the last writer and a down-then-up pair
+		// collapses to the (no-op) up, so 4 enqueued changes apply as 2 and
+		// the result reports enqueued/coalesced.
+		{"apply_batch", []string{
+			`{"op":"apply_batch","id":"b1","changes":[` +
+				`{"op":"relabel","node":"h0-0","class":"x"},` +
+				`{"op":"relabel","node":"h0-0","class":"broken-0"},` +
+				`{"op":"node_down","node":"h2-0"},` +
+				`{"op":"node_up","node":"h2-0"}]}`,
+		}},
+		// An add-then-delete pair of one firewall entry nets out to the
+		// original ACL; the two reconfig announcements coalesce to one and
+		// the rule-read projections are unchanged — nothing dirtied.
+		{"apply_batch_annihilate", []string{
+			`{"op":"apply_batch","id":"b1","changes":[` +
+				`{"op":"fw_deny","node":"fw1","src":"10.9.0.0/24","dst":"*"},` +
+				`{"op":"fw_del","node":"fw1","src":"10.9.0.0/24","dst":"*"}]}`,
+		}},
+		// apply_batch refuses while a propose is pending (before decoding —
+		// firewall ops mutate at decode time) and works after rollback.
+		{"apply_batch_pending", []string{
+			`{"op":"propose","id":"p1","changes":[{"op":"node_down","node":"h2-0"}]}`,
+			`{"op":"apply_batch","id":"b1","changes":[{"op":"node_down","node":"fw1"}]}`,
+			`{"op":"rollback","id":"p2"}`,
+			`{"op":"apply_batch","id":"b2","changes":[{"op":"node_down","node":"fw1"}]}`,
+		}},
+		// Malformed batches: an invalid change anywhere rejects the whole
+		// batch before any mutation runs; the trailing noop pins that the
+		// session is untouched.
+		{"apply_batch_malformed", []string{
+			`{"op":"apply_batch","id":"m1","changes":[` +
+				`{"op":"fw_deny","node":"fw1","src":"10.9.0.0/24","dst":"*"},` +
+				`{"op":"node_down","node":"nope"}]}`,
+			`{"op":"apply_batch","id":"m2","changes":[{"op":"frobnicate"}]}`,
+			`{"op":"noop"}`,
+		}},
 		// A benign propose accepted and committed; the trailing noop pins
 		// that the committed state (seq, verdicts) is the shadow's.
 		{"propose_commit", []string{

@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// TestStreamSmoke runs a short streaming figure and checks the
+// structural invariants the artifact consumers rely on: one row per
+// (scenario, mode) with a latency sample per update, throughput and
+// apply-count metrics for every row, and the coalesced pipeline
+// genuinely batching — strictly fewer Apply passes than updates.
+// Throughput RATIOS are asserted only at figure scale (vmnbench -fig
+// stream), not here: at smoke scale timing is noise.
+func TestStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream smoke is a few hundred SAT solves")
+	}
+	const steps, runs = 12, 1
+	s := Stream(steps, runs)
+	labels := []string{
+		"datacenter/pipelined-coalesced", "datacenter/pipelined",
+		"datacenter/serial", "datacenter/serial-node",
+		"multitenant/pipelined-coalesced", "multitenant/pipelined",
+		"multitenant/serial", "multitenant/serial-node",
+	}
+	if len(s.Rows) != len(labels) {
+		t.Fatalf("want %d rows, got %d", len(labels), len(s.Rows))
+	}
+	for i, r := range s.Rows {
+		if r.Label != labels[i] {
+			t.Fatalf("row %d: label %q, want %q", i, r.Label, labels[i])
+		}
+		if len(r.Samples) != steps*runs {
+			t.Fatalf("%s: want %d per-update samples, got %d", r.Label, steps*runs, len(r.Samples))
+		}
+		if r.Invariants == 0 {
+			t.Fatalf("%s: accounting missing: %+v", r.Label, r)
+		}
+		if s.Metrics["stream_updates_per_sec/"+r.Label] <= 0 {
+			t.Fatalf("%s: no throughput metric: %v", r.Label, s.Metrics)
+		}
+		if s.Metrics["stream_applies/"+r.Label] <= 0 {
+			t.Fatalf("%s: no apply-count metric: %v", r.Label, s.Metrics)
+		}
+	}
+	for _, scn := range []string{"datacenter", "multitenant"} {
+		coalesced := s.Metrics["stream_applies/"+scn+"/pipelined-coalesced"]
+		if coalesced >= float64(steps*runs) {
+			t.Fatalf("%s: coalesced pipeline never batched: %v applies for %d updates", scn, coalesced, steps*runs)
+		}
+		for _, mode := range []string{"pipelined", "serial", "serial-node"} {
+			if got := s.Metrics["stream_applies/"+scn+"/"+mode]; got != float64(steps*runs) {
+				t.Fatalf("%s/%s: want one apply per update (%d), got %v", scn, mode, steps*runs, got)
+			}
+		}
+		if s.Metrics["stream_speedup/"+scn] <= 0 {
+			t.Fatalf("%s: speedup metric missing: %v", scn, s.Metrics)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package incr_test
+
+// Batching/coalescing tests: the Coalesce unit rules (last-writer-wins,
+// FIB collapse, the box-membership guard, survivor ordering) and the
+// session-level guarantees — an add-then-delete pair nets out to zero
+// dirtied groups, N priority rewrites of one rule dirty once, and a
+// batch spanning two tables dirties both (coalescing merges providers,
+// never diffs).
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+func TestCoalesceLastWriterWins(t *testing.T) {
+	a, b := topo.NodeID(1), topo.NodeID(2)
+	out, dropped := incr.Coalesce([]incr.Change{
+		incr.NodeDown(a),
+		incr.Relabel(a, "x"),
+		incr.NodeUp(a),
+		incr.NodeDown(b),
+		incr.Relabel(a, "y"),
+	})
+	if dropped != 2 {
+		t.Fatalf("dropped %d changes, want 2", dropped)
+	}
+	want := []incr.Change{incr.NodeUp(a), incr.NodeDown(b), incr.Relabel(a, "y")}
+	if len(out) != len(want) {
+		t.Fatalf("survivors %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i].Kind != want[i].Kind || out[i].Node != want[i].Node || out[i].Class != want[i].Class {
+			t.Fatalf("survivor %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCoalesceFIBCollapse(t *testing.T) {
+	n1, n2 := topo.NodeID(1), topo.NodeID(2)
+	p1 := func(topo.FailureScenario) tf.FIB { return tf.FIB{n1: nil} }
+	p2 := func(topo.FailureScenario) tf.FIB { return tf.FIB{n2: nil} }
+	out, dropped := incr.Coalesce([]incr.Change{
+		incr.FIBUpdate(p1, n1),
+		incr.NodeDown(n1),
+		incr.FIBUpdate(p2, n2),
+	})
+	if dropped != 1 || len(out) != 2 {
+		t.Fatalf("got %d survivors (%d dropped), want 2 (1 dropped)", len(out), dropped)
+	}
+	// Survivor order: the merged FIB change sits at the LAST retained
+	// index, after the interleaved liveness change.
+	if out[0].Kind != incr.KindNodeDown || out[1].Kind != incr.KindFIB {
+		t.Fatalf("survivor order wrong: %v, %v", out[0].Kind, out[1].Kind)
+	}
+	fib := out[1].FIBFor(topo.FailureScenario{})
+	if _, ok := fib[n2]; !ok || len(fib) != 1 {
+		t.Fatalf("merged provider must be the last one: got tables for %v", fib)
+	}
+	if len(out[1].Nodes) != 2 || out[1].Nodes[0] != n1 || out[1].Nodes[1] != n2 {
+		t.Fatalf("merged owner list must union: %v", out[1].Nodes)
+	}
+}
+
+func TestCoalesceReconfigMerge(t *testing.T) {
+	n := topo.NodeID(3)
+	d := bench.NewDatacenter(bench.DCConfig{Groups: 2, HostsPerGroup: 1})
+	out, dropped := incr.Coalesce([]incr.Change{
+		incr.BoxSwap(n, d.FWPrimary),
+		incr.BoxReconfig(n),
+	})
+	if dropped != 1 || len(out) != 1 {
+		t.Fatalf("got %d survivors (%d dropped), want 1 (1 dropped)", len(out), dropped)
+	}
+	if out[0].Kind != incr.KindBoxReconfig || out[0].Model != d.FWPrimary {
+		t.Fatalf("merged reconfig must keep the last swapped-in model: %+v", out[0])
+	}
+
+	// The guard: box membership changing in the same batch disables
+	// reconfig coalescing entirely (ordering against add/remove is
+	// semantic), passing everything through untouched.
+	out, dropped = incr.Coalesce([]incr.Change{
+		incr.BoxSwap(n, d.FWPrimary),
+		incr.BoxRemove(topo.NodeID(4)),
+		incr.BoxReconfig(n),
+	})
+	if dropped != 0 || len(out) != 3 {
+		t.Fatalf("box add/remove must disable reconfig coalescing: %d survivors, %d dropped", len(out), dropped)
+	}
+	if out[0].Model != d.FWPrimary || out[2].Model != nil {
+		t.Fatal("guarded pass-through must not rewrite changes")
+	}
+}
+
+// TestApplyBatchAddDeleteAnnihilates: a batch that installs a rule and
+// then reverts to the original forwarding state coalesces to a provider
+// identical to the session's — zero groups dirtied, zero solves.
+func TestApplyBatchAddDeleteAnnihilates(t *testing.T) {
+	const G = 4
+	dp, _, sp, _ := newDCSessions(t, G)
+
+	add := shadowRule(dp, dp.Agg,
+		tf.Rule{Match: bench.ClientPrefix(0), In: topo.NodeNone, Out: dp.FW1, Priority: 11})
+	del := incr.FIBUpdate(overlayFIBFor(dp.Net.FIBFor, nil))
+	reports, err := sp.ApplyBatch([]incr.Change{add, del})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sp.LastApply()
+	if st.Enqueued != 2 || st.Coalesced != 1 || st.Changes != 1 {
+		t.Fatalf("add-then-delete must coalesce 2 changes to 1: %+v", st)
+	}
+	if st.DirtyGroups != 0 || st.DirtyInvariants != 0 {
+		t.Fatalf("annihilated batch dirtied %d groups: %+v", st.DirtyGroups, st)
+	}
+	compareReports(t, "annihilate", reports, baseline(t, sp, core.Options{Engine: core.EngineSAT}, true))
+}
+
+// TestApplyBatchPriorityRewritesDirtyOnce: N successive rewrites of one
+// steering rule collapse to one diff and one re-verification, with the
+// same dirty set a single apply of the final rule would produce.
+func TestApplyBatchPriorityRewritesDirtyOnce(t *testing.T) {
+	const G = 4
+	dp, _, sp, _ := newDCSessions(t, G)
+
+	var batch []incr.Change
+	for i := 0; i < 4; i++ {
+		batch = append(batch, shadowRule(dp, dp.Agg,
+			tf.Rule{Match: bench.ClientPrefix(0), In: topo.NodeNone, Out: dp.FW1, Priority: 11 + i}))
+	}
+	reports, err := sp.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sp.LastApply()
+	if st.Enqueued != 4 || st.Coalesced != 3 || st.Changes != 1 {
+		t.Fatalf("4 rewrites must coalesce to 1 change: %+v", st)
+	}
+	if want := 2 * (G - 1); st.DirtyInvariants != want {
+		t.Fatalf("rewrite batch dirtied %d invariants, want %d (one diff against the final rule)",
+			st.DirtyInvariants, want)
+	}
+	compareReports(t, "rewrites", reports, baseline(t, sp, core.Options{Engine: core.EngineSAT}, true))
+
+	tot := sp.TotalStats()
+	if tot.Batches != 1 || tot.Enqueued != 4 || tot.Coalesced != 3 {
+		t.Fatalf("totals accounting wrong: %+v", tot)
+	}
+}
+
+// TestApplyBatchCrossTable: coalescing merges FIB *providers*, never
+// diffs — a batch whose updates land in two different tables dirties
+// the readers of both tables independently.
+func TestApplyBatchCrossTable(t *testing.T) {
+	const G = 4
+	dp, _, sp, _ := newDCSessions(t, G)
+
+	// Update 1 touches tor0's table (same-next-hop specific for group 1:
+	// dirties exactly the g0<->g1 pair). Update 2 layers a steering rule
+	// for group 2 at the aggregation switch on top of it (dirties every
+	// pair with a g2 endpoint).
+	o1 := map[topo.NodeID][]tf.Rule{
+		dp.ToR[0]: {{Match: bench.ClientPrefix(1), In: topo.NodeNone, Out: dp.Agg, Priority: 20}},
+	}
+	o2 := map[topo.NodeID][]tf.Rule{
+		dp.ToR[0]: o1[dp.ToR[0]],
+		dp.Agg:    {{Match: bench.ClientPrefix(2), In: topo.NodeNone, Out: dp.FW1, Priority: 11}},
+	}
+	reports, err := sp.ApplyBatch([]incr.Change{
+		incr.FIBUpdate(overlayFIBFor(dp.Net.FIBFor, o1)),
+		incr.FIBUpdate(overlayFIBFor(dp.Net.FIBFor, o2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sp.LastApply()
+	if st.Changes != 1 || st.Coalesced != 1 {
+		t.Fatalf("cross-table batch must still collapse to one provider: %+v", st)
+	}
+	// 2 invariants from the tor0 read-atom change + 2*(G-1) with a g2
+	// endpoint from the agg steering rule — disjoint sets, both dirtied.
+	if want := 2 + 2*(G-1); st.DirtyInvariants != want {
+		t.Fatalf("cross-table batch dirtied %d invariants, want %d (both tables diffed)",
+			st.DirtyInvariants, want)
+	}
+	compareReports(t, "cross-table", reports, baseline(t, sp, core.Options{Engine: core.EngineSAT}, true))
+}

@@ -336,6 +336,17 @@ func compareWitnesses(t *testing.T, step string, got, want []core.Report) {
 //	mode 2: drive the step's change-set through Propose+Commit instead
 //	        of Apply when it is pure; committed state must still match
 //	        the from-scratch baseline bit-identically.
+//
+// A second pair of sessions (both granularities) consumes the SAME change
+// stream through ApplyBatch: steps accumulate and flush at boundaries
+// derived from the input bytes, so random streams get random batch
+// partitions — and at every batch boundary the batched sessions' verdicts
+// and witnesses must be bit-identical to the one-at-a-time sessions'.
+// This is the coalescing soundness bar: batching may only move WHERE
+// verification happens, never what it concludes. After the first
+// sequential apply error the batched lane goes dead for the rest of the
+// input: a failed step leaves partial sequential state that a batch
+// (which aborts atomically) cannot replicate.
 func FuzzSessionDifferential(f *testing.F) {
 	// Seed corpus: every op kind on every network, plus mixed streams
 	// (toggle on/off, negative-read then liveness, relabel then revert)
@@ -352,6 +363,8 @@ func FuzzSessionDifferential(f *testing.F) {
 		f.Add([]byte{net, 64 + 1, 0, 64 + 3, 1, 0, 2})                   // rollback detours (violating + topology probes) around churn
 		f.Add([]byte{net, 128 + 0, 1, 128 + 5, 0, 128 + 6, 1})           // propose+commit path for pure change-sets
 		f.Add([]byte{net, 64 + 0, 2, 128 + 1, 0, 64 + 2, 1, 128 + 0, 2}) // mixed tx modes
+		f.Add([]byte{net, 1, 1, 1, 1, 1, 1, 2, 2})                       // repeated overlay toggles: heavy FIB coalescing in one batch
+		f.Add([]byte{net, 3, 2, 3, 2, 0, 1, 4, 1, 3, 2})                 // ACL toggle pairs annihilating inside a batch
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -371,6 +384,13 @@ func FuzzSessionDifferential(f *testing.F) {
 		}
 		prefix := mk(incr.Options{})
 		node := mk(incr.Options{NodeGranularity: true})
+		// The batched lane: independent targets (sessions own their
+		// networks and mirror state) fed the same op stream, applied in
+		// input-derived batches instead of one change-set per step.
+		batchPrefix := mk(incr.Options{})
+		batchNode := mk(incr.Options{NodeGranularity: true})
+		var pendBP, pendBN []incr.Change
+		batchDead := false
 
 		// pureSet reports whether a change-set can round-trip through
 		// Propose: in-place reconfigs (nil model) mutate live state at
@@ -435,6 +455,15 @@ func FuzzSessionDifferential(f *testing.F) {
 				detour(step+" [detour node]", node, arg)
 			}
 
+			if !batchDead {
+				// Mirror the step into the batched lane's pending window.
+				// Model mutations (ACL toggles) happen here, now; the
+				// session only hears about them at the flush — exactly the
+				// apply_batch contract.
+				pendBP = append(pendBP, batchPrefix.changes(op, arg)...)
+				pendBN = append(pendBN, batchNode.changes(op, arg)...)
+			}
+
 			got, errP := applyTx(prefix.session(), prefix.changes(op, arg), mode)
 			gotNode, errN := applyTx(node.session(), node.changes(op, arg), mode)
 			if (errP == nil) != (errN == nil) {
@@ -446,7 +475,9 @@ func FuzzSessionDifferential(f *testing.F) {
 				// for both modes and from scratch alike (e.g. steering
 				// into a failed middlebox that slice closure cannot
 				// reach). Both sessions have dropped their incremental
-				// state and recover on the next Apply.
+				// state and recover on the next Apply. The batched lane
+				// cannot replicate a partial failure and goes dead.
+				batchDead = true
 				continue
 			}
 
@@ -455,6 +486,26 @@ func FuzzSessionDifferential(f *testing.F) {
 			compareWitnesses(t, step+" [prefix vs scratch]", got, want)
 			compareReports(t, step+" [node vs prefix]", gotNode, got)
 			compareWitnesses(t, step+" [node vs prefix]", gotNode, got)
+
+			// Flush the batched lane at input-derived boundaries and at the
+			// end of the stream, and demand bit-identical verdicts AND
+			// witnesses against the one-at-a-time sessions.
+			last := !(i+3 < len(ops) && i/2+1 < maxFuzzOps)
+			if !batchDead && ((int(op)+int(arg))%3 == 0 || last) {
+				gotBP, errBP := batchPrefix.session().ApplyBatch(pendBP)
+				if errBP != nil {
+					t.Fatalf("%s: batched apply failed where sequential succeeded: %v", step, errBP)
+				}
+				gotBN, errBN := batchNode.session().ApplyBatch(pendBN)
+				if errBN != nil {
+					t.Fatalf("%s: batched node-granularity apply failed: %v", step, errBN)
+				}
+				pendBP, pendBN = pendBP[:0], pendBN[:0]
+				compareReports(t, step+" [batch vs sequential]", gotBP, got)
+				compareWitnesses(t, step+" [batch vs sequential]", gotBP, got)
+				compareReports(t, step+" [batch node vs batch prefix]", gotBN, gotBP)
+				compareWitnesses(t, step+" [batch node vs batch prefix]", gotBN, gotBP)
+			}
 		}
 	})
 }

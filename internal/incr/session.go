@@ -100,7 +100,12 @@ type ApplyStats struct {
 	// BudgetExceeded counts reports that hit a budget (request deadline,
 	// solver conflict cap) instead of reaching a verdict.
 	BudgetExceeded int
-	Duration       time.Duration
+	// Enqueued is the raw change count an ApplyBatch was handed before
+	// coalescing (0 for a plain Apply); Coalesced counts the changes
+	// coalescing eliminated — Changes is what remained and was applied.
+	Enqueued  int
+	Coalesced int
+	Duration  time.Duration
 }
 
 // Totals accumulates session-lifetime counters.
@@ -115,6 +120,9 @@ type Totals struct {
 	DirtyInvs    int // invariants dirtied across all applies
 	TotalInvs    int // invariant count summed across all applies
 	ReusedInvs   int // invariant reports inherited via symmetry
+	Batches      int // ApplyBatch calls
+	Enqueued     int // raw changes handed to ApplyBatch before coalescing
+	Coalesced    int // changes eliminated by batch coalescing
 }
 
 // groupEntry is the session's memory of one symmetry group: the
@@ -164,6 +172,11 @@ type Session struct {
 	groups   []symmetry.Group
 	keys     []string
 	entries  map[string]*groupEntry
+	// posting is the per-atom/per-node posting index over the shared atom
+	// universe (posting.go); synced against entries on every install so a
+	// change-set resolves to its dirty candidates by posting-list lookups
+	// instead of a full per-group scan.
+	posting *depPosting
 
 	cmu   sync.Mutex
 	cache *verdictCache
@@ -202,9 +215,10 @@ type sessMetrics struct {
 	applies, solves, cacheHits, canonHits, canonShared *obs.Counter
 	refinedClean, budgetExceeded, dirtyGroups          *obs.Counter
 	workerBusyNs                                       *obs.Counter
+	changes, batches, enqueued, coalesced              *obs.Counter
 	groups, invariants                                 *obs.Gauge
 	applySeconds, solveSeconds                         *obs.Histogram
-	dirtyFraction, classSize                           *obs.Histogram
+	dirtyFraction, classSize, batchSize                *obs.Histogram
 }
 
 func newSessMetrics(r *obs.Registry) *sessMetrics {
@@ -218,12 +232,20 @@ func newSessMetrics(r *obs.Registry) *sessMetrics {
 		budgetExceeded: r.Counter("vmn_incr_budget_exceeded_total"),
 		dirtyGroups:    r.Counter("vmn_incr_dirty_groups_total"),
 		workerBusyNs:   r.Counter("vmn_incr_worker_busy_ns_total"),
-		groups:         r.Gauge("vmn_incr_groups"),
-		invariants:     r.Gauge("vmn_incr_invariants"),
-		applySeconds:   r.Histogram("vmn_incr_apply_seconds", obs.LatencyBuckets),
-		solveSeconds:   r.Histogram("vmn_incr_solve_seconds", obs.LatencyBuckets),
-		dirtyFraction:  r.Histogram("vmn_incr_dirty_fraction", obs.FractionBuckets),
-		classSize:      r.Histogram("vmn_incr_class_size", obs.SizeBuckets),
+		// Streaming-pipeline accounting: changes counts every change the
+		// session absorbed (rate() over it is sustained updates/sec);
+		// enqueued/coalesced expose the batch coalescing ratio.
+		changes:       r.Counter("vmn_incr_changes_total"),
+		batches:       r.Counter("vmn_incr_batches_total"),
+		enqueued:      r.Counter("vmn_incr_batch_enqueued_total"),
+		coalesced:     r.Counter("vmn_incr_batch_coalesced_total"),
+		groups:        r.Gauge("vmn_incr_groups"),
+		invariants:    r.Gauge("vmn_incr_invariants"),
+		applySeconds:  r.Histogram("vmn_incr_apply_seconds", obs.LatencyBuckets),
+		solveSeconds:  r.Histogram("vmn_incr_solve_seconds", obs.LatencyBuckets),
+		dirtyFraction: r.Histogram("vmn_incr_dirty_fraction", obs.FractionBuckets),
+		classSize:     r.Histogram("vmn_incr_class_size", obs.SizeBuckets),
+		batchSize:     r.Histogram("vmn_incr_batch_size", obs.SizeBuckets),
 	}
 }
 
@@ -249,11 +271,20 @@ func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopt
 		verifier: v,
 		needFull: true,
 		entries:  map[string]*groupEntry{},
+		posting:  newDepPosting(),
 		cache:    newVerdictCache(sopts.CacheCap),
 	}
 	s.cview = liveCacheView{s}
 	if sopts.Obs != nil && sopts.Obs.Metrics != nil {
 		s.metrics = newSessMetrics(sopts.Obs.Metrics)
+		// Derived, zero-hot-path: computed from the totals at scrape time.
+		sopts.Obs.Metrics.RegisterFunc("vmn_incr_coalesce_ratio", func() float64 {
+			t := s.TotalStats()
+			if t.Enqueued == 0 {
+				return 0
+			}
+			return float64(t.Coalesced) / float64(t.Enqueued)
+		})
 	}
 	reports, err := s.Apply(nil)
 	if err != nil {
@@ -393,6 +424,10 @@ func (s *Session) invalidate() {
 	s.entries = map[string]*groupEntry{}
 	s.groups = nil
 	s.keys = nil
+	// A fresh posting index: the universe re-refines from the next
+	// change stream, and sync re-registers everything after the full
+	// re-verification.
+	s.posting = newDepPosting()
 }
 
 // Apply atomically applies a change-set, re-verifies exactly the
@@ -650,13 +685,22 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	}
 
 	// Phase 3: regroup and decide what is dirty, recording a cause per
-	// dirty group (position-aligned with dirty).
+	// dirty group (position-aligned with dirty). The posting index first
+	// resolves the change-set to its candidate groups wholesale — one
+	// posting-list lookup per changed element and per affected universe
+	// atom — so only candidates pay for classify's precision checks; the
+	// screened-out groups are clean or refined-clean by construction,
+	// with counts identical to the full per-group scan.
 	dirtySpan := root.Child("dirty")
 	groups, keys := s.grouping()
 	newEntries := make(map[string]*groupEntry, len(groups))
 	var dirty []int
 	var causes []DirtyCause
 	refinedClean := 0
+	var res *postResolution
+	if !dirtyAll {
+		res = s.posting.resolve(im)
+	}
 	prescreen := dirtySpan.Child("atom-prescreen")
 	for gi := range groups {
 		old, ok := s.entries[keys[gi]]
@@ -675,6 +719,17 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			dirty = append(dirty, gi)
 			causes = append(causes, cause)
 			continue
+		}
+		if res != nil {
+			switch res.screen(keys[gi]) {
+			case postClean:
+				newEntries[keys[gi]] = old
+				continue
+			case postRefined:
+				refinedClean++
+				newEntries[keys[gi]] = old
+				continue
+			}
 		}
 		verdict, cause := im.classify(old, s.ruleReadKey)
 		switch verdict {
@@ -804,9 +859,12 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 		}
 	}
 
-	// Phase 5: commit and assemble the full report set.
+	// Phase 5: commit and assemble the full report set. The posting
+	// index re-syncs against the installed entries: only re-verified
+	// groups (fresh entry pointers) re-register their reads.
 	installSpan := root.Child("cache-install")
 	s.groups, s.keys, s.entries = groups, keys, newEntries
+	s.posting.sync(newEntries)
 	s.needFull = false
 	out := s.assemble(scens)
 	installSpan.End()
@@ -852,6 +910,7 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	s.totals.ReusedInvs += len(out) - len(s.groups)*len(scens)
 	if m := s.metrics; m != nil {
 		m.applies.Inc()
+		m.changes.Add(int64(stats.Changes))
 		m.solves.Add(int64(stats.CacheMisses))
 		m.cacheHits.Add(int64(stats.CacheHits))
 		m.canonHits.Add(int64(stats.CanonHits))

@@ -122,6 +122,7 @@ type sessState struct {
 	groups   []symmetry.Group
 	keys     []string
 	entries  map[string]*groupEntry
+	posting  *depPosting
 	seq      int
 	last     ApplyStats
 	totals   Totals
@@ -134,7 +135,7 @@ func (s *Session) capture() sessState {
 	return sessState{
 		boxes: s.net.Boxes, policy: s.net.PolicyClass, fibFor: s.net.FIBFor,
 		down: s.down, invs: s.invs, needFull: s.needFull,
-		groups: s.groups, keys: s.keys, entries: s.entries,
+		groups: s.groups, keys: s.keys, entries: s.entries, posting: s.posting,
 		seq: s.seq, last: s.last, totals: s.totals, explain: s.lastExplain,
 	}
 }
@@ -144,6 +145,7 @@ func (s *Session) install(st sessState) {
 	s.net.Boxes, s.net.PolicyClass, s.net.FIBFor = st.boxes, st.policy, st.fibFor
 	s.down, s.invs, s.needFull = st.down, st.invs, st.needFull
 	s.groups, s.keys, s.entries = st.groups, st.keys, st.entries
+	s.posting = st.posting
 	s.seq, s.last, s.totals = st.seq, st.last, st.totals
 	s.lastExplain = st.explain
 }
@@ -165,6 +167,10 @@ func shadowOf(st sessState) sessState {
 		sh.down[k] = v
 	}
 	sh.invs = append([]inv.Invariant(nil), st.invs...)
+	// The posting index is mutated in place (universe refinement,
+	// registration sync), so the shadow needs its own deep copy — a
+	// rolled-back propose must leave the base index untouched.
+	sh.posting = st.posting.clone()
 	return sh
 }
 

@@ -27,6 +27,10 @@ package incr
 // promotes the shadow, rollback discards it bit-exactly. Propose bodies
 // never mutate live state: firewall ops clone the targeted firewall and
 // swap the edited clone in (only inside the shadow).
+//
+// An "apply_batch" envelope carries a change list to coalesce (see
+// Coalesce) before one atomic apply; its result reports the raw and
+// eliminated change counts as enqueued/coalesced.
 
 import (
 	"bytes"
@@ -114,11 +118,16 @@ type WireResult struct {
 	// RefinedClean counts groups kept clean by prefix/rule-level dirtying
 	// that node-granularity dirtying would have re-verified — the refined
 	// dependency index's savings, per Apply.
-	RefinedClean int   `json:"refined_clean,omitempty"`
-	CacheHits    int   `json:"cache_hits"`
-	CanonHits    int   `json:"canon_hits,omitempty"`
-	CacheMisses  int   `json:"cache_misses"`
-	DurationNs   int64 `json:"duration_ns"`
+	RefinedClean int `json:"refined_clean,omitempty"`
+	CacheHits    int `json:"cache_hits"`
+	CanonHits    int `json:"canon_hits,omitempty"`
+	CacheMisses  int `json:"cache_misses"`
+	// Enqueued is the raw change count handed to an apply_batch before
+	// coalescing; Coalesced how many of them coalescing eliminated
+	// (changes is what survived and was applied). Absent on plain applies.
+	Enqueued   int   `json:"enqueued,omitempty"`
+	Coalesced  int   `json:"coalesced,omitempty"`
+	DurationNs int64 `json:"duration_ns"`
 	// BudgetExceeded counts budget-degraded checks in this result.
 	BudgetExceeded int          `json:"budget_exceeded,omitempty"`
 	Unsatisfied    int          `json:"unsatisfied"`
@@ -192,6 +201,9 @@ type WireTotals struct {
 	DirtyInvs    int `json:"dirty_invariants"`
 	TotalInvs    int `json:"total_invariants"`
 	ReusedInvs   int `json:"reused_invariants"`
+	Batches      int `json:"batches,omitempty"`
+	Enqueued     int `json:"enqueued,omitempty"`
+	Coalesced    int `json:"coalesced,omitempty"`
 }
 
 // EncodeTotals renders session-lifetime counters on the wire.
@@ -201,6 +213,7 @@ func EncodeTotals(t Totals) WireTotals {
 		CacheHits: t.CacheHits, CanonHits: t.CanonHits, CanonShared: t.CanonShared,
 		Classes: t.Classes, RefinedClean: t.RefinedClean,
 		DirtyInvs: t.DirtyInvs, TotalInvs: t.TotalInvs, ReusedInvs: t.ReusedInvs,
+		Batches: t.Batches, Enqueued: t.Enqueued, Coalesced: t.Coalesced,
 	}
 }
 
@@ -518,6 +531,14 @@ func DecodeChangeSet(net *core.Network, line []byte) ([]Change, error) {
 		}
 		wires = []WireChange{w}
 	}
+	return DecodeChanges(net, wires)
+}
+
+// DecodeChanges resolves a list of wire changes with the same atomicity
+// contract as DecodeChangeSet: every change validates before any
+// in-place mutation runs, so a decode error leaves the network
+// untouched. The apply_batch envelope decodes through here.
+func DecodeChanges(net *core.Network, wires []WireChange) ([]Change, error) {
 	var out []Change
 	var mutations []func()
 	for _, w := range wires {
@@ -707,6 +728,8 @@ func EncodeResult(t *topo.Topology, stats ApplyStats, reports []core.Report) Wir
 		CacheHits:       stats.CacheHits,
 		CanonHits:       stats.CanonHits,
 		CacheMisses:     stats.CacheMisses,
+		Enqueued:        stats.Enqueued,
+		Coalesced:       stats.Coalesced,
 		BudgetExceeded:  stats.BudgetExceeded,
 		DurationNs:      stats.Duration.Nanoseconds(),
 	}

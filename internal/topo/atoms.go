@@ -68,12 +68,21 @@ func (s AtomSet) IntersectsPrefix(p pkt.Prefix) bool {
 }
 
 // Union returns the union of s and o (s or o themselves when one contains
-// the other end-to-end, a fresh set otherwise).
+// the other end-to-end, a fresh set otherwise). The subset fast path is
+// what lets the shared-universe build in internal/incr union a group's
+// per-scenario read sets without allocating when the scenarios read the
+// same atoms — the common case.
 func (s AtomSet) Union(o AtomSet) AtomSet {
 	if len(o) == 0 {
 		return s
 	}
 	if len(s) == 0 {
+		return o
+	}
+	if len(s) >= len(o) && s.containsAll(o) {
+		return s
+	}
+	if len(o) > len(s) && o.containsAll(s) {
 		return o
 	}
 	out := make(AtomSet, 0, len(s)+len(o))
@@ -93,4 +102,20 @@ func (s AtomSet) Union(o AtomSet) AtomSet {
 	}
 	out = append(out, s[i:]...)
 	return append(out, o[j:]...)
+}
+
+// containsAll reports o ⊆ s by one linear merge walk (both sets are
+// sorted and duplicate-free).
+func (s AtomSet) containsAll(o AtomSet) bool {
+	i := 0
+	for _, a := range o {
+		for i < len(s) && s[i] < a {
+			i++
+		}
+		if i >= len(s) || s[i] != a {
+			return false
+		}
+		i++
+	}
+	return true
 }

@@ -1,0 +1,136 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/pkt"
+)
+
+func pfx(s string, l int) pkt.Prefix { return pkt.Prefix{Addr: addr(s), Len: l} }
+
+func TestAtomUniverseRefine(t *testing.T) {
+	u := NewAtomUniverse()
+	if u.NumAtoms() != 1 {
+		t.Fatalf("fresh universe has %d atoms, want 1", u.NumAtoms())
+	}
+	root := u.AtomOf(addr("10.0.0.1"))
+	if root != u.AtomOf(addr("192.168.0.1")) {
+		t.Fatal("fresh universe must map every address to the one root atom")
+	}
+
+	var splits []AtomSplit
+	u.RefinePrefix(pfx("10.0.0.0", 24), func(sp AtomSplit) { splits = append(splits, sp) })
+	if len(splits) != 2 {
+		t.Fatalf("refining a mid-space /24 must split twice, got %d", len(splits))
+	}
+	for _, sp := range splits {
+		if sp.Child == sp.Parent {
+			t.Fatalf("split child must be fresh: %+v", sp)
+		}
+	}
+	in := u.AtomOf(addr("10.0.0.128"))
+	below := u.AtomOf(addr("9.255.255.255"))
+	above := u.AtomOf(addr("10.0.1.0"))
+	if in == below || in == above {
+		t.Fatalf("prefix interior must be its own atom: in=%d below=%d above=%d", in, below, above)
+	}
+	if below != root {
+		t.Fatal("lower half of a split keeps the parent identity")
+	}
+	if got := u.AtomsOfPrefix(pfx("10.0.0.0", 24), nil); len(got) != 1 || got[0] != in {
+		t.Fatalf("AtomsOfPrefix after refine = %v, want [%d]", got, in)
+	}
+
+	// Re-refining the same prefix is a no-op.
+	u.RefinePrefix(pfx("10.0.0.0", 24), func(sp AtomSplit) {
+		t.Fatalf("re-refine must not split, got %+v", sp)
+	})
+
+	// A nested, more specific prefix splits the interior atom once per new
+	// boundary, and both halves stay inside the /24's range.
+	before := u.NumAtoms()
+	u.RefinePrefix(pfx("10.0.0.128", 25), nil)
+	if u.NumAtoms() != before+1 {
+		t.Fatalf("nested /25 sharing the parent's top boundary must split once, got %d new",
+			u.NumAtoms()-before)
+	}
+	got := u.AtomsOfPrefix(pfx("10.0.0.0", 24), nil)
+	if len(got) != 2 {
+		t.Fatalf("the /24 must now be two atoms, got %v", got)
+	}
+	if got[0] != in {
+		t.Fatal("the lower half must keep the pre-split identity")
+	}
+}
+
+func TestAtomUniverseEdges(t *testing.T) {
+	u := NewAtomUniverse()
+	u.RefinePrefix(pkt.Prefix{Len: 0}, func(sp AtomSplit) {
+		t.Fatalf("the default route covers everything; no split expected, got %+v", sp)
+	})
+	u.RefinePrefix(pfx("255.255.255.255", 32), nil) // top host: only a low boundary exists
+	u.RefinePrefix(pfx("0.0.0.0", 32), nil)         // bottom host: only a high boundary exists
+	if u.AtomOf(addr("0.0.0.0")) == u.AtomOf(addr("0.0.0.1")) {
+		t.Fatal("bottom host prefix not isolated")
+	}
+	if u.AtomOf(addr("255.255.255.255")) == u.AtomOf(addr("255.255.255.254")) {
+		t.Fatal("top host prefix not isolated")
+	}
+	if got := u.AtomsOfPrefix(pfx("255.255.255.255", 32), nil); len(got) != 1 {
+		t.Fatalf("top host prefix maps to %v, want one atom", got)
+	}
+}
+
+func TestAtomUniverseClone(t *testing.T) {
+	u := NewAtomUniverse()
+	u.RefinePrefix(pfx("10.0.0.0", 24), nil)
+	c := u.Clone()
+	c.RefinePrefix(pfx("10.0.0.0", 25), nil)
+	if u.NumAtoms() == c.NumAtoms() {
+		t.Fatal("clone refinement must not alias the original")
+	}
+	if u.AtomOf(addr("10.0.0.1")) != c.AtomOf(addr("10.0.0.1")) {
+		t.Fatal("pre-clone atoms must keep their identity in the clone")
+	}
+}
+
+func TestAtomSetUnionSubsetReuse(t *testing.T) {
+	a := NewAtomSet([]pkt.Addr{addr("10.0.0.1"), addr("10.0.0.3"), addr("10.0.0.5")})
+	sub := NewAtomSet([]pkt.Addr{addr("10.0.0.1"), addr("10.0.0.5")})
+	if got := a.Union(sub); &got[0] != &a[0] {
+		t.Fatal("union with a subset must return the superset unchanged")
+	}
+	if got := sub.Union(a); &got[0] != &a[0] {
+		t.Fatal("subset.Union(superset) must return the superset unchanged")
+	}
+	dis := NewAtomSet([]pkt.Addr{addr("10.0.0.2")})
+	if got := a.Union(dis); len(got) != 4 {
+		t.Fatalf("non-subset union wrong: %v", got)
+	}
+}
+
+// BenchmarkAtomSetUnionSubset is the allocation regression guard for the
+// Union fast paths: a union where one side contains the other must not
+// allocate.
+func BenchmarkAtomSetUnionSubset(b *testing.B) {
+	var addrs []pkt.Addr
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, pkt.Addr(0x0a000000+i*7))
+	}
+	super := NewAtomSet(addrs)
+	sub := NewAtomSet(addrs[:32])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := super.Union(sub); len(got) != len(super) {
+			b.Fatal("union wrong")
+		}
+		if got := sub.Union(super); len(got) != len(super) {
+			b.Fatal("union wrong")
+		}
+	}
+	b.StopTimer()
+	if testing.AllocsPerRun(100, func() { super.Union(sub) }) != 0 {
+		b.Fatal("subset union must not allocate")
+	}
+}
