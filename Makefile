@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke bench-json bench-multicore bench-snapshot
+.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke vmnd-restart-smoke bench-json bench-multicore bench-snapshot
 
-ci: fmt vet build race fuzz-smoke vmnd-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke vmnd-smoke vmnd-restart-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -48,6 +48,7 @@ fuzz-smoke:
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeChangeSet$$' -fuzztime 5s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeProposeSet$$' -fuzztime 5s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzDecodeJournal$$' -fuzztime 5s
 
 # vmnd crash-resilience smoke: pipe the malformed / out-of-order /
 # panic-injecting request corpus through a live daemon; the gate here is
@@ -56,6 +57,13 @@ fuzz-smoke:
 vmnd-smoke:
 	$(GO) run ./cmd/vmnd -network datacenter -groups 3 -fault-injection \
 		< cmd/vmnd/testdata/crash_corpus.ndjson > /dev/null
+
+# vmnd restart drill against the real binary: apply acked changes with a
+# state directory, kill -9 mid-session, restart on the same directory and
+# assert the warm start re-verifies nothing (zero cache misses, zero
+# lifetime solves) and that SIGTERM drains and exits 0.
+vmnd-restart-smoke:
+	$(GO) test ./cmd/vmnd -run '^TestRestartSmoke$$' -count 1
 
 # Machine-readable series for benchmark trajectory tracking.
 bench-json:
@@ -71,7 +79,7 @@ bench-json:
 # serial updates/sec under sustained FIB churn). CI runs this on the
 # multi-core GitHub runner and uploads the JSON as an artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail,stream -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail,stream,restart -runs 5 -json > bench-multicore.json
 
 # A quick churn snapshot with the observability metrics registry attached:
 # the JSON rows carry the per-figure metrics map (solve latency histogram,

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart or all")
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
 	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
@@ -102,9 +102,10 @@ func main() {
 	run("churn", func() bench.Series { return bench.Churn(8*sc, *runs) })
 	run("guardrail", func() bench.Series { return bench.Guardrail(4*sc, *runs) })
 	run("stream", func() bench.Series { return bench.Stream(1000*sc, *runs) })
+	run("restart", func() bench.Series { return bench.Restart(8*sc, *runs) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *asJSON {

@@ -61,13 +61,16 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 
 	"github.com/netverify/vmn/internal/bench"
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
 	"github.com/netverify/vmn/internal/obs"
+	"github.com/netverify/vmn/internal/store"
 )
 
 // netConfig selects and sizes a built-in evaluation network.
@@ -169,19 +172,32 @@ const ingestQueue = 64
 // serialising behind it. Each stage is a single goroutine draining a
 // FIFO, so the response stream stays totally ordered: response i
 // reflects requests 1..i and nothing later.
-func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer, hooks serveHooks) error {
+// A nil stop channel disables graceful-shutdown handling (a nil channel
+// never fires in a select); main passes the SIGTERM/SIGINT channel. On
+// stop, already-read requests drain through the handler — every change
+// the daemon acked (or is about to ack) is fully processed and, with
+// persistence on, journaled — and serve returns so main can snapshot
+// and exit 0. Unread stdin is deliberately left behind: it was never
+// acked, and at-least-once clients replay unacked requests by id.
+func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.Reader, out io.Writer, hooks serveHooks, stop <-chan struct{}) error {
 	lines := make(chan []byte, ingestQueue)
 	resps := make(chan any, ingestQueue)
 
 	var readErr error
+	readerDone := make(chan struct{})
 	go func() {
+		defer close(readerDone)
 		defer close(lines)
 		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 		for sc.Scan() {
 			// The scanner reuses its buffer; the line crosses a stage
 			// boundary and must be owned by the receiver.
-			lines <- append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- append([]byte(nil), sc.Bytes()...):
+			case <-stop:
+				return
+			}
 		}
 		readErr = sc.Err()
 	}()
@@ -189,9 +205,32 @@ func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.R
 	go func() {
 		defer close(resps)
 		resps <- incr.EncodeResult(net.Topo, sess.LastApply(), reports)
-		for line := range lines {
-			if resp := handle(sess, net, hooks, line); resp != nil {
-				resps <- resp
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					return
+				}
+				if resp := handle(sess, net, hooks, line); resp != nil {
+					resps <- resp
+				}
+			case <-stop:
+				// Drain the in-flight (already read and queued) requests,
+				// then stop. The reader may stay blocked on a quiet stdin;
+				// it holds no state worth waiting for.
+				for {
+					select {
+					case line, ok := <-lines:
+						if !ok {
+							return
+						}
+						if resp := handle(sess, net, hooks, line); resp != nil {
+							resps <- resp
+						}
+					default:
+						return
+					}
+				}
 			}
 		}
 	}()
@@ -206,10 +245,16 @@ func serve(sess *incr.Session, net *core.Network, reports []core.Report, in io.R
 			return err
 		}
 	}
-	// resps closing means the handler drained lines, which means the
-	// reader finished: readErr is settled and visible.
-	if readErr != nil {
-		return fmt.Errorf("reading stdin: %w", readErr)
+	// resps closing means the handler drained lines. readErr is only
+	// settled (and safe to read) once the reader goroutine finished; on
+	// the stop path it may still be blocked on stdin — skip it, the
+	// daemon is exiting anyway.
+	select {
+	case <-readerDone:
+		if readErr != nil {
+			return fmt.Errorf("reading stdin: %w", readErr)
+		}
+	default:
 	}
 	return nil
 }
@@ -243,6 +288,15 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 		op, id = req.Op, req.Id
 		switch req.Op {
 		case "apply_batch":
+			// Replay dedup BEFORE decoding: an at-least-once client
+			// resending an already-acked id must not re-apply — and
+			// firewall ops mutate live state at decode time, so even
+			// decoding the duplicate would corrupt the session.
+			if id != "" && sess.IsApplied(id) {
+				res := incr.EncodeResult(net.Topo, sess.LastApply(), sess.CurrentReports())
+				res.Id, res.Duplicate = id, true
+				return res
+			}
 			// Guard before decoding: firewall ops mutate live state at
 			// decode time, which would leak past a pending shadow.
 			if sess.ProposePending() {
@@ -252,7 +306,7 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			if err != nil {
 				return fail(err)
 			}
-			reports, err := sess.ApplyBatch(changes)
+			reports, _, err := sess.ApplyBatchID(id, changes)
 			if err != nil {
 				return fail(err)
 			}
@@ -270,11 +324,11 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			}
 			return incr.EncodeProposeResult(net.Topo, id, changes, pr)
 		case "commit":
-			reports, err := sess.Commit()
+			reports, dup, err := sess.CommitID(id)
 			if err != nil {
 				return fail(err)
 			}
-			ack := incr.WireTxAck{Op: "commit", Id: id, Seq: sess.LastApply().Seq, Committed: true}
+			ack := incr.WireTxAck{Op: "commit", Id: id, Seq: sess.LastApply().Seq, Committed: true, Duplicate: dup}
 			for _, r := range reports {
 				if !r.Satisfied {
 					ack.Unsatisfied++
@@ -296,6 +350,8 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			return incr.WireTxAck{Op: "inject_panic", Id: id, Seq: sess.LastApply().Seq}
 		case "stats":
 			return statsResponse(sess, id)
+		case "persist_status":
+			return incr.EncodePersistStatus(id, sess.PersistStatus())
 		case "trace":
 			w := incr.WireTrace{Op: "trace", Id: id, Seq: sess.LastApply().Seq, Spans: []obs.SpanRecord{}}
 			if o := sess.Observability(); o != nil {
@@ -319,9 +375,15 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			return w
 		}
 	}
-	// Plain change-set (single object or array): decode-and-apply. With a
-	// propose pending, refuse before decoding — firewall ops mutate live
-	// state at decode time, which would leak past the pending shadow.
+	// Plain change-set (single object or array): decode-and-apply. A
+	// replayed request id dedups BEFORE decoding (firewall ops mutate
+	// live state at decode time); with a propose pending, refuse before
+	// decoding for the same reason.
+	if id != "" && sess.IsApplied(id) {
+		res := incr.EncodeResult(net.Topo, sess.LastApply(), sess.CurrentReports())
+		res.Id, res.Duplicate = id, true
+		return res
+	}
 	if sess.ProposePending() {
 		return fail(incr.ErrProposePending)
 	}
@@ -329,7 +391,7 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 	if err != nil {
 		return fail(err)
 	}
-	reports, err := sess.Apply(changes)
+	reports, _, err := sess.ApplyID(id, changes)
 	if err != nil {
 		return fail(err)
 	}
@@ -362,6 +424,10 @@ func statsResponse(sess *incr.Session, id string) incr.WireStats {
 	}
 	if o := sess.Observability(); o != nil {
 		w.Metrics = o.Metrics.Snapshot()
+	}
+	if rec := sess.Recovery(); rec.Recovered {
+		w.RecoveredGroups = rec.RecoveredGroups
+		w.ReverifiedOnRecovery = rec.ReverifiedOnRecovery
 	}
 	return w
 }
@@ -412,6 +478,14 @@ func main() {
 			"log solves at or above this wall clock as NDJSON on stderr (e.g. 50ms; 0 = off)")
 		traceBuf = flag.Int("trace-buf", 4096,
 			"span ring-buffer capacity for the trace op (0 disables tracing)")
+		stateDir = flag.String("state-dir", "",
+			"state directory for crash-safe persistence (journal + snapshots); empty = in-memory only")
+		fsync = flag.String("fsync", "always",
+			"journal fsync policy: always (every record durable before its ack) | none (page cache only; a machine crash can lose the tail, detected as torn on restart)")
+		snapshotEvery = flag.Int("snapshot-every", 64,
+			"compact the journal into a snapshot after this many records (<0 disables periodic snapshots)")
+		recoverySample = flag.Int("recovery-sample", 2,
+			"restored verdict groups to re-verify against fresh solves on warm restart before trusting the store (<0 disables)")
 	)
 	flag.Parse()
 
@@ -447,6 +521,18 @@ func main() {
 		RequestTimeout: *timeout,
 		Obs:            o, SlowSolve: *slowSolve,
 	}
+	if *stateDir != "" {
+		sync, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fail("%v", err)
+		}
+		sopts.Persist = &incr.PersistOptions{
+			Dir:            *stateDir,
+			Sync:           sync,
+			SnapshotEvery:  *snapshotEvery,
+			RecoverySample: *recoverySample,
+		}
+	}
 	var hooks serveHooks
 	if *faultInj {
 		hooks = wireFaultInjection(&sopts)
@@ -462,9 +548,38 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if rec := sess.Recovery(); rec.Enabled {
+		switch {
+		case rec.Recovered:
+			fmt.Fprintf(os.Stderr,
+				"vmnd: warm restart from %s: snapshot seq %d + %d journal records, %d groups from the verdict store, %d re-verified\n",
+				*stateDir, rec.SnapshotSeq, rec.JournalRecords, rec.RecoveredGroups, rec.ReverifiedOnRecovery)
+		case rec.ColdStart:
+			fmt.Fprintf(os.Stderr, "vmnd: cold start (%s); damaged state moved aside in %s\n", rec.Reason, *stateDir)
+		default:
+			fmt.Fprintf(os.Stderr, "vmnd: fresh state directory %s\n", *stateDir)
+		}
+	}
 
-	if err := serve(sess, net, reports, os.Stdin, os.Stdout, hooks); err != nil {
+	// SIGTERM/SIGINT: stop reading, drain the in-flight requests, write
+	// a final snapshot (Shutdown below), exit 0. A second signal kills
+	// the process the hard way via Go's default disposition reset.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		close(stop)
+	}()
+
+	if err := serve(sess, net, reports, os.Stdin, os.Stdout, hooks, stop); err != nil {
 		fail("%v", err)
+	}
+	// EOF and signal land here alike: make the session durable and leave
+	// cleanly. Shutdown without persistence is a no-op.
+	if err := sess.Shutdown(); err != nil {
+		fail("shutdown: %v", err)
 	}
 }
 

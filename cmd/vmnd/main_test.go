@@ -12,14 +12,20 @@ package main
 // (and in the recorded files).
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
@@ -35,11 +41,14 @@ var (
 	// data (span timestamps, latency-histogram buckets and sums, busy-time
 	// counters) and is zeroed; counts and verdicts stay exact.
 	timingRe = regexp.MustCompile(`"([^"]*(?:seconds|_ns)[^"]*)":[-+0-9.eE]+`)
+	// The state directory is a per-run temp path.
+	stateDirRe = regexp.MustCompile(`"dir":"[^"]*"`)
 )
 
 func normalize(b []byte) []byte {
 	b = durationRe.ReplaceAll(b, []byte(`"duration_ns":0`))
 	b = startRe.ReplaceAll(b, []byte(`"start_ns":0`))
+	b = stateDirRe.ReplaceAll(b, []byte(`"dir":"STATEDIR"`))
 	return timingRe.ReplaceAll(b, []byte(`"$1":0`))
 }
 
@@ -68,7 +77,7 @@ func exchangeOpts(t *testing.T, lines []string, sopts incr.Options, faultInj boo
 	}
 	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
 	var out bytes.Buffer
-	if err := serve(sess, net, reports, in, &out, hooks); err != nil {
+	if err := serve(sess, net, reports, in, &out, hooks, nil); err != nil {
 		t.Fatal(err)
 	}
 	return normalize(out.Bytes())
@@ -281,6 +290,67 @@ func TestGoldenObservability(t *testing.T) {
 	}
 }
 
+// exchangePersist is exchange with a persistent session over dir; the
+// session shuts down cleanly (final snapshot) after the input drains.
+func exchangePersist(t *testing.T, lines []string, dir string) []byte {
+	t.Helper()
+	net, invs, err := buildNetwork(netConfig{network: "datacenter", groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopts := incr.Options{Workers: 1, Persist: &incr.PersistOptions{Dir: dir}}
+	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out bytes.Buffer
+	if err := serve(sess, net, reports, in, &out, serveHooks{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	return normalize(out.Bytes())
+}
+
+// TestGoldenPersistence pins the durability wire shapes across a
+// restart: exchange 1 applies a change with a request id, inspects
+// persist_status, and shuts down; exchange 2 recovers from the same
+// state directory — its init line serves entirely from the restored
+// verdict store, persist_status reports the warm restart, the replayed
+// request id answers duplicate:true without re-applying, and stats
+// carries the recovered_groups / reverified_on_recovery counters.
+func TestGoldenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	got1 := exchangePersist(t, []string{
+		`{"op":"node_down","node":"fw1","id":"req-1"}`,
+		`{"op":"persist_status","id":"ps1"}`,
+	}, dir)
+	got2 := exchangePersist(t, []string{
+		`{"op":"persist_status","id":"ps2"}`,
+		`{"op":"node_down","node":"fw1","id":"req-1"}`,
+		`{"op":"stats","id":"st1"}`,
+	}, dir)
+	for i, got := range [][]byte{got1, got2} {
+		path := filepath.Join("testdata", "golden", fmt.Sprintf("persistence_run%d.ndjson", i+1))
+		if *update {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("wire exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+				path, got, want)
+		}
+	}
+}
+
 // TestGoldenBudgetExceeded pins the degraded-verdict wire shape: with a
 // (deliberately immediate) request deadline every solve is cut off, each
 // report carries outcome "unknown" with budget_exceeded, and the result
@@ -373,7 +443,7 @@ func TestCrashResilience(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := serve(sess, net, reports, bytes.NewReader(corpus), &out, hooks); err != nil {
+	if err := serve(sess, net, reports, bytes.NewReader(corpus), &out, hooks, nil); err != nil {
 		t.Fatalf("serve must survive the crash corpus: %v", err)
 	}
 	lines := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
@@ -418,4 +488,144 @@ func TestGoldenErrorLinesKeepSession(t *testing.T) {
 	if !bytes.Contains(lines[2], []byte(`"seq":2`)) {
 		t.Fatalf("session should continue after an error line: %s", lines[2])
 	}
+}
+
+// TestRestartSmoke is the end-to-end restart drill against the REAL
+// binary (`make vmnd-restart-smoke`): run vmnd with a state directory,
+// apply a net-zero change pair, SIGKILL it mid-session, restart on the
+// same directory, and assert the warm restart re-verified nothing —
+// the init line reports zero cache misses and stats reports zero
+// lifetime solves — then SIGTERM exits 0 after a graceful drain.
+func TestRestartSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "vmnd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building vmnd: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	args := []string{"-network", "datacenter", "-groups", "3", "-engine", "sat", "-state-dir", dir}
+
+	// Run 1: init, two acked changes that net out to the initial state,
+	// then SIGKILL — no shutdown snapshot, recovery replays the journal.
+	cmd1 := exec.Command(bin, args...)
+	in1, err := cmd1.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := cmd1.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Stderr = os.Stderr
+	if err := cmd1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc1 := bufio.NewScanner(out1)
+	sc1.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	readLine := func(sc *bufio.Scanner, what string) []byte {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("EOF waiting for %s (err %v)", what, sc.Err())
+		}
+		return append([]byte(nil), sc.Bytes()...)
+	}
+	readLine(sc1, "run 1 init")
+	for i, line := range []string{
+		`{"op":"node_down","node":"h0-0","id":"r1"}`,
+		`{"op":"node_up","node":"h0-0","id":"r2"}`,
+	} {
+		if _, err := io.WriteString(in1, line+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		ack := readLine(sc1, fmt.Sprintf("run 1 ack %d", i))
+		if !bytes.Contains(ack, []byte(fmt.Sprintf(`"id":"r%d"`, i+1))) {
+			t.Fatalf("run 1 ack %d missing id: %s", i, ack)
+		}
+	}
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL, no cleanup
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Run 2: warm restart from the journal. The initial verification
+	// must be served entirely from the restored verdict store.
+	cmd2 := exec.Command(bin, args...)
+	in2, err := cmd2.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := cmd2.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc2 := bufio.NewScanner(out2)
+	sc2.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var init struct {
+		CacheMisses int `json:"cache_misses"`
+		Unsatisfied int
+	}
+	if err := json.Unmarshal(readLine(sc2, "run 2 init"), &init); err != nil {
+		t.Fatal(err)
+	}
+	if init.CacheMisses != 0 || init.Unsatisfied != 0 {
+		t.Fatalf("warm restart re-verified: cache_misses=%d unsatisfied=%d",
+			init.CacheMisses, init.Unsatisfied)
+	}
+	if _, err := io.WriteString(in2, `{"op":"persist_status","id":"ps"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	var ps struct {
+		Recovered       bool `json:"recovered"`
+		ColdStart       bool `json:"cold_start"`
+		RecoveredGroups int  `json:"recovered_groups"`
+	}
+	if err := json.Unmarshal(readLine(sc2, "persist_status"), &ps); err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Recovered || ps.ColdStart || ps.RecoveredGroups == 0 {
+		t.Fatalf("not a warm restart: %+v", ps)
+	}
+	if _, err := io.WriteString(in2, `{"op":"stats","id":"st"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Totals struct {
+			Solves int `json:"solves"`
+		} `json:"totals"`
+	}
+	if err := json.Unmarshal(readLine(sc2, "stats"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Totals.Solves != 0 {
+		t.Fatalf("warm restart on an unchanged network re-solved %d times", st.Totals.Solves)
+	}
+	// A replayed pre-kill request id answers duplicate without re-applying.
+	if _, err := io.WriteString(in2, `{"op":"node_up","node":"h0-0","id":"r2"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	if dup := readLine(sc2, "replayed r2"); !bytes.Contains(dup, []byte(`"duplicate":true`)) {
+		t.Fatalf("replayed id not deduplicated: %s", dup)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, out2) // unblock any final writes
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	in2.Close()
+	in1.Close()
 }

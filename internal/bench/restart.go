@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/inv"
+)
+
+// Restart measures what the durable session buys on daemon restart: a
+// persist-enabled session absorbs a change stream and shuts down
+// cleanly, then the figure times bringing the session back two ways —
+//
+//	warm-restart — incr.NewSession against the surviving state
+//	    directory: snapshot restore + journal-suffix replay, every
+//	    initial check served from the restored verdict store (zero
+//	    solver runs, asserted).
+//	cold-start   — incr.NewSession with no usable state: the full
+//	    initial verification a crash-unsafe daemon pays on every
+//	    restart.
+//
+// Two scenarios bracket the trade-off. "datacenter" is the churn-scale
+// isolation grid, where slicing + symmetry make the full verification
+// nearly free — there the figure measures the *overhead* of recovery
+// (snapshot decode plus the constant-size re-verification sample).
+// "cachefarm" is the origin-agnostic cache scenario (Fig 5), whose
+// data-isolation solves are orders of magnitude more expensive — there
+// the figure measures the *payoff*: warm restart skips every solve.
+//
+// Each churn toggle is mirrored back (down then up), so the final
+// network equals the initial one and both lanes verify the identical
+// state; the restored verdicts are checked against the fresh ones
+// before a run counts. Published metrics, per scenario:
+//
+//	restart_speedup/<scenario>            — cold/warm median wall time
+//	restart_recovered_groups/<scenario>   — groups served from the store
+//	restart_reverified/<scenario>         — recovery-sample fresh solves
+func Restart(steps, runs int) Series {
+	s := Series{
+		Fig:     "restart",
+		Title:   "warm (snapshot + journal recovery) vs cold (full re-verification)",
+		Metrics: map[string]float64{},
+	}
+	restartScenario(&s, "datacenter", steps, runs, func() (*Datacenter, []inv.Invariant) {
+		d := NewDatacenter(DCConfig{Groups: 2 * churnGroups, HostsPerGroup: 1})
+		return d, d.AllIsolationInvariants()
+	})
+	// Fewer churn steps here: each step re-solves expensive
+	// data-isolation groups and the churn is scaffolding, not the
+	// measurement.
+	cacheSteps := steps
+	if cacheSteps > 2 {
+		cacheSteps = 2
+	}
+	restartScenario(&s, "cachefarm", cacheSteps, runs, func() (*Datacenter, []inv.Invariant) {
+		const G = 6
+		d := NewDatacenter(DCConfig{Groups: G, HostsPerGroup: 1, WithCaches: true})
+		var invs []inv.Invariant
+		for g := 0; g < G; g++ {
+			invs = append(invs, d.DataIsolationInvariant(g))
+		}
+		return d, invs
+	})
+	return s
+}
+
+// restartScenario runs one scenario's warm and cold lanes and appends
+// their rows and metrics to s. build must return a freshly constructed,
+// identical network on every call — the three lives (first, warm,
+// cold) each get their own, exactly as a restarted daemon re-reads its
+// network description.
+func restartScenario(s *Series, name string, steps, runs int, build func() (*Datacenter, []inv.Invariant)) {
+	warm := Row{Label: name + "/warm-restart", X: steps}
+	cold := Row{Label: name + "/cold-start", X: steps}
+	var recovered, reverified int
+	for r := 0; r < runs; r++ {
+		opts := core.Options{Engine: core.EngineSAT, Seed: int64(r)}
+		dir, err := os.MkdirTemp("", "vmn-restart-")
+		if err != nil {
+			panic(err)
+		}
+		popts := incr.Options{Persist: &incr.PersistOptions{Dir: dir, SnapshotEvery: 8}}
+
+		// First life: verify, absorb the churn stream, shut down
+		// cleanly (the shutdown snapshot compacts the journal).
+		d, invs := build()
+		sess, _, err := incr.NewSession(d.Net, opts, invs, instrumented(popts))
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < steps; k++ {
+			h := d.Hosts[k%len(d.Hosts)][0]
+			if _, err := sess.Apply([]incr.Change{incr.NodeDown(h)}); err != nil {
+				panic(err)
+			}
+			if _, err := sess.Apply([]incr.Change{incr.NodeUp(h)}); err != nil {
+				panic(err)
+			}
+		}
+		if err := sess.Shutdown(); err != nil {
+			panic(err)
+		}
+
+		// Second life, warm: restore the verdict store from disk.
+		var warmSess *incr.Session
+		var warmRep []core.Report
+		dW, invsW := build()
+		warm.Samples = append(warm.Samples, timeIt(func() {
+			warmSess, warmRep, err = incr.NewSession(dW.Net, opts, invsW, instrumented(popts))
+			if err != nil {
+				panic(err)
+			}
+		}))
+		rec := warmSess.Recovery()
+		if !rec.Recovered || rec.ColdStart || rec.SampleMismatch {
+			panic(fmt.Sprintf("bench: warm restart fell back to cold: %+v", rec))
+		}
+		if tot := warmSess.TotalStats(); tot.Solves != 0 {
+			panic(fmt.Sprintf("bench: warm restart re-solved %d groups", tot.Solves))
+		}
+		recovered += rec.RecoveredGroups
+		reverified += rec.ReverifiedOnRecovery
+		st := warmSess.LastApply()
+		warm.Invariants = st.Invariants
+		warm.CacheHits += st.CacheHits
+
+		// Second life, cold: no state directory — the full price.
+		var coldRep []core.Report
+		dC, invsC := build()
+		cold.Samples = append(cold.Samples, timeIt(func() {
+			coldSess, rep, err := incr.NewSession(dC.Net, opts, invsC, instrumented(incr.Options{}))
+			if err != nil {
+				panic(err)
+			}
+			coldRep = rep
+			cold.Invariants = coldSess.LastApply().Invariants
+			cold.Solves += coldSess.TotalStats().Solves
+		}))
+
+		// The restored verdicts must agree with the fresh ones — a
+		// warm restart that changes an answer is not a restart.
+		if len(warmRep) != len(coldRep) {
+			panic(fmt.Sprintf("bench: warm restart returned %d reports, cold %d", len(warmRep), len(coldRep)))
+		}
+		for i := range warmRep {
+			if warmRep[i].Satisfied != coldRep[i].Satisfied {
+				panic(fmt.Sprintf("bench: warm/cold verdict mismatch for %s: %v vs %v",
+					warmRep[i].Invariant.Name(), warmRep[i].Satisfied, coldRep[i].Satisfied))
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	if w := warm.Percentile(50).Seconds(); w > 0 {
+		s.Metrics["restart_speedup/"+name] = cold.Percentile(50).Seconds() / w
+	}
+	if runs > 0 {
+		s.Metrics["restart_recovered_groups/"+name] = float64(recovered) / float64(runs)
+		s.Metrics["restart_reverified/"+name] = float64(reverified) / float64(runs)
+	}
+	s.Rows = append(s.Rows, warm, cold)
+}

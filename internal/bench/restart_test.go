@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+// TestRestartFigureSmoke runs a short restart figure and checks the
+// structural invariants the artifact consumers rely on: warm and cold
+// rows per scenario with a sample per run, the warm lanes genuinely
+// served from the verdict store (the figure itself panics on any
+// warm-lane solve or verdict mismatch), and the speedup/recovery
+// metrics present. Timing RATIOS are asserted only at figure scale
+// (vmnbench -fig restart), not here: at smoke scale timing is noise.
+func TestRestartFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart smoke pays full cold verifications, including the cache scenario")
+	}
+	const steps, runs = 2, 1
+	s := Restart(steps, runs)
+	labels := []string{
+		"datacenter/warm-restart", "datacenter/cold-start",
+		"cachefarm/warm-restart", "cachefarm/cold-start",
+	}
+	if len(s.Rows) != len(labels) {
+		t.Fatalf("want %d rows, got %d", len(labels), len(s.Rows))
+	}
+	for i, r := range s.Rows {
+		if r.Label != labels[i] {
+			t.Fatalf("row %d: label %q, want %q", i, r.Label, labels[i])
+		}
+		if len(r.Samples) != runs {
+			t.Fatalf("%s: want %d samples, got %d", r.Label, runs, len(r.Samples))
+		}
+		if r.Invariants == 0 {
+			t.Fatalf("%s: accounting missing: %+v", r.Label, r)
+		}
+	}
+	for _, scn := range []string{"datacenter", "cachefarm"} {
+		warm, cold := rowByLabel(t, s, scn+"/warm-restart"), rowByLabel(t, s, scn+"/cold-start")
+		if warm.Solves != 0 {
+			t.Fatalf("%s: warm restart solved %d times, want 0", scn, warm.Solves)
+		}
+		if cold.Solves == 0 {
+			t.Fatalf("%s: cold start recorded no solves: %+v", scn, cold)
+		}
+		if warm.CacheHits == 0 {
+			t.Fatalf("%s: warm restart recorded no cache hits: %+v", scn, warm)
+		}
+		if s.Metrics["restart_speedup/"+scn] <= 0 {
+			t.Fatalf("%s: speedup metric missing: %v", scn, s.Metrics)
+		}
+		if s.Metrics["restart_recovered_groups/"+scn] <= 0 {
+			t.Fatalf("%s: recovered-groups metric missing: %v", scn, s.Metrics)
+		}
+	}
+}
+
+func rowByLabel(t *testing.T, s Series, label string) Row {
+	t.Helper()
+	for _, r := range s.Rows {
+		if r.Label == label {
+			return r
+		}
+	}
+	t.Fatalf("no row labelled %q", label)
+	return Row{}
+}

@@ -147,17 +147,33 @@ func Coalesce(changes []Change) ([]Change, int) {
 // batch instead of per change. The returned stats (LastApply) carry the
 // raw and eliminated change counts.
 func (s *Session) ApplyBatch(changes []Change) ([]core.Report, error) {
+	reports, _, err := s.ApplyBatchID("", changes)
+	return reports, err
+}
+
+// ApplyBatchID is ApplyBatch with a client request id (see ApplyID):
+// duplicates are not re-applied, and with persistence enabled the
+// COALESCED change-set is journaled before the call returns (the
+// survivors are what mutated the network, and replaying them is
+// verdict-identical to replaying the raw batch).
+func (s *Session) ApplyBatchID(id string, changes []Change) (_ []core.Report, duplicate bool, _ error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pending != nil {
-		return nil, ErrProposePending
+		return nil, false, ErrProposePending
+	}
+	if id != "" {
+		if _, ok := s.appliedIDs[id]; ok {
+			return s.assemble(s.effectiveScenarios()), true, nil
+		}
 	}
 	s.armDeadline()
 	co, dropped := Coalesce(changes)
 	reports, err := s.applyLocked(co)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	s.persistApply(id, co)
 	s.last.Enqueued = len(changes)
 	s.last.Coalesced = dropped
 	s.totals.Batches++
@@ -169,5 +185,5 @@ func (s *Session) ApplyBatch(changes []Change) ([]core.Report, error) {
 		m.coalesced.Add(int64(dropped))
 		m.batchSize.Observe(float64(len(changes)))
 	}
-	return reports, nil
+	return reports, false, nil
 }

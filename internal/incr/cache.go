@@ -163,3 +163,13 @@ func (c *verdictCache) evict(line *cacheLine) {
 	}
 	c.entries--
 }
+
+// exportOldestFirst visits every line from least to most recently used.
+// Snapshot serialization walks this order so that re-putting the entries
+// in sequence reproduces the exact recency list — a restored cache
+// evicts in the same order the live one would have.
+func (c *verdictCache) exportOldestFirst(fn func(key []byte, r core.Report, ren *slices.Renaming)) {
+	for line := c.tail; line != nil; line = line.prev {
+		fn(line.key, line.report, line.ren)
+	}
+}

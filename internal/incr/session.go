@@ -69,6 +69,11 @@ type Options struct {
 	// SlowSolveWriter overrides the slow-solve log destination
 	// (default os.Stderr).
 	SlowSolveWriter io.Writer
+	// Persist, when non-nil, makes the session durable: acked applies
+	// append to a crash-safe journal under Persist.Dir, state + verdict
+	// store snapshot periodically, and NewSession recovers a previous
+	// session's state from the directory (persist.go).
+	Persist *PersistOptions
 }
 
 // ApplyStats describes one Apply call.
@@ -198,6 +203,15 @@ type Session struct {
 	last   ApplyStats
 	totals Totals
 
+	// store is the durability layer (nil when Options.Persist is nil):
+	// every acked apply journals through it and snapshots compact the
+	// journal (persist.go). appliedIDs dedups client request ids for
+	// at-least-once wire replay; recovery describes what startup
+	// restored.
+	store      *sessStore
+	appliedIDs map[string]int
+	recovery   RecoveryStats
+
 	// metrics caches the session's registered metric handles (nil when
 	// Options.Obs carries no registry — the disabled mode).
 	metrics *sessMetrics
@@ -275,6 +289,17 @@ func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopt
 		cache:    newVerdictCache(sopts.CacheCap),
 	}
 	s.cview = liveCacheView{s}
+	if sopts.Persist != nil {
+		// Open the store and restore any previous session's state
+		// BEFORE the initial verification: the Apply below then plans
+		// the recovered network and serves restored verdicts from the
+		// pre-populated cache. Damaged or mismatched state degrades to
+		// an explicit cold start inside openStore (never a partial
+		// restore); only setup failures (unwritable directory) abort.
+		if err := s.openStore(); err != nil {
+			return nil, nil, err
+		}
+	}
 	if sopts.Obs != nil && sopts.Obs.Metrics != nil {
 		s.metrics = newSessMetrics(sopts.Obs.Metrics)
 		// Derived, zero-hot-path: computed from the totals at scrape time.
@@ -289,6 +314,23 @@ func NewSession(net *core.Network, opts core.Options, invs []inv.Invariant, sopt
 	reports, err := s.Apply(nil)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.recovery.Recovered {
+		// Count restored groups and re-verify a sample against fresh
+		// solves before trusting the store; a mismatch drops the
+		// restored cache and re-verifies cold.
+		reports, err = s.finishRecovery(reports)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if s.store != nil {
+		// Make the just-verified state durable immediately: a crash
+		// before the first change (or after recovery replayed a long
+		// journal suffix) still warm-restarts from a fresh snapshot.
+		s.mu.Lock()
+		s.snapshotLocked()
+		s.mu.Unlock()
 	}
 	return s, reports, nil
 }
@@ -439,13 +481,34 @@ func (s *Session) invalidate() {
 // the next Apply re-verifies from scratch. While a Propose is pending,
 // Apply fails with ErrProposePending (decide the transaction first).
 func (s *Session) Apply(changes []Change) ([]core.Report, error) {
+	reports, _, err := s.ApplyID("", changes)
+	return reports, err
+}
+
+// ApplyID is Apply carrying a client request id for at-least-once
+// delivery: if id was already applied (in this process or in a
+// recovered predecessor), the change-set is NOT re-applied and the
+// current report set returns with duplicate=true. With persistence
+// enabled the change-set is journaled before the call returns, so an
+// acked change survives a crash. Empty ids are never deduplicated.
+func (s *Session) ApplyID(id string, changes []Change) (_ []core.Report, duplicate bool, _ error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pending != nil {
-		return nil, ErrProposePending
+		return nil, false, ErrProposePending
+	}
+	if id != "" {
+		if _, ok := s.appliedIDs[id]; ok {
+			return s.assemble(s.effectiveScenarios()), true, nil
+		}
 	}
 	s.armDeadline()
-	return s.applyLocked(changes)
+	reports, err := s.applyLocked(changes)
+	if err != nil {
+		return nil, false, err
+	}
+	s.persistApply(id, changes)
+	return reports, false, nil
 }
 
 // armDeadline starts the per-request wall clock (zero deadline = none).

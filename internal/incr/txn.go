@@ -180,6 +180,9 @@ type pendingTx struct {
 	reports []core.Report
 	journal []cacheOp // verdict-cache writes/touches, replayed by Commit
 	result  *ProposeResult
+	// changes is the proposed change-set, kept so Commit can append it
+	// to the durable journal (persist.go) after installing the shadow.
+	changes []Change
 }
 
 // cacheView is the cache access path verifyGroup goes through; the
@@ -334,7 +337,7 @@ func (s *Session) Propose(changes []Change) (*ProposeResult, error) {
 		s.searchRepairs(base, baseUnsat, changes, view, res)
 	}
 
-	s.pending = &pendingTx{state: post, reports: reports, journal: view.journal, result: res}
+	s.pending = &pendingTx{state: post, reports: reports, journal: view.journal, result: res, changes: changes}
 	return res, nil
 }
 
@@ -343,10 +346,25 @@ func (s *Session) Propose(changes []Change) (*ProposeResult, error) {
 // replay, leaving the session identical to one that had Apply'd the
 // change-set directly. Returns the (already computed) report set.
 func (s *Session) Commit() ([]core.Report, error) {
+	reports, _, err := s.CommitID("")
+	return reports, err
+}
+
+// CommitID is Commit with a client request id (see ApplyID): if the id
+// already committed — a replayed commit after the daemon restarted —
+// the current report set returns with duplicate=true instead of
+// ErrNoPropose. With persistence enabled the committed change-set is
+// journaled before the call returns.
+func (s *Session) CommitID(id string) (_ []core.Report, duplicate bool, _ error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if id != "" {
+		if _, ok := s.appliedIDs[id]; ok {
+			return s.assemble(s.effectiveScenarios()), true, nil
+		}
+	}
 	if s.pending == nil {
-		return nil, ErrNoPropose
+		return nil, false, ErrNoPropose
 	}
 	p := s.pending
 	s.pending = nil
@@ -360,7 +378,8 @@ func (s *Session) Commit() ([]core.Report, error) {
 		}
 	}
 	s.cmu.Unlock()
-	return p.reports, nil
+	s.persistApply(id, p.changes)
+	return p.reports, false, nil
 }
 
 // Rollback discards the pending shadow. The session — verdicts,

@@ -134,6 +134,11 @@ type WireResult struct {
 	Reports        []WireReport `json:"reports"`
 	// Id echoes the request id, when one was given.
 	Id string `json:"id,omitempty"`
+	// Duplicate marks a replayed request id: the change-set was NOT
+	// re-applied (it already was, possibly before a daemon restart) and
+	// the reports are the session's current verdicts. At-least-once
+	// clients treat this as the ack they missed.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // WireError is the JSON form of a rejected request. Op and Id echo the
@@ -183,6 +188,9 @@ type WireTxAck struct {
 	Committed   bool   `json:"committed,omitempty"`
 	RolledBack  bool   `json:"rolled_back,omitempty"`
 	Unsatisfied int    `json:"unsatisfied,omitempty"`
+	// Duplicate marks a replayed commit id (see WireResult.Duplicate):
+	// the transaction already committed, nothing was re-installed.
+	Duplicate bool `json:"duplicate,omitempty"`
 	// Totals snapshots the session-lifetime counters after a commit — the
 	// state the installed shadow run left them in (absent on rollback and
 	// inject_panic acks).
@@ -241,6 +249,67 @@ type WireStats struct {
 	CanonEncTranslated int64              `json:"canon_enc_translated"`
 	Solver             WireSolverStats    `json:"solver"`
 	Metrics            map[string]float64 `json:"metrics,omitempty"`
+	// RecoveredGroups / ReverifiedOnRecovery carry the warm-restart
+	// accounting when the daemon recovered from a state directory:
+	// symmetry groups served entirely from the restored verdict store,
+	// and restored verdicts re-checked against fresh solves before the
+	// store was trusted. Absent (zero) without persistence.
+	RecoveredGroups      int `json:"recovered_groups,omitempty"`
+	ReverifiedOnRecovery int `json:"reverified_on_recovery,omitempty"`
+}
+
+// WirePersistStatus is the response to the "persist_status" op: the
+// durability layer's live accounting plus what startup recovery did.
+type WirePersistStatus struct {
+	Op  string `json:"op"` // always "persist_status"
+	Id  string `json:"id,omitempty"`
+	Seq int    `json:"seq"`
+	// Enabled reports the daemon runs with a state directory.
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	Fsync   string `json:"fsync,omitempty"`
+	// SnapshotSeq is the apply sequence the on-disk snapshot covers;
+	// JournalRecords/JournalBytes size the journal suffix on top of it.
+	SnapshotSeq    int   `json:"snapshot_seq,omitempty"`
+	JournalRecords int   `json:"journal_records,omitempty"`
+	JournalBytes   int64 `json:"journal_bytes,omitempty"`
+	AppliedIds     int   `json:"applied_ids,omitempty"`
+	// Degraded, when non-empty, means journaling is off (an
+	// unpersistable change or an I/O failure) and the next restart will
+	// cold start.
+	Degraded string `json:"degraded,omitempty"`
+	// Recovery outcome of THIS process's startup.
+	Recovered            bool   `json:"recovered,omitempty"`
+	ColdStart            bool   `json:"cold_start,omitempty"`
+	Reason               string `json:"reason,omitempty"`
+	RecoveredGroups      int    `json:"recovered_groups,omitempty"`
+	ReverifiedOnRecovery int    `json:"reverified_on_recovery,omitempty"`
+}
+
+// EncodePersistStatus renders the durability status on the wire.
+func EncodePersistStatus(id string, ps PersistStatus) WirePersistStatus {
+	fsync := ""
+	if ps.Enabled {
+		fsync = ps.Sync.String()
+	}
+	return WirePersistStatus{
+		Op:                   "persist_status",
+		Id:                   id,
+		Seq:                  ps.Seq,
+		Enabled:              ps.Enabled,
+		Dir:                  ps.Dir,
+		Fsync:                fsync,
+		SnapshotSeq:          ps.SnapshotSeq,
+		JournalRecords:       ps.JournalRecords,
+		JournalBytes:         ps.JournalBytes,
+		AppliedIds:           ps.AppliedIDs,
+		Degraded:             ps.Degraded,
+		Recovered:            ps.Recovery.Recovered,
+		ColdStart:            ps.Recovery.ColdStart,
+		Reason:               ps.Recovery.Reason,
+		RecoveredGroups:      ps.Recovery.RecoveredGroups,
+		ReverifiedOnRecovery: ps.Recovery.ReverifiedOnRecovery,
+	}
 }
 
 // WireTrace is the response to the "trace" op: the tracer's buffered

@@ -72,6 +72,37 @@ func newRenaming() *Renaming {
 	}
 }
 
+// ExportTables returns the renaming's inverse tables in canonical
+// order. Together with NewRenamingFromTables it round-trips a Renaming
+// through the persistent verdict store: the slices are the complete
+// state (the forward maps are derived), so a restored renaming
+// translates witnesses identically to the one that was snapshotted.
+func (r *Renaming) ExportTables() (nodes []topo.NodeID, addrs []pkt.Addr, pfxs []pkt.Prefix) {
+	nodes = append([]topo.NodeID(nil), r.nodeInv...)
+	addrs = append([]pkt.Addr(nil), r.addrInv...)
+	pfxs = append([]pkt.Prefix(nil), r.pfxInv...)
+	return nodes, addrs, pfxs
+}
+
+// NewRenamingFromTables rebuilds a Renaming from canonical-order
+// inverse tables (the inverse of ExportTables).
+func NewRenamingFromTables(nodes []topo.NodeID, addrs []pkt.Addr, pfxs []pkt.Prefix) *Renaming {
+	r := newRenaming()
+	for i, n := range nodes {
+		r.nodeNum[n] = uint32(i)
+	}
+	r.nodeInv = append(r.nodeInv, nodes...)
+	for i, a := range addrs {
+		r.addrNum[a] = uint32(i)
+	}
+	r.addrInv = append(r.addrInv, addrs...)
+	for i, p := range pfxs {
+		r.pfxNum[p] = uint32(i)
+	}
+	r.pfxInv = append(r.pfxInv, pfxs...)
+	return r
+}
+
 // NodeNum returns the canonical number of n, if assigned.
 func (r *Renaming) NodeNum(n topo.NodeID) (uint32, bool) {
 	i, ok := r.nodeNum[n]
