@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke vmnd-restart-smoke bench-json bench-multicore bench-snapshot
+.PHONY: ci fmt vet build test race bench-smoke fuzz-smoke vmnd-smoke vmnd-restart-smoke examples-validate topo-smoke bench-json bench-multicore bench-snapshot
 
-ci: fmt vet build race fuzz-smoke vmnd-smoke vmnd-restart-smoke bench-smoke
+ci: fmt vet build race fuzz-smoke vmnd-smoke vmnd-restart-smoke examples-validate topo-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -49,6 +49,22 @@ fuzz-smoke:
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeProposeSet$$' -fuzztime 5s
 	$(GO) test ./internal/incr -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzDecodeJournal$$' -fuzztime 5s
+	$(GO) test ./internal/netdesc -run '^$$' -fuzz '^FuzzDecodeTopology$$' -fuzztime 5s
+
+# Every committed example topology must validate and build (one structured
+# file:line:field error otherwise); byte-level canonical-form checking
+# lives in TestExampleFiles (internal/netdesc).
+examples-validate:
+	@for f in examples/topologies/*.json; do \
+		$(GO) run ./cmd/vmn -topology $$f -check || exit 1; done
+
+# Topology-frontend smoke: generate a k=16 fat-tree (592 nodes) to disk,
+# then load and verify it end-to-end through the real CLI.
+topo-smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) run ./cmd/vmn -gen fattree -k 16 -out $$tmp/fattree-k16.json && \
+	$(GO) run ./cmd/vmn -topology $$tmp/fattree-k16.json > /dev/null || rc=$$?; \
+	rm -rf $$tmp; exit $$rc
 
 # vmnd crash-resilience smoke: pipe the malformed / out-of-order /
 # panic-injecting request corpus through a live daemon; the gate here is
@@ -76,10 +92,13 @@ bench-json:
 # prefix-level vs node-level dirty-fraction series), the transactional
 # guardrail comparison (propose/rollback vs apply-then-revert) and the
 # streaming-pipeline comparison (pipelined+coalesced vs pipelined vs
-# serial updates/sec under sustained FIB churn). CI runs this on the
-# multi-core GitHub runner and uploads the JSON as an artifact.
+# serial updates/sec under sustained FIB churn), plus the file-driven
+# fat-tree and cloud-VPC scaling figures (tenant sweep at fixed shapes:
+# canonical classes and encoding builds stay flat as tenants grow). CI
+# runs this on the multi-core GitHub runner and uploads the JSON as an
+# artifact.
 bench-multicore:
-	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail,stream,restart -runs 5 -json > bench-multicore.json
+	$(GO) run ./cmd/vmnbench -fig explicit,satincr,canon,churn,guardrail,stream,restart,fattree,vpc -runs 5 -json > bench-multicore.json
 
 # A quick churn snapshot with the observability metrics registry attached:
 # the JSON rows carry the per-figure metrics map (solve latency histogram,

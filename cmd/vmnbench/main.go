@@ -16,6 +16,11 @@
 // the observability registry attached and each series carries a flat
 // metrics snapshot (solve-latency histogram, dirty-fraction
 // distribution, hit-rate counters) in its Metrics field.
+//
+// The fattree and vpc figures are file-driven: each data point generates
+// a vmn-topology/1 description to disk and measures netdesc.BuildFile +
+// VerifyAll on it (see topofig.go). -scale multiplies the vpc tenant
+// sweep; -fig vpc -scale 10 -runs 1 reaches 10k+ tenants.
 package main
 
 import (
@@ -30,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart,fattree,vpc or all")
 	runs := flag.Int("runs", 5, "repetitions per data point (paper uses 100)")
 	scale := flag.Int("scale", 1, "size multiplier for the sweeps (1 = quick laptop scale)")
 	asJSON := flag.Bool("json", false, "emit the series as JSON instead of text tables")
@@ -103,9 +108,11 @@ func main() {
 	run("guardrail", func() bench.Series { return bench.Guardrail(4*sc, *runs) })
 	run("stream", func() bench.Series { return bench.Stream(1000*sc, *runs) })
 	run("restart", func() bench.Series { return bench.Restart(8*sc, *runs) })
+	run("fattree", func() bench.Series { return figFatTree([]int{4, 8, 16}, 2, *runs) })
+	run("vpc", func() bench.Series { return figVPC(mul(64, 256, 1024), 8, []int{2, 4, 16, 32}, *runs) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vmnbench: unknown figure %q (want 2,3,4,5,7,8,9b,9c,explicit,satincr,canon,churn,guardrail,stream,restart,fattree,vpc or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *asJSON {

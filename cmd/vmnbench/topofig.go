@@ -1,0 +1,140 @@
+package main
+
+// File-driven scenario figures: the topology-frontend counterpart of the
+// built-in sweeps. Each data point round-trips through disk — the
+// generator writes a canonical vmn-topology/1 description, the timed run
+// loads it back with netdesc.BuildFile and verifies the embedded
+// invariant set — so the numbers cover the whole production path a real
+// deployment takes, not just the in-memory verifier.
+//
+// The vpc figure is the scaling claim of the cloud-VPC scenario made
+// measurable: tenants of the same security-group shape are isomorphic up
+// to addressing, so canonical normalization folds their checks into one
+// solve per shape. Sweeping tenants at fixed shapes the class count stays
+// flat (solver work is constant; wall clock grows only with the linear
+// per-invariant slicing/translation pass), while sweeping shapes at fixed
+// tenants the class count — and with it the solve cost — tracks shapes.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/netverify/vmn/internal/bench"
+	"github.com/netverify/vmn/internal/core"
+	"github.com/netverify/vmn/internal/netdesc"
+)
+
+// writeScenario saves d in canonical form under dir.
+func writeScenario(dir string, d *netdesc.Desc) string {
+	path := dir + "/" + d.Name + ".json"
+	if err := netdesc.Save(d, path); err != nil {
+		panic(err)
+	}
+	return path
+}
+
+// timedLoadVerify loads a description from disk, builds it, and verifies
+// its embedded invariant set with symmetry on, asserting every invariant
+// holds (the generated scenarios are all-green by construction). It
+// returns the load and verify wall clocks plus the canonicalization
+// counters that carry the scaling claim.
+func timedLoadVerify(path string, seed int64) (load, verify time.Duration, invariants int, classes, shared, encBuilds int64) {
+	start := time.Now()
+	_, net, invs, err := netdesc.BuildFile(path)
+	if err != nil {
+		panic(err)
+	}
+	load = time.Since(start)
+	// Auto engine: the VPC's NAT keeps non-boolean state the SAT encoding
+	// cannot express, so its groups fall back to the explicit engine.
+	v, err := core.NewVerifier(net, core.Options{Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	reports, err := v.VerifyAll(invs, true)
+	if err != nil {
+		panic(err)
+	}
+	verify = time.Since(start)
+	for _, r := range reports {
+		if !r.Satisfied {
+			panic(fmt.Sprintf("vmnbench: generated scenario %s violates %s (%v)",
+				path, r.Invariant.Name(), r.Result.Outcome))
+		}
+	}
+	classes, shared, _ = v.CanonStats()
+	_, encBuilds = v.EncodingCacheStats()
+	return load, verify, len(invs), classes, shared, encBuilds
+}
+
+// scenarioRows measures one on-disk scenario: a load row and a verify row
+// (Classes/Shared/Solves totalled across runs, matching FigCanon's
+// accounting, so the table derives the reuse rate).
+func scenarioRows(path, label string, x, runs int) (loadRow, verifyRow bench.Row) {
+	loadRow = bench.Row{Label: label + "/load", X: x}
+	verifyRow = bench.Row{Label: label + "/verify", X: x}
+	for r := 0; r < runs; r++ {
+		load, verify, ninv, classes, shared, encBuilds := timedLoadVerify(path, int64(r))
+		loadRow.Samples = append(loadRow.Samples, load)
+		verifyRow.Samples = append(verifyRow.Samples, verify)
+		verifyRow.Invariants = ninv
+		verifyRow.Classes += int(classes)
+		verifyRow.Shared += int(shared)
+		verifyRow.Solves += int(encBuilds)
+	}
+	return loadRow, verifyRow
+}
+
+// figFatTree sweeps fat-tree pod arity: every (k/2)^2-core topology is
+// generated to disk at full fidelity and loaded back for verification.
+func figFatTree(ks []int, hostsPerEdge, runs int) bench.Series {
+	s := bench.Series{Fig: "fattree", Title: "fat-tree from file: load + verify vs pod arity k"}
+	dir, err := os.MkdirTemp("", "vmnbench-fattree")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, k := range ks {
+		path := writeScenario(dir, netdesc.FatTree(k, hostsPerEdge))
+		loadRow, verifyRow := scenarioRows(path, "fattree", k, runs)
+		s.Rows = append(s.Rows, loadRow, verifyRow)
+	}
+	return s
+}
+
+// figVPC sweeps the cloud-VPC scenario two ways: tenant count at fixed
+// shapes (classes stay flat — cost is per-shape, not per-tenant), and
+// shape count at fixed tenants (classes track shapes).
+func figVPC(tenantCounts []int, shapes int, shapeCounts []int, runs int) bench.Series {
+	s := bench.Series{
+		Fig: "vpc",
+		Title: fmt.Sprintf(
+			"cloud VPC from file: tenants sweep @%d shapes (classes flat) vs shapes sweep @%d tenants (classes grow)",
+			shapes, tenantCounts[0]),
+	}
+	dir, err := os.MkdirTemp("", "vmnbench-vpc")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, n := range tenantCounts {
+		path := writeScenario(dir, netdesc.CloudVPC(netdesc.VPCConfig{
+			Tenants: n, Shapes: shapes, Peerings: 2, CrossChecks: 8,
+		}))
+		loadRow, verifyRow := scenarioRows(path, "tenants", n, runs)
+		s.Rows = append(s.Rows, loadRow, verifyRow)
+	}
+	for _, sh := range shapeCounts {
+		if sh == shapes {
+			continue // already measured in the tenants sweep
+		}
+		path := writeScenario(dir, netdesc.CloudVPC(netdesc.VPCConfig{
+			Tenants: tenantCounts[0], Shapes: sh, Peerings: 2, CrossChecks: 8,
+		}))
+		_, verifyRow := scenarioRows(path, "shapes", sh, runs)
+		s.Rows = append(s.Rows, verifyRow)
+	}
+	return s
+}

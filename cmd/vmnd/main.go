@@ -7,7 +7,17 @@
 // Usage:
 //
 //	vmnd -network datacenter -groups 5
+//	vmnd -topology examples/topologies/fattree-k4.json
 //	echo '{"op":"node_down","node":"fw1"}' | vmnd -network datacenter
+//
+// -topology serves a vmn-topology/1 description file (see internal/netdesc)
+// instead of a built-in network; a malformed file is one structured
+// file:line:field error and exit 2 — no partial session ever serves. The
+// "topology" op introspects what the daemon verifies:
+//
+//	{"op":"topology","id":"t1"}               (summary: name, source, sizes)
+//	{"op":"topology","id":"t2","name":"dump"} (plus inline canonical export
+//	                                           of the live network)
 //
 // Input lines are a single change object or an array applied atomically:
 //
@@ -69,8 +79,10 @@ import (
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
 	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/netdesc"
 	"github.com/netverify/vmn/internal/obs"
 	"github.com/netverify/vmn/internal/store"
+	"github.com/netverify/vmn/internal/topo"
 )
 
 // netConfig selects and sizes a built-in evaluation network.
@@ -132,12 +144,88 @@ func buildNetwork(cfg netConfig) (*core.Network, []inv.Invariant, error) {
 	return net, invs, nil
 }
 
-// serveHooks carries the daemon-level test hooks; the zero value disables
-// them all.
+// serveHooks carries the daemon-level test hooks and session metadata;
+// the zero value disables the hooks and reports an unnamed built-in
+// topology.
 type serveHooks struct {
 	// armFault, when non-nil, makes the next group solve panic (the
 	// inject_panic op; see wireFaultInjection). Nil rejects the op.
 	armFault func()
+	// topoName / topoSource label the "topology" op's answer: the
+	// description name (or built-in network name) and where it came
+	// from (the file path, or "builtin").
+	topoName   string
+	topoSource string
+}
+
+// wireTopology answers the "topology" introspection op: what the daemon
+// is verifying and how big it is. With {"name":"dump"} the full current
+// network is exported inline as a canonical vmn-topology/1 description
+// (including any firewall rules edited over the wire since startup).
+type wireTopology struct {
+	Op          string        `json:"op"`
+	Id          string        `json:"id,omitempty"`
+	Seq         int           `json:"seq"`
+	Name        string        `json:"name"`
+	Source      string        `json:"source"`
+	Hosts       int           `json:"hosts"`
+	Switches    int           `json:"switches"`
+	Middleboxes int           `json:"middleboxes"`
+	Externals   int           `json:"externals"`
+	Links       int           `json:"links"`
+	Invariants  int           `json:"invariants"`
+	Classes     int           `json:"classes"`
+	Desc        *netdesc.Desc `json:"desc,omitempty"`
+}
+
+// topologyResponse summarizes the live network; dump additionally exports
+// it. The export can fail (MDL-interpreted boxes are not exportable) —
+// that is a structured error, not a dead session.
+func topologyResponse(sess *incr.Session, net *core.Network, hooks serveHooks, id string, dump bool) (any, error) {
+	w := wireTopology{
+		Op:     "topology",
+		Id:     id,
+		Seq:    sess.LastApply().Seq,
+		Name:   hooks.topoName,
+		Source: hooks.topoSource,
+	}
+	if w.Name == "" {
+		w.Name = "builtin"
+	}
+	if w.Source == "" {
+		w.Source = "builtin"
+	}
+	links := 0
+	for _, n := range net.Topo.Nodes() {
+		switch n.Kind {
+		case topo.Host:
+			w.Hosts++
+		case topo.Switch:
+			w.Switches++
+		case topo.Middlebox:
+			w.Middleboxes++
+		case topo.External:
+			w.Externals++
+		}
+		links += len(net.Topo.Neighbors(n.ID))
+	}
+	w.Links = links / 2
+	var invs []inv.Invariant
+	for _, r := range sess.CurrentReports() {
+		invs = append(invs, r.Invariant)
+	}
+	w.Invariants = len(invs)
+	if net.Registry != nil {
+		w.Classes = len(net.Registry.Names())
+	}
+	if dump {
+		d, err := netdesc.FromNetwork(w.Name, net, invs)
+		if err != nil {
+			return nil, err
+		}
+		w.Desc = d
+	}
+	return w, nil
 }
 
 // wireFaultInjection connects the inject_panic wire op to the session's
@@ -350,6 +438,12 @@ func handle(sess *incr.Session, net *core.Network, hooks serveHooks, line []byte
 			return incr.WireTxAck{Op: "inject_panic", Id: id, Seq: sess.LastApply().Seq}
 		case "stats":
 			return statsResponse(sess, id)
+		case "topology":
+			w, err := topologyResponse(sess, net, hooks, id, req.Name == "dump")
+			if err != nil {
+				return fail(err)
+			}
+			return w
 		case "persist_status":
 			return incr.EncodePersistStatus(id, sess.PersistStatus())
 		case "trace":
@@ -454,6 +548,7 @@ func serveHTTP(addr string, o *obs.Obs) (gonet.Addr, error) {
 
 func main() {
 	var (
+		topology  = flag.String("topology", "", "serve a vmn-topology/1 description file instead of a built-in network")
 		network   = flag.String("network", "datacenter", "enterprise | datacenter | multitenant | isp")
 		subnets   = flag.Int("subnets", 6, "subnets (enterprise, isp)")
 		groups    = flag.Int("groups", 4, "policy groups (datacenter)")
@@ -500,16 +595,36 @@ func main() {
 		fail("unknown engine %q", *engine)
 	}
 
-	net, invs, err := buildNetwork(netConfig{
-		network:   *network,
-		subnets:   *subnets,
-		groups:    *groups,
-		tenants:   *tenants,
-		peerings:  *peerings,
-		withCache: *withCache,
-	})
-	if err != nil {
-		fail("%v", err)
+	// A topology file replaces the built-in network wholesale. Loading is
+	// all-or-nothing: a malformed or adversarial file produces exactly one
+	// structured file:line:field error and exit 2 before any session state
+	// exists — the daemon never serves a partially built network.
+	var (
+		net      *core.Network
+		invs     []inv.Invariant
+		topoName = *network
+		topoSrc  = "builtin"
+		err      error
+	)
+	if *topology != "" {
+		var d *netdesc.Desc
+		d, net, invs, err = netdesc.BuildFile(*topology)
+		if err != nil {
+			fail("%v", err)
+		}
+		topoName, topoSrc = d.Name, *topology
+	} else {
+		net, invs, err = buildNetwork(netConfig{
+			network:   *network,
+			subnets:   *subnets,
+			groups:    *groups,
+			tenants:   *tenants,
+			peerings:  *peerings,
+			withCache: *withCache,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
 	}
 
 	// The daemon always runs with observability on: the stats/trace wire
@@ -537,6 +652,7 @@ func main() {
 	if *faultInj {
 		hooks = wireFaultInjection(&sopts)
 	}
+	hooks.topoName, hooks.topoSource = topoName, topoSrc
 	if *httpAddr != "" {
 		addr, err := serveHTTP(*httpAddr, o)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 
 	"github.com/netverify/vmn/internal/core"
 	"github.com/netverify/vmn/internal/incr"
+	"github.com/netverify/vmn/internal/netdesc"
 	"github.com/netverify/vmn/internal/obs"
 )
 
@@ -375,6 +377,95 @@ func TestGoldenBudgetExceeded(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Errorf("budget exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
 			path, got, want)
+	}
+}
+
+// TestGoldenTopology pins the topology wire op over a file-described
+// network: the session is built exactly the way `vmnd -topology` builds
+// it, the summary reports the description's name/source and node-kind
+// counts, incremental ops address file-described nodes by name, and the
+// dump answer re-exports the live (post-change) network as a canonical
+// vmn-topology/1 description inline.
+func TestGoldenTopology(t *testing.T) {
+	d := netdesc.FatTree(2, 1)
+	net, invs, err := netdesc.Build(d, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, reports, err := incr.NewSession(net, core.Options{Engine: core.EngineSAT}, invs, incr.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := serveHooks{topoName: d.Name, topoSource: "fattree-k2.json"}
+	lines := []string{
+		`{"op":"topology","id":"t1"}`,
+		`{"op":"node_down","node":"p0-fw"}`,
+		`{"op":"topology","id":"t2","name":"dump"}`,
+	}
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out bytes.Buffer
+	if err := serve(sess, net, reports, in, &out, hooks, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := normalize(out.Bytes())
+	path := filepath.Join("testdata", "golden", "topology.ndjson")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire exchange diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestTopologyStartupRejectsMalformed pins the -topology startup
+// contract the daemon relies on: a malformed or adversarial description
+// file yields one structured *netdesc.Error naming the file (and where
+// possible line/field) and NOTHING is built — so main fails before any
+// session state exists, never serving a partial network.
+func TestTopologyStartupRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, field string
+	}{
+		{"syntax", `{"format":"vmn-topology/1",`, ""},
+		{"unknown_field", `{"format":"vmn-topology/1","name":"x","bogus":1,"nodes":[]}`, "bogus"},
+		{"dangling_link", `{"format":"vmn-topology/1","name":"x","nodes":[` +
+			`{"name":"a","kind":"switch"},{"name":"b","kind":"switch"}],` +
+			`"links":[["a","nope"]]}`, "links[0]"},
+		{"dup_addr", `{"format":"vmn-topology/1","name":"x","classes":["c"],"nodes":[` +
+			`{"name":"a","kind":"host","addr":"10.0.0.1","class":"c"},` +
+			`{"name":"b","kind":"host","addr":"10.0.0.1","class":"c"}],` +
+			`"links":[["a","b"]]}`, "nodes[1].addr"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(path, []byte(c.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			d, net, invs, err := netdesc.BuildFile(path)
+			if d != nil || net != nil || invs != nil {
+				t.Fatalf("malformed file must build nothing, got %v / %v / %v", d, net, invs)
+			}
+			var de *netdesc.Error
+			if !errors.As(err, &de) {
+				t.Fatalf("want *netdesc.Error, got %T: %v", err, err)
+			}
+			if de.File == "" {
+				t.Fatalf("structured error must name the file: %v", de)
+			}
+			if c.field != "" && !strings.Contains(de.Field, c.field) {
+				t.Fatalf("want field %q in error, got %v", c.field, de)
+			}
+		})
 	}
 }
 

@@ -223,8 +223,9 @@ func putCanonInvariant(c *slices.Canonizer, i inv.Invariant) bool {
 // translateInvariant carries an invariant's structural slots from one
 // renaming's namespace into another's. Labels are preserved (they are
 // reporting-only). It reports false when a slot is outside the source
-// renaming — notably a Traversal prefix against an encoding renaming,
-// which never interned invariant prefixes.
+// renaming; a Traversal prefix against an encoding renaming (which never
+// interned invariant prefixes) is carried by behaviour instead, via
+// TranslatePrefixByMatch.
 func translateInvariant(i inv.Invariant, from, to *slices.Renaming) (inv.Invariant, bool) {
 	switch iv := i.(type) {
 	case inv.SimpleIsolation:
@@ -250,7 +251,15 @@ func translateInvariant(i inv.Invariant, from, to *slices.Renaming) (inv.Invaria
 		}
 		pfx, ok := from.TranslatePrefix(iv.SrcPrefix, to)
 		if !ok {
-			return nil, false
+			// Encoding renamings never intern invariant prefixes (they are
+			// built from the slice alone), so a Traversal source prefix has
+			// no canonical number there. Translate it by behaviour instead:
+			// a prefix classifying the target universe exactly as SrcPrefix
+			// classifies the source one is indistinguishable to the encoded
+			// problem, whose address domain IS that universe.
+			if pfx, ok = from.TranslatePrefixByMatch(iv.SrcPrefix, to); !ok {
+				return nil, false
+			}
 		}
 		src, ok := from.TranslateAddr(iv.SrcAddr, to)
 		if !ok {

@@ -481,7 +481,8 @@ func (v *Verifier) verifySAT(p *inv.Problem, encOpts encode.Options, plan *check
 	if err != nil || ok {
 		return res, err
 	}
-	// Translation unsupported (a Traversal prefix is outside the
+	// Translation unsupported (a structural slot with no behavioural
+	// carrier in the
 	// invariant-independent encoding renaming): fall back to the exact
 	// content key so repeats of this same problem still share. Retract
 	// the canonical lookup's hit so the check counts one cache event,

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netverify/vmn/internal/inv"
+	"github.com/netverify/vmn/internal/mbox"
+	"github.com/netverify/vmn/internal/pkt"
+	"github.com/netverify/vmn/internal/tf"
+	"github.com/netverify/vmn/internal/topo"
+)
+
+// twoTenantNet builds two disjoint, isomorphic tenant segments
+// (src host — switch — dst host, with a firewall the switch steers all
+// traffic through). With bypass, a higher-priority direct rule skips the
+// firewall, violating any traversal invariant over it.
+func twoTenantNet(bypass bool) (*Network, [2]topo.NodeID, [2]topo.NodeID, [2]topo.NodeID, [2]pkt.Addr) {
+	t := topo.New()
+	fib := tf.FIB{}
+	var srcs, dsts, fws [2]topo.NodeID
+	var srcAddrs [2]pkt.Addr
+	var boxes []mbox.Instance
+	for i := 0; i < 2; i++ {
+		srcA := pkt.Addr(10)<<24 | pkt.Addr(i)<<16 | 1
+		dstA := pkt.Addr(10)<<24 | pkt.Addr(i)<<16 | 1<<8 | 1
+		sw := t.AddSwitch(names2[i][0])
+		fw := t.AddMiddlebox(names2[i][1], "firewall")
+		s := t.AddHost(names2[i][2], srcA)
+		d := t.AddHost(names2[i][3], dstA)
+		t.AddLink(s, sw)
+		t.AddLink(d, sw)
+		t.AddLink(fw, sw)
+		srcs[i], dsts[i], fws[i], srcAddrs[i] = s, d, fw, srcA
+		for _, hp := range [][2]any{{pkt.HostPrefix(srcA), s}, {pkt.HostPrefix(dstA), d}} {
+			p, h := hp[0].(pkt.Prefix), hp[1].(topo.NodeID)
+			fib.Add(sw, tf.Rule{Match: p, In: fw, Out: h, Priority: 20})
+			fib.Add(sw, tf.Rule{Match: p, In: topo.NodeNone, Out: fw, Priority: 10})
+			if bypass {
+				fib.Add(sw, tf.Rule{Match: p, In: topo.NodeNone, Out: h, Priority: 30})
+			}
+		}
+		boxes = append(boxes, mbox.Instance{Node: fw, Model: mbox.NewLearningFirewall(
+			names2[i][1],
+			mbox.AllowEntry(pkt.HostPrefix(srcA), pkt.HostPrefix(dstA)))})
+	}
+	net := &Network{
+		Topo:     t,
+		Boxes:    boxes,
+		Registry: pkt.NewRegistry(),
+		FIBFor:   func(topo.FailureScenario) tf.FIB { return fib },
+	}
+	return net, srcs, dsts, fws, srcAddrs
+}
+
+var names2 = [2][4]string{
+	{"sw0", "fw0", "s0", "d0"},
+	{"sw1", "fw1", "s1", "d1"},
+}
+
+// TestTraversalEncodingTranslation pins the behaviour-based prefix
+// carrier: a Traversal invariant over a slice isomorphic to one whose
+// encoding is already warm must be decided by a translated assumption
+// solve on that encoding — not fall back to an exact-key rebuild because
+// its SrcPrefix was never interned in the encoding renaming. The two
+// invariants use behaviourally different prefixes (one covers both
+// tenant addresses, one only the source), so their canonical class keys
+// differ and class-level verdict sharing cannot absorb the second check.
+func TestTraversalEncodingTranslation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		bypass  bool
+		outcome inv.Outcome
+	}{
+		{"holds", false, inv.Holds},
+		{"violated-with-witness", true, inv.Violated},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, _, dsts, fws, srcAddrs := twoTenantNet(tc.bypass)
+			invs := []inv.Invariant{
+				inv.Traversal{Dst: dsts[0], SrcPrefix: pkt.Prefix{Addr: pkt.Addr(10) << 24, Len: 16},
+					SrcAddr: srcAddrs[0], Vias: []topo.NodeID{fws[0]}, Label: "t0"},
+				inv.Traversal{Dst: dsts[1], SrcPrefix: pkt.Prefix{Addr: pkt.Addr(10)<<24 | 1<<16, Len: 24},
+					SrcAddr: srcAddrs[1], Vias: []topo.NodeID{fws[1]}, Label: "t1"},
+			}
+			v, err := NewVerifier(net, Options{Engine: EngineSAT})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := v.VerifyAll(invs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range reports {
+				if r.Result.Outcome != tc.outcome {
+					t.Fatalf("invariant %d: outcome %v, want %v", i, r.Result.Outcome, tc.outcome)
+				}
+			}
+			if _, _, translated := v.CanonStats(); translated != 1 {
+				t.Fatalf("the second Traversal must ride a translated encoding solve, got translated=%d", translated)
+			}
+			if hits, misses := v.EncodingCacheStats(); misses != 1 || hits != 1 {
+				t.Fatalf("isomorphic tenant slices must share one encoding build (hits=%d misses=%d)", hits, misses)
+			}
+
+			// Verdicts AND witnesses bit-identical to canonical-free solving.
+			vf, _ := NewVerifier(net, Options{Engine: EngineSAT, NoCanon: true})
+			fresh, err := vf.VerifyAll(invs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range reports {
+				if reports[i].Result.Outcome != fresh[i].Result.Outcome {
+					t.Fatalf("invariant %d: canon %v vs fresh %v", i, reports[i].Result.Outcome, fresh[i].Result.Outcome)
+				}
+				if len(reports[i].Result.Trace) != len(fresh[i].Result.Trace) {
+					t.Fatalf("invariant %d: trace lengths differ: %d vs %d", i,
+						len(reports[i].Result.Trace), len(fresh[i].Result.Trace))
+				}
+				for j := range reports[i].Result.Trace {
+					if reports[i].Result.Trace[j] != fresh[i].Result.Trace[j] {
+						t.Fatalf("invariant %d: trace event %d differs: %v vs %v", i, j,
+							reports[i].Result.Trace[j], fresh[i].Result.Trace[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -20,8 +20,11 @@ import (
 // Dirty-cause reasons (DirtyCause.Reason).
 const (
 	// CauseFull: everything was re-verified — initial verification, a
-	// structural change (box add/remove, relabel with origin-agnostic
-	// boxes), or recovery after a failed Apply.
+	// structural change (origin-agnostic box add/remove, or a relabel
+	// that mints a brand-new policy class out of a surviving one under
+	// origin-agnostic boxes), or recovery after a failed Apply. Ordinary
+	// relabels are scoped to the affected representatives' footprints
+	// (see Session.relabelImpact).
 	CauseFull = "full"
 	// CauseNewGroup: the group had no prior entry (new invariant, or the
 	// grouping shifted under invariant add/remove).

@@ -432,7 +432,7 @@ func (s *Session) grouping() ([]symmetry.Group, []string) {
 // hasOriginAgnosticBox reports whether any middlebox in the network is
 // origin-agnostic — the network-global flag that makes slice computation
 // depend on the policy-class map (§4.1 representatives), and hence makes
-// relabels dirty everything.
+// relabels able to move slice membership.
 func (s *Session) hasOriginAgnosticBox() bool {
 	for _, b := range s.net.Boxes {
 		if b.Model.Discipline() == mbox.OriginAgnostic {
@@ -440,6 +440,91 @@ func (s *Session) hasOriginAgnosticBox() bool {
 		}
 	}
 	return false
+}
+
+// policyClassOf mirrors the slice computation's class lookup (an
+// unlabeled node is a singleton class of its own).
+func (s *Session) policyClassOf(n topo.NodeID) string {
+	if c, ok := s.net.PolicyClass[n]; ok {
+		return c
+	}
+	return fmt.Sprintf("singleton-%d", n)
+}
+
+// relabelImpact scopes the dirtying a policy relabel of node n to class
+// newClass needs. It must run against the class map as it stands BEFORE
+// the relabel is installed.
+//
+// Without origin-agnostic boxes slices ignore the class map entirely, so
+// dirtying n's own footprint (the historical behaviour) is already sound
+// and tight. With an origin-agnostic box, every slice embeds one
+// representative host per policy class — the globally minimum-ID edge
+// node of each class not already covered by the slice's own hosts — so a
+// relabel can move slice membership. Case analysis over the old class's
+// and the new class's OTHER members (memA, memB; edge nodes only, since
+// only hosts/externals participate in representative selection):
+//
+//   - old class == new class: nothing can move; no dirtying at all.
+//   - memA and memB both empty (a pure rename of a class only n
+//     carries): representative selection is invariant under renaming a
+//     label no other node has, so NO slice changes. Dirty nothing — the
+//     symmetry regrouping still re-verifies invariants whose signatures
+//     mention the class, through the content-keyed caches.
+//   - memB empty, memA non-empty (n leaves for a brand-new class while
+//     the old one survives): n becomes a mandatory new representative in
+//     every origin-agnostic slice that does not already contain it —
+//     invisible to stale footprints, so dirty everything.
+//   - memB non-empty: every slice whose membership changes contained, in
+//     its pre-change form, either n itself (closure member or displaced
+//     old-class representative) or the new class's previous
+//     representative min(memB) (displaced when n's ID is smaller). Those
+//     two witnesses route the dirtying through the ordinary node channel.
+//
+// Non-edge relabels (switches or middleboxes) cannot move representative
+// selection; their footprint dirtying is kept for symmetry-signature
+// conservatism.
+func (s *Session) relabelImpact(n topo.NodeID, newClass string) (full bool, witnesses []topo.NodeID) {
+	if !s.hasOriginAgnosticBox() {
+		return false, []topo.NodeID{n}
+	}
+	node := s.net.Topo.Node(n)
+	if node.Kind != topo.Host && node.Kind != topo.External {
+		return false, []topo.NodeID{n}
+	}
+	oldC := s.policyClassOf(n)
+	newC := newClass
+	if newC == "" {
+		newC = fmt.Sprintf("singleton-%d", n)
+	}
+	if oldC == newC {
+		return false, nil
+	}
+	memA := false // old class has other edge members
+	minB := topo.NodeNone
+	for _, other := range s.net.Topo.Nodes() {
+		if other.ID == n || (other.Kind != topo.Host && other.Kind != topo.External) {
+			continue
+		}
+		switch s.policyClassOf(other.ID) {
+		case oldC:
+			memA = true
+		case newC:
+			if minB == topo.NodeNone || other.ID < minB {
+				minB = other.ID
+			}
+		}
+	}
+	if minB == topo.NodeNone {
+		if memA {
+			return true, nil
+		}
+		return false, nil
+	}
+	witnesses = []topo.NodeID{n}
+	if n < minB {
+		witnesses = append(witnesses, minB)
+	}
+	return false, witnesses
 }
 
 func (s *Session) findBox(n topo.NodeID) int {
@@ -545,7 +630,6 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 	dirtyAll := s.needFull
 	mutated := len(changes) > 0 || s.needFull
 	im := newImpact()
-	relabeled := false
 
 	// Snapshot old forwarding state for diffing before mutating.
 	needFIBDiff := false
@@ -651,13 +735,21 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			if s.net.PolicyClass == nil {
 				s.net.PolicyClass = map[topo.NodeID]string{}
 			}
+			// Impact must be assessed against the class map as it stands
+			// before this relabel lands (the old class's surviving members
+			// decide who the displaced representatives are).
+			full, witnesses := s.relabelImpact(ch.Node, ch.Class)
 			if ch.Class == "" {
 				delete(s.net.PolicyClass, ch.Node)
 			} else {
 				s.net.PolicyClass[ch.Node] = ch.Class
 			}
-			im.addNode(ch.Node, ci)
-			relabeled = true
+			if full {
+				dirtyAll = true
+			}
+			for _, w := range witnesses {
+				im.addNode(w, ci)
+			}
 		case KindInvAdd:
 			if ch.Invariant == nil {
 				s.invalidate()
@@ -676,13 +768,6 @@ func (s *Session) applyLocked(changes []Change) (_ []core.Report, err error) {
 			s.invalidate()
 			return nil, fmt.Errorf("incr: unknown change kind %d", ch.Kind)
 		}
-	}
-
-	if relabeled && s.hasOriginAgnosticBox() {
-		// Slice computation consults the class map for §4.1 representatives
-		// whenever an origin-agnostic box exists anywhere, so a relabel can
-		// grow any slice.
-		dirtyAll = true
 	}
 
 	// Phase 2: compile one engine per effective scenario (EngineFor

@@ -1,0 +1,31 @@
+package netdesc
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Encode renders the description in its canonical byte form: two-space
+// indentation, struct fields in declaration order, map keys sorted (both
+// guarantees of encoding/json), and a trailing newline. Decoding a
+// canonical document and re-encoding it reproduces it byte for byte,
+// which is what the golden round-trip tests pin.
+func Encode(d *Desc) ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Save validates and writes the description to path in canonical form.
+func Save(d *Desc, path string) error {
+	if err := d.Validate(path); err != nil {
+		return err
+	}
+	data, err := Encode(d)
+	if err != nil {
+		return &Error{File: path, Msg: err.Error()}
+	}
+	return os.WriteFile(path, data, 0o644)
+}

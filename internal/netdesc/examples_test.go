@@ -1,0 +1,68 @@
+package netdesc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/netverify/vmn/internal/core"
+)
+
+// TestExampleFiles pins the committed example descriptions under
+// examples/topologies: every file decodes, is in canonical form
+// (re-encoding is byte-identical, so regenerated `vmn -gen` output diffs
+// clean against the checked-in file), builds, and verifies all-green.
+func TestExampleFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "topologies")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Decode(data, e.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := Encode(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Error("file is not in canonical form; regenerate it with vmn -gen (or netdesc.Save)")
+			}
+			net, invs, err := Build(d, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := core.NewVerifier(net, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := v.VerifyAll(invs, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reports {
+				if !r.Satisfied {
+					t.Errorf("%s: %s violated (%v)", e.Name(), r.Invariant.Name(), r.Result.Outcome)
+				}
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example topology files found")
+	}
+}

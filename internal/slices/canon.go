@@ -215,6 +215,76 @@ func (r *Renaming) TranslatePrefix(p pkt.Prefix, to *Renaming) (pkt.Prefix, bool
 	return to.PrefixAt(i)
 }
 
+// TranslatePrefixByMatch carries a prefix between namespaces by
+// behaviour rather than by name: it synthesizes a prefix that classifies
+// to's address universe exactly as p classifies this one, using the
+// positional address correspondence that equal canonical keys guarantee.
+// This is the translation path for prefixes that were never interned —
+// an invariant-level prefix (e.g. a Traversal source) against the
+// invariant-independent encoding renaming — where TranslatePrefix must
+// fail. Sound because every address a translated invariant is evaluated
+// against is drawn from the target universe; reports false when no
+// single prefix reproduces the classification.
+func (r *Renaming) TranslatePrefixByMatch(p pkt.Prefix, to *Renaming) (pkt.Prefix, bool) {
+	if len(r.addrInv) != len(to.addrInv) {
+		return pkt.Prefix{}, false
+	}
+	if p.Len <= 0 {
+		return pkt.Prefix{}, true // match-all is namespace-independent
+	}
+	var matched []pkt.Addr
+	first := true
+	var base, diff pkt.Addr
+	for i, a := range r.addrInv {
+		if !p.Matches(a) {
+			continue
+		}
+		b := to.addrInv[i]
+		matched = append(matched, b)
+		if first {
+			base, first = b, false
+		} else {
+			diff |= base ^ b
+		}
+	}
+	var q pkt.Prefix
+	if len(matched) == 0 {
+		// p matches nothing in the universe: any host prefix outside to's
+		// universe behaves identically. Pick the smallest free address.
+		inUse := make(map[pkt.Addr]bool, len(to.addrInv))
+		for _, a := range to.addrInv {
+			inUse[a] = true
+		}
+		free := pkt.Addr(1)
+		for inUse[free] {
+			free++
+		}
+		return pkt.HostPrefix(free), true
+	}
+	// The longest common prefix of the matched target addresses.
+	length := 32
+	for diff != 0 {
+		diff >>= 1
+		length--
+	}
+	if length <= 0 {
+		q = pkt.Prefix{}
+	} else if length >= 32 {
+		q = pkt.HostPrefix(base)
+	} else {
+		shift := uint(32 - length)
+		q = pkt.Prefix{Addr: base >> shift << shift, Len: length}
+	}
+	// q covers every matched address by construction; it is behaviourally
+	// equal to p iff it also excludes everything p excluded.
+	for i, a := range r.addrInv {
+		if !p.Matches(a) && q.Matches(to.addrInv[i]) {
+			return pkt.Prefix{}, false
+		}
+	}
+	return q, true
+}
+
 // TranslateHeader carries a packet header between namespaces.
 func (r *Renaming) TranslateHeader(h pkt.Header, to *Renaming) (pkt.Header, bool) {
 	return h.MapAddrs(func(a pkt.Addr) (pkt.Addr, bool) {
